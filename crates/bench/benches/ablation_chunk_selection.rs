@@ -1,0 +1,40 @@
+//! Ablation: cost of the four PNDCA chunk-selection strategies (§5).
+//! In-order, random-order and with-replacement differ only by a shuffle or
+//! chunk draw per step; rate-weighted selection rescans the lattice every
+//! draw (O(N·|T|)) — this bench quantifies that price.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_ca::partition_builder::five_coloring;
+use psr_ca::pndca::{ChunkSelection, Pndca};
+use psr_core::prelude::*;
+use psr_dmc::events::NoHook;
+
+fn bench_selection(c: &mut Criterion) {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(50);
+    let partition = five_coloring(dims);
+    let mut group = c.benchmark_group("chunk_selection_step");
+    let strategies = [
+        ("in_order", ChunkSelection::InOrder),
+        ("random_order", ChunkSelection::RandomOrder),
+        ("with_replacement", ChunkSelection::RandomWithReplacement),
+        ("weighted_by_rates", ChunkSelection::WeightedByRates),
+    ];
+    for (name, selection) in strategies {
+        group.bench_function(name, |b| {
+            let pndca = Pndca::new(&model, &partition).with_selection(selection);
+            let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+            let mut rng = rng_from_seed(7);
+            pndca.run_steps(&mut state, &mut rng, 2, None, &mut NoHook); // thermalise
+            b.iter(|| pndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_selection
+}
+criterion_main!(benches);

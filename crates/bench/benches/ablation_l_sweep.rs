@@ -1,0 +1,35 @@
+//! Ablation: L-PNDCA step cost across the trial budget `L`.
+//! Larger `L` amortises chunk selection over longer bursts (better cache
+//! locality within one chunk), which is the *performance* side of the
+//! accuracy-vs-L trade of Fig 9; the accuracy side is measured by the
+//! `ablation_l_accuracy` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psr_ca::lpndca::LPndca;
+use psr_ca::partition_builder::five_coloring;
+use psr_core::prelude::*;
+use psr_dmc::events::NoHook;
+
+fn bench_l_sweep(c: &mut Criterion) {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(50);
+    let partition = five_coloring(dims);
+    let mut group = c.benchmark_group("lpndca_step_by_l");
+    for l in [1usize, 10, 100, 500, 2500] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let lp = LPndca::new(&model, &partition, l);
+            let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+            let mut rng = rng_from_seed(3);
+            lp.run_steps(&mut state, &mut rng, 2, None, &mut NoHook);
+            b.iter(|| lp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_l_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: reaction-type sampling with the O(1) alias table versus the
+//! binary-search cumulative table, for small (ZGB: 7 types) and large
+//! (Kuzovkov: 32 types, Ising: 32) rate vectors. Justifies the alias table
+//! in the inner loop of every trial-based algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psr_core::prelude::*;
+use psr_rng::{AliasTable, CumulativeTable};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("type_sampling");
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("zgb7", zgb_ziff(0.45, 10.0).rate_weights()),
+        (
+            "kuzovkov32",
+            kuzovkov_model(KuzovkovParams::default()).rate_weights(),
+        ),
+        (
+            "uniform128",
+            (1..=128).map(|i| i as f64).collect::<Vec<f64>>(),
+        ),
+    ];
+    for (name, weights) in cases {
+        group.bench_with_input(BenchmarkId::new("alias", name), &weights, |b, w| {
+            let table = AliasTable::new(w);
+            let mut rng = rng_from_seed(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc += table.sample(&mut rng);
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cumulative", name), &weights, |b, w| {
+            let table = CumulativeTable::new(w);
+            let mut rng = rng_from_seed(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..1000 {
+                    acc += table.sample(&mut rng);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sampling
+}
+criterion_main!(benches);

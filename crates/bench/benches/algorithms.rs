@@ -1,0 +1,149 @@
+//! Throughput of every simulation algorithm on the same ZGB workload:
+//! cost per MC step (N = 50×50 trials) for the trial-based methods, and
+//! cost per 1000 events for the rejection-free DMC methods.
+//!
+//! This is the performance half of the paper's accuracy/performance trade:
+//! the partitioned CA methods must not be slower than RSM per trial
+//! (they are the same inner loop minus the site draw), and VSSM/FRM pay
+//! bookkeeping per event instead of wasted trials.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_ca::lpndca::{ChunkVisit, LPndca};
+use psr_ca::ndca::Ndca;
+use psr_ca::partition_builder::five_coloring;
+use psr_ca::pndca::Pndca;
+use psr_ca::tpndca::{axis_type_partition, TPndca};
+use psr_core::prelude::*;
+use psr_dmc::events::NoHook;
+
+const SIDE: u32 = 50;
+
+fn prepared_state(model: &Model) -> SimState {
+    // Pre-thermalise so enabled-reaction structure is realistic.
+    let mut state = SimState::new(Lattice::filled(Dims::square(SIDE), 0), model);
+    let mut rng = rng_from_seed(1);
+    Rsm::new(model).run_mc_steps(&mut state, &mut rng, 5, None, &mut NoHook);
+    state
+}
+
+fn bench_trial_methods(c: &mut Criterion) {
+    let model = zgb_ziff(0.45, 10.0);
+    let partition = five_coloring(Dims::square(SIDE));
+    let mut group = c.benchmark_group("mc_step");
+
+    group.bench_function("rsm", |b| {
+        let mut state = prepared_state(&model);
+        let mut rng = rng_from_seed(2);
+        let rsm = Rsm::new(&model);
+        b.iter(|| rsm.run_mc_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+    });
+    group.bench_function("ndca", |b| {
+        let mut state = prepared_state(&model);
+        let mut rng = rng_from_seed(3);
+        let ndca = Ndca::new(&model);
+        b.iter(|| ndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+    });
+    group.bench_function("pndca_5chunks", |b| {
+        let mut state = prepared_state(&model);
+        let mut rng = rng_from_seed(4);
+        let pndca = Pndca::new(&model, &partition);
+        b.iter(|| pndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+    });
+    group.bench_function("lpndca_l1", |b| {
+        let mut state = prepared_state(&model);
+        let mut rng = rng_from_seed(5);
+        let lp = LPndca::new(&model, &partition, 1);
+        b.iter(|| lp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+    });
+    group.bench_function("lpndca_l500", |b| {
+        let mut state = prepared_state(&model);
+        let mut rng = rng_from_seed(6);
+        let lp = LPndca::new(&model, &partition, 500).with_visit(ChunkVisit::RandomOnce);
+        b.iter(|| lp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+    });
+    group.bench_function("tpndca", |b| {
+        let mut state = prepared_state(&model);
+        let mut rng = rng_from_seed(7);
+        let tp = TPndca::new(&model, axis_type_partition(&model, Dims::square(SIDE)));
+        b.iter(|| tp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
+    });
+    group.finish();
+}
+
+fn bench_event_methods(c: &mut Criterion) {
+    let model = zgb_ziff(0.45, 10.0);
+    let mut group = c.benchmark_group("events_1000");
+
+    group.bench_function("vssm", |b| {
+        b.iter_batched(
+            || {
+                let state = prepared_state(&model);
+                let vssm = Vssm::new(&model, &state.lattice);
+                (state, vssm, rng_from_seed(8))
+            },
+            |(mut state, mut vssm, mut rng)| {
+                let mut changes = Vec::new();
+                for _ in 0..1000 {
+                    if vssm.step(&mut state, &mut rng, &mut changes).is_none() {
+                        break;
+                    }
+                }
+                state
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("vssm_tree", |b| {
+        b.iter_batched(
+            || {
+                let state = prepared_state(&model);
+                let vssm = VssmTree::new(&model, &state.lattice);
+                (state, vssm, rng_from_seed(8))
+            },
+            |(mut state, mut vssm, mut rng)| {
+                let mut changes = Vec::new();
+                for _ in 0..1000 {
+                    if vssm
+                        .step_until(&mut state, &mut rng, &mut changes, f64::INFINITY)
+                        .is_none()
+                    {
+                        break;
+                    }
+                }
+                state
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("frm", |b| {
+        b.iter_batched(
+            || {
+                let state = prepared_state(&model);
+                let mut rng = rng_from_seed(9);
+                let frm = psr_dmc::Frm::new(&model, &state.lattice, state.time, &mut rng);
+                (state, frm, rng)
+            },
+            |(mut state, mut frm, mut rng)| {
+                let mut changes = Vec::new();
+                for _ in 0..1000 {
+                    if frm
+                        .step_until(&mut state, &mut rng, &mut changes, f64::INFINITY)
+                        .is_none()
+                    {
+                        break;
+                    }
+                }
+                state
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trial_methods, bench_event_methods
+}
+criterion_main!(benches);

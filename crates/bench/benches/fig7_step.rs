@@ -1,0 +1,38 @@
+//! The measurement behind Fig 7: wall-clock time of one parallel PNDCA
+//! step as a function of lattice size and thread count. On this host the
+//! thread counts beyond the core count measure scheduling overhead — the
+//! calibrated machine model (`repro_fig7`) extrapolates the paper's grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psr_ca::partition_builder::five_coloring;
+use psr_core::prelude::*;
+use psr_parallel::ParallelPndca;
+
+fn bench_parallel_step(c: &mut Criterion) {
+    let model = zgb_ziff(0.45, 10.0);
+    let mut group = c.benchmark_group("fig7_parallel_step");
+    for side in [50u32, 100, 200] {
+        let dims = Dims::square(side);
+        let partition = five_coloring(dims);
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("side{side}"), threads),
+                &threads,
+                |b, &threads| {
+                    let mut exec = ParallelPndca::new(&model, &partition, threads, 1);
+                    let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+                    exec.run_steps(&mut state, 2, None); // warm-up
+                    b.iter(|| exec.run_steps(&mut state, 1, None));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_parallel_step
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Parameter search for the Kuzovkov Pt(100) model: find rate sets whose
+//! 100×100 (or smaller, for speed) lattice shows sustained global coverage
+//! oscillations. Used to pick `KuzovkovParams::default()`; see DESIGN.md
+//! substitution 2.
+//!
+//! Usage: `calibrate_kuzovkov [side] [t_end]` (defaults 60, 300).
+
+use psr_core::prelude::*;
+use psr_model::library::kuzovkov::{co_coverage, o_coverage};
+
+fn run_case(p: KuzovkovParams, side: u32, t_end: f64, seed: u64) -> (f64, usize, f64, f64, f64) {
+    let model = kuzovkov_model(p);
+    let out = Simulator::new(model)
+        .dims(Dims::square(side))
+        .seed(seed)
+        .algorithm(Algorithm::Rsm)
+        .sample_dt(0.5)
+        .run_until(t_end);
+    let co = out.combined_series(&[
+        KUZOVKOV_SPECIES.hex_co.id(),
+        KUZOVKOV_SPECIES.sq_co.id(),
+    ]);
+    // Drop the transient before measuring oscillations.
+    let tail = co.after(t_end * 0.3);
+    let osc = detect_peaks(&tail, 5, 0.05);
+    let fractions = out.state().coverage.fractions();
+    (
+        osc.amplitude.unwrap_or(0.0),
+        osc.peak_times.len(),
+        osc.period.unwrap_or(0.0),
+        co_coverage(&fractions),
+        o_coverage(&fractions),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let side: u32 = args.get(1).map(|s| s.parse().expect("side")).unwrap_or(60);
+    let t_end: f64 = args.get(2).map(|s| s.parse().expect("t_end")).unwrap_or(300.0);
+
+    println!("side={side} t_end={t_end}");
+    println!("y_co  k_o2  k_des k_react k_lift k_relax k_diff |  amp   peaks period  co_f   o_f");
+    for &y in &[0.42, 0.48] {
+        for &(k_lift, k_lift_front, k_relax, k_relax_front) in &[
+            (0.2, 1.0, 0.05, 0.5), // best front candidate from prior scan
+            (1.0, 0.0, 0.12, 0.0), // local baseline (current default)
+        ] {
+            for &k_diff in &[4.0, 12.0] {
+                let p = KuzovkovParams {
+                    y_co: y,
+                    k_o2: (1.0 - y) / 2.0,
+                    k_des: 0.1,
+                    k_react: 10.0,
+                    k_lift,
+                    k_relax,
+                    k_diff,
+                    k_lift_front,
+                    k_relax_front,
+                };
+                let (amp, peaks, period, co_f, o_f) = run_case(p, side, t_end, 7);
+                println!(
+                    "y={:.2} lift={:.2}/{:.2} relax={:.3}/{:.2} diff={:.1} | amp={:.3} peaks={:>2} period={:>6.1} co={:.3} o={:.3}",
+                    p.y_co, p.k_lift, p.k_lift_front, p.k_relax, p.k_relax_front, p.k_diff,
+                    amp, peaks, period, co_f, o_f
+                );
+            }
+        }
+    }
+}

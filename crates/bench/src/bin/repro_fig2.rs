@@ -1,0 +1,53 @@
+//! Regenerates **Fig 2**: the conflict of naive synchronous CA updates —
+//! two particles adjacent to the same vacancy both try to hop into it.
+//! Demonstrates detection, then shows that the greedy partition eliminates
+//! every such conflict by construction.
+
+use psr_ca::conflict::ConflictDetector;
+use psr_ca::partition_builder::greedy_coloring;
+use psr_core::prelude::*;
+use psr_model::library::diffusion::diffusion_model;
+
+fn main() {
+    let model = diffusion_model(1.0);
+    let dims = Dims::new(5, 1);
+    println!("Fig 2 — the two-particles-one-vacancy conflict\n");
+    println!("lattice:   n-1  n  n+1   =   A  _  A   (A at sites 1 and 3)");
+
+    let hop_right = model.reaction_index("hop[0]").expect("exists");
+    let hop_left = model.reaction_index("hop[2]").expect("exists");
+    let mut det = ConflictDetector::new(dims);
+    let batch = [(dims.site_at(1, 0), hop_right), (dims.site_at(3, 0), hop_left)];
+    match det.check_batch(&model, &batch) {
+        Some((a, b)) => println!(
+            "synchronous update of both hops: CONFLICT between batch entries {a} and {b}\n\
+             (both neighborhoods contain site n) — the Fig 2 situation."
+        ),
+        None => println!("unexpected: no conflict detected"),
+    }
+
+    // The cure: a conflict-free partition. Same-chunk batches never clash.
+    let d2 = Dims::new(10, 10);
+    let partition = greedy_coloring(d2, &model);
+    println!(
+        "\ngreedy partition for the diffusion model on 10x10: {} chunks",
+        partition.num_chunks()
+    );
+    let mut det2 = ConflictDetector::new(d2);
+    let mut checked = 0usize;
+    for chunk in 0..partition.num_chunks() {
+        for ri in 0..model.num_reactions() {
+            let batch: Vec<(Site, usize)> =
+                partition.chunk(chunk).iter().map(|&s| (s, ri)).collect();
+            assert!(
+                det2.check_batch(&model, &batch).is_none(),
+                "partition failed for chunk {chunk} reaction {ri}"
+            );
+            checked += batch.len();
+        }
+    }
+    println!(
+        "checked {checked} simultaneous (site, reaction) updates within chunks: 0 conflicts —\n\
+         the non-overlap restriction makes same-chunk updates safe."
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig 3**: the 1-D Block Cellular Automaton with 3-site
+//! blocks and the rule "a site becomes 0 if a neighbor (within its block)
+//! is 0", with block boundaries shifting between steps.
+
+use psr_ca::bca::{BlockCa, ZeroSpreadsRule};
+use psr_core::prelude::*;
+
+fn row_string(lattice: &Lattice) -> String {
+    lattice
+        .cells()
+        .iter()
+        .map(|c| if *c == 0 { "0 " } else { "1 " })
+        .collect()
+}
+
+fn main() {
+    println!("Fig 3 — 1-D BCA, 9 sites, 3-site blocks shifting by one each step\n");
+    let dims = Dims::new(9, 1);
+    let mut lattice = Lattice::from_cells(dims, vec![0, 1, 1, 1, 1, 1, 0, 1, 1]);
+    let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
+
+    println!("sites:  0 1 2 3 4 5 6 7 8");
+    println!("t=0:    {}", row_string(&lattice));
+    for step in 1..=4 {
+        let blocks: Vec<String> = bca
+            .current_blocks(dims)
+            .iter()
+            .map(|b| {
+                let sites: Vec<String> =
+                    b.sites(dims).iter().map(|s| s.0.to_string()).collect();
+                format!("{{{}}}", sites.join(","))
+            })
+            .collect();
+        bca.step(&mut lattice);
+        println!("t={step}:    {}   blocks used: {}", row_string(&lattice), blocks.join(" "));
+    }
+    println!(
+        "\nthe zero regions spread across block boundaries only because the\n\
+         blocks shift — the behaviour the partition concept generalises."
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Fig 9**: L-PNDCA on the five-chunk partition with
+//! (a) `L = 1` — kinetics indistinguishable from RSM, and (b) `L = 100` —
+//! visible deviations (time-shifted oscillations) from the postponement
+//! of other chunks during long bursts.
+//!
+//! Usage: `repro_fig9 [side] [t_end]` (defaults 100, 300).
+
+use psr_bench::{fig_args, kuzovkov_curves, results_dir, series_csv};
+use psr_core::prelude::*;
+
+fn lpndca(l: usize) -> Algorithm {
+    Algorithm::LPndca {
+        partition: PartitionSpec::FiveColoring,
+        l,
+        visit: ChunkVisit::SizeWeighted,
+    }
+}
+
+fn main() {
+    let (side, t_end) = fig_args(100, 300.0);
+    println!("Fig 9 — Kuzovkov model, {side}x{side}, five chunks, t = {t_end}\n");
+    let sample_dt = 0.5;
+
+    println!("running RSM …");
+    let (rsm_co, _) = kuzovkov_curves(Algorithm::Rsm, side, t_end, 1, sample_dt);
+    println!("running L-PNDCA L = 1 …");
+    let (l1_co, _) = kuzovkov_curves(lpndca(1), side, t_end, 2, sample_dt);
+    println!("running L-PNDCA L = 100 …");
+    let (l100_co, _) = kuzovkov_curves(lpndca(100), side, t_end, 3, sample_dt);
+
+    println!("\n(a) CO coverage, L = 1 (R = RSM, a = L-PNDCA):\n");
+    print!(
+        "{}",
+        psr_stats::ascii_plot::plot(&[(&rsm_co, 'R'), (&l1_co, 'a')], 76, 14)
+    );
+    println!("\n(b) CO coverage, L = 100 (R = RSM, b = L-PNDCA):\n");
+    print!(
+        "{}",
+        psr_stats::ascii_plot::plot(&[(&rsm_co, 'R'), (&l100_co, 'b')], 76, 14)
+    );
+
+    let dev1 = rms_deviation(&rsm_co, &l1_co, 300).expect("overlap");
+    let dev100 = rms_deviation(&rsm_co, &l100_co, 300).expect("overlap");
+    println!("\nRMS deviation of CO coverage from RSM:");
+    println!("  L = 1  : {dev1:.4}   (pure noise — L=1 with size-weighted chunks IS RSM)");
+    println!("  L = 100: {dev100:.4}");
+
+    // Oscillation preservation / shift analysis.
+    for (name, series) in [("RSM", &rsm_co), ("L=1", &l1_co), ("L=100", &l100_co)] {
+        let osc = detect_peaks(&series.after(t_end * 0.25), 5, 0.04);
+        println!(
+            "  {name:<6}: {} peaks, period {:?}, amplitude {:?}",
+            osc.peak_times.len(),
+            osc.period.map(|p| format!("{p:.1}")),
+            osc.amplitude.map(|a| format!("{a:.3}")),
+        );
+    }
+    println!(
+        "\nincreasing L introduces the bias the paper reports: bursts inside\n\
+         one chunk postpone the others, shifting the oscillation clock."
+    );
+
+    series_csv(
+        &results_dir().join("fig9.csv"),
+        &[("rsm_co", &rsm_co), ("l1_co", &l1_co), ("l100_co", &l100_co)],
+    );
+    println!("wrote {}", results_dir().join("fig9.csv").display());
+}

@@ -1,0 +1,187 @@
+//! Shared harness utilities for the `repro_*` binaries and Criterion
+//! benches that regenerate the paper's tables and figures.
+//!
+//! Binaries (one per table/figure — see DESIGN.md's experiment index):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `repro_table1` | Table I — the ZGB reaction types |
+//! | `repro_table2` | Table II — the Ω×T type subsets |
+//! | `repro_fig2`   | Fig 2 — the synchronous-update conflict |
+//! | `repro_fig3`   | Fig 3 — the 1-D BCA trace |
+//! | `repro_fig4`   | Fig 4 — the 5-chunk partition tile |
+//! | `repro_fig6`   | Fig 6 — the checkerboard type-partitions |
+//! | `repro_fig7`   | Fig 7 — the speedup surface T(1,N)/T(p,N) |
+//! | `repro_fig8`   | Fig 8 — RSM vs L-PNDCA at the limit parameters |
+//! | `repro_fig9`   | Fig 9 — five chunks, L = 1 vs L = 100 |
+//! | `repro_fig10`  | Fig 10 — five chunks, random-once, L = N/m |
+//! | `ablation_l_accuracy` | oscillation robustness across the L budget |
+//! | `ablation_segers` | domain-decomposition vs partitioned-CA cost models |
+//! | `calibrate_kuzovkov` | parameter search behind `KuzovkovParams::default()` |
+//!
+//! Each binary prints its table/series to stdout and writes a CSV next to
+//! the workspace root under `results/`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use psr_core::prelude::*;
+use psr_stats::TimeSeries;
+
+/// The Kuzovkov coverage curves `(CO_total, O)` for one algorithm — the
+/// workload behind Figs 8–10.
+pub fn kuzovkov_curves(
+    algorithm: Algorithm,
+    side: u32,
+    t_end: f64,
+    seed: u64,
+    sample_dt: f64,
+) -> (TimeSeries, TimeSeries) {
+    let out = Simulator::new(kuzovkov_model(KuzovkovParams::default()))
+        .dims(Dims::square(side))
+        .seed(seed)
+        .algorithm(algorithm)
+        .sample_dt(sample_dt)
+        .run_until(t_end);
+    let co = out.combined_series(&[
+        KUZOVKOV_SPECIES.hex_co.id(),
+        KUZOVKOV_SPECIES.sq_co.id(),
+    ]);
+    let o = out.series(KUZOVKOV_SPECIES.sq_o.id()).clone();
+    (co, o)
+}
+
+/// Parse `side` / `t_end` from argv with defaults (every Fig 8–10 binary
+/// accepts `[side] [t_end]`).
+pub fn fig_args(default_side: u32, default_t: f64) -> (u32, f64) {
+    let args: Vec<String> = std::env::args().collect();
+    let side = args
+        .get(1)
+        .map(|s| s.parse().expect("side must be an integer"))
+        .unwrap_or(default_side);
+    let t_end = args
+        .get(2)
+        .map(|s| s.parse().expect("t_end must be a number"))
+        .unwrap_or(default_t);
+    (side, t_end)
+}
+
+/// Directory where the repro binaries drop their CSVs.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("PSR_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("cannot create results directory");
+    path
+}
+
+/// Write aligned-column CSV (`header` then rows) to `path`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or a row length mismatches the
+/// header.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row/header length mismatch");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+}
+
+/// Serialise several equally-sampled series as CSV columns
+/// `t, name1, name2, …` (rows truncated to the shortest series).
+pub fn series_csv(path: &Path, named: &[(&str, &TimeSeries)]) {
+    assert!(!named.is_empty(), "need at least one series");
+    let len = named.iter().map(|(_, s)| s.len()).min().unwrap_or(0);
+    let mut header = vec!["t".to_owned()];
+    header.extend(named.iter().map(|(n, _)| (*n).to_owned()));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for i in 0..len {
+        let t = named[0].1.times()[i];
+        let _ = write!(out, "{t}");
+        for (_, s) in named {
+            let _ = write!(out, ",{}", s.values()[i]);
+        }
+        out.push('\n');
+    }
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+}
+
+/// Render a fixed-width text table.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns() {
+        let t = text_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("long-name"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn series_csv_writes_columns() {
+        let dir = std::env::temp_dir().join("psr_test_csv");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("s.csv");
+        let a = TimeSeries::from_points(vec![0.0, 1.0], vec![0.5, 0.6]);
+        let b = TimeSeries::from_points(vec![0.0, 1.0], vec![0.1, 0.2]);
+        series_csv(&path, &[("co", &a), ("o", &b)]);
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert!(content.starts_with("t,co,o\n"));
+        assert!(content.contains("1,0.6,0.2"));
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("psr_test_csv2");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read back"),
+            "a,b\n1,2\n"
+        );
+    }
+}

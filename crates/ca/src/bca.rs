@@ -1,0 +1,202 @@
+//! Block Cellular Automata (paper §5, Fig 3).
+//!
+//! The classical way to avoid update conflicts: tile the lattice with
+//! non-overlapping blocks, apply the transition rule independently inside
+//! each block, and *shift* the block boundaries between steps so every pair
+//! of adjacent sites eventually shares a block (the Margolus-neighborhood
+//! idea). The paper's Fig 3 shows a 1-D BCA with 3-site blocks and the rule
+//! "a site becomes 0 if at least one neighbor in its block is 0".
+//!
+//! This module provides a generic block CA over arbitrary per-block rules
+//! plus the concrete Fig 3 rule, used by the `repro_fig3` binary and tests.
+
+use psr_lattice::{Dims, Lattice, Region};
+
+/// A transition rule applied to one block's cells (in row-major block
+/// order); mutates the cell values in place.
+pub trait BlockRule {
+    /// Apply the rule to the cells of one block.
+    fn apply(&self, cells: &mut [u8]);
+}
+
+impl<F: Fn(&mut [u8])> BlockRule for F {
+    fn apply(&self, cells: &mut [u8]) {
+        self(cells)
+    }
+}
+
+/// The Fig 3 rule: a cell becomes 0 if any cell of its block (its block-
+/// local neighborhood) is 0; otherwise it keeps its value.
+///
+/// Within a 3-site block this is exactly "state becomes 0 if at least one
+/// of the neighboring sites (inside the block) is 0".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroSpreadsRule;
+
+impl BlockRule for ZeroSpreadsRule {
+    fn apply(&self, cells: &mut [u8]) {
+        if cells.contains(&0) {
+            // Zero spreads to neighbors within the block: for a 3-site
+            // block a single interior zero clears the whole block; edge
+            // zeros clear their neighbor. We implement the neighbor
+            // semantics exactly: new[i] = 0 if old[i-1] == 0 or old[i+1]
+            // == 0 (within the block), else old[i].
+            let old: Vec<u8> = cells.to_vec();
+            for i in 0..old.len() {
+                let left_zero = i > 0 && old[i - 1] == 0;
+                let right_zero = i + 1 < old.len() && old[i + 1] == 0;
+                if left_zero || right_zero {
+                    cells[i] = 0;
+                }
+            }
+        }
+    }
+}
+
+/// A block CA: block dimensions plus a per-step boundary shift.
+#[derive(Debug)]
+pub struct BlockCa<R: BlockRule> {
+    rule: R,
+    block_w: u32,
+    block_h: u32,
+    shift_x: i64,
+    shift_y: i64,
+    step: u64,
+}
+
+impl<R: BlockRule> BlockCa<R> {
+    /// A block CA with `bw × bh` blocks shifting by `(shift_x, shift_y)`
+    /// every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block dimensions are zero.
+    pub fn new(rule: R, bw: u32, bh: u32, shift_x: i64, shift_y: i64) -> Self {
+        assert!(bw > 0 && bh > 0, "block dimensions must be positive");
+        BlockCa {
+            rule,
+            block_w: bw,
+            block_h: bh,
+            shift_x,
+            shift_y,
+            step: 0,
+        }
+    }
+
+    /// Number of completed steps.
+    pub fn steps_done(&self) -> u64 {
+        self.step
+    }
+
+    /// The block tiling used for the *next* step (offset grows with the
+    /// step counter, wrapping on the torus).
+    pub fn current_blocks(&self, dims: Dims) -> Vec<Region> {
+        let ox = self.shift_x * self.step as i64;
+        let oy = self.shift_y * self.step as i64;
+        Region::tile(dims, self.block_w, self.block_h, ox, oy)
+    }
+
+    /// Apply one synchronous step: every block updated independently.
+    pub fn step(&mut self, lattice: &mut Lattice) {
+        let dims = lattice.dims();
+        let blocks = self.current_blocks(dims);
+        let mut buf = Vec::new();
+        for block in blocks {
+            let sites = block.sites(dims);
+            buf.clear();
+            buf.extend(sites.iter().map(|&s| lattice.get(s)));
+            self.rule.apply(&mut buf);
+            for (&site, &val) in sites.iter().zip(&buf) {
+                lattice.set(site, val);
+            }
+        }
+        self.step += 1;
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, lattice: &mut Lattice, n: u64) {
+        for _ in 0..n {
+            self.step(lattice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig 3 trace: 9 sites, 3-site blocks, shift −1 per step
+    /// (equivalently the next step's blocks start one cell earlier).
+    #[test]
+    fn fig3_first_step() {
+        let dims = Dims::new(9, 1);
+        // Fig 3 initial row: 0 1 1 1 1 1 0 1 1  (sites 0..8).
+        let mut lattice =
+            Lattice::from_cells(dims, vec![0, 1, 1, 1, 1, 1, 0, 1, 1]);
+        let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 0, 0);
+        bca.step(&mut lattice);
+        // Blocks {0,1,2},{3,4,5},{6,7,8}: zero at 0 clears 1; zero at 6
+        // clears 7. Fig 3 second row: 0 0 1 1 1 1 0 0 1.
+        assert_eq!(lattice.cells(), &[0, 0, 1, 1, 1, 1, 0, 0, 1]);
+        assert_eq!(bca.steps_done(), 1);
+    }
+
+    #[test]
+    fn fig3_shifted_second_step() {
+        let dims = Dims::new(9, 1);
+        let mut lattice =
+            Lattice::from_cells(dims, vec![0, 0, 1, 1, 1, 1, 0, 0, 1]);
+        // Second step uses the shifted blocks Q = {{1,2,3},{4,5,6},{7,8,0}}.
+        let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
+        bca.run(&mut lattice, 0); // no-op sanity
+        // Manually advance to the shifted phase: construct with step so the
+        // first step already uses offset 1.
+        let mut shifted = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
+        shifted.step = 1;
+        shifted.step(&mut lattice);
+        // Block {1,2,3}: 0 at 1 clears 2 → 0 0 0 1 ...
+        // Block {4,5,6}: 0 at 6 clears 5 → 1 0 0
+        // Block {7,8,0}: 0 at 7 (from prev) clears 8; 0 at 0 stays.
+        assert_eq!(lattice.cells(), &[0, 0, 0, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zeros_eventually_cover_everything_with_shifting() {
+        // With shifting blocks, a single zero percolates across block
+        // boundaries and eventually clears the ring.
+        let dims = Dims::new(9, 1);
+        let mut cells = vec![1u8; 9];
+        cells[4] = 0;
+        let mut lattice = Lattice::from_cells(dims, cells);
+        let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
+        bca.run(&mut lattice, 12);
+        assert_eq!(lattice.count(0), 9, "zero must spread everywhere");
+    }
+
+    #[test]
+    fn without_shifting_zero_stays_inside_its_block() {
+        let dims = Dims::new(9, 1);
+        let mut cells = vec![1u8; 9];
+        cells[4] = 0; // middle of block {3,4,5}
+        let mut lattice = Lattice::from_cells(dims, cells);
+        let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 0, 0);
+        bca.run(&mut lattice, 10);
+        // Blocks never move: the zero clears only its own block.
+        assert_eq!(lattice.cells(), &[1, 1, 1, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_dimensional_blocks_work() {
+        let dims = Dims::new(4, 4);
+        let mut lattice = Lattice::filled(dims, 1);
+        lattice.set(dims.site_at(0, 0), 0);
+        let rule = |cells: &mut [u8]| {
+            if cells.contains(&0) {
+                cells.fill(0);
+            }
+        };
+        let mut bca = BlockCa::new(rule, 2, 2, 1, 1);
+        bca.run(&mut lattice, 8);
+        assert_eq!(lattice.count(0), 16);
+    }
+}

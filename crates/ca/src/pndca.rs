@@ -1,0 +1,424 @@
+//! The Partitioned NDCA (paper §5).
+//!
+//! ```text
+//! for each step
+//!   choose a partition P;
+//!   for all P_i ∈ P
+//!     for each site s ∈ P_i
+//!       1. select a reaction type with probability k_i / K;
+//!       2. check if the reaction is enabled at s;
+//!       3. if it is, execute it;
+//!       4. advance the time;
+//! ```
+//!
+//! Because the chunk is conflict-free, "for each site s ∈ P_i" can run in
+//! parallel — that is what `psr-parallel` exploits. This module is the
+//! sequential reference implementation, with the four chunk-selection
+//! strategies of §5 ("Opportunities for improvements"):
+//!
+//! 1. all chunks in a predefined order,
+//! 2. all chunks in random order,
+//! 3. `|P|` random chunk draws with replacement (probability `1/|P|` each),
+//! 4. weighted selection by the summed rates of enabled reactions per chunk.
+
+use crate::partition::Partition;
+use psr_dmc::events::{Event, EventHook};
+use psr_dmc::recorder::Recorder;
+use psr_dmc::rsm::{RunStats, TimeMode};
+use psr_dmc::sim::SimState;
+use psr_lattice::Site;
+use psr_model::Model;
+use psr_rng::{exponential, sample::shuffle, AliasTable, SimRng};
+
+/// Chunk-selection strategy (§5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkSelection {
+    /// All chunks in index order, once per step.
+    InOrder,
+    /// All chunks exactly once per step, in a fresh random order.
+    RandomOrder,
+    /// `|P|` independent uniform draws per step (chunks may repeat/skip).
+    RandomWithReplacement,
+    /// `|P|` draws weighted by each chunk's summed enabled-reaction rate
+    /// (recomputed by scanning the chunk; O(N·|T|) per step).
+    WeightedByRates,
+}
+
+/// PNDCA simulator over a fixed partition.
+#[derive(Clone, Debug)]
+pub struct Pndca<'m, 'p> {
+    model: &'m Model,
+    partition: &'p Partition,
+    alias: AliasTable,
+    time_mode: TimeMode,
+    selection: ChunkSelection,
+}
+
+impl<'m, 'p> Pndca<'m, 'p> {
+    /// PNDCA with in-order chunk sweeps and discretised time.
+    ///
+    /// The partition is not required to satisfy the non-overlap
+    /// restriction: this sequential reference implementation is well
+    /// defined on any cover. Conflict-freedom is what makes the chunk
+    /// sweep *parallelisable*, and `psr-parallel` enforces it before
+    /// spawning threads.
+    pub fn new(model: &'m Model, partition: &'p Partition) -> Self {
+        Pndca {
+            model,
+            partition,
+            alias: AliasTable::new(&model.rate_weights()),
+            time_mode: TimeMode::Discretized,
+            selection: ChunkSelection::InOrder,
+        }
+    }
+
+    /// Select the chunk-selection strategy.
+    pub fn with_selection(mut self, selection: ChunkSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Select the time-advance mode.
+    pub fn with_time_mode(mut self, mode: TimeMode) -> Self {
+        self.time_mode = mode;
+        self
+    }
+
+    /// The partition in use.
+    pub fn partition(&self) -> &Partition {
+        self.partition
+    }
+
+    #[inline]
+    fn advance(&self, state: &mut SimState, rng: &mut SimRng) {
+        let nk = state.num_sites() as f64 * self.model.total_rate();
+        state.time += match self.time_mode {
+            TimeMode::Stochastic => exponential(rng, nk),
+            TimeMode::Discretized => 1.0 / nk,
+        };
+    }
+
+    /// Simulate one chunk: one trial per site, sweeping the chunk.
+    fn sweep_chunk(
+        &self,
+        chunk: usize,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        changes: &mut Vec<(Site, u8, u8)>,
+        stats: &mut RunStats,
+        hook: &mut impl EventHook,
+    ) {
+        for idx in 0..self.partition.chunk(chunk).len() {
+            let site = self.partition.chunk(chunk)[idx];
+            let reaction = self.alias.sample(rng);
+            changes.clear();
+            let executed =
+                self.model
+                    .reaction(reaction)
+                    .try_execute(&mut state.lattice, site, changes);
+            if executed {
+                state.apply_changes(changes);
+            }
+            self.advance(state, rng);
+            stats.trials += 1;
+            stats.executed += executed as u64;
+            hook.on_event(Event {
+                time: state.time,
+                site,
+                reaction,
+                executed,
+            });
+        }
+    }
+
+    /// Summed rate of enabled reactions within one chunk (strategy 4).
+    fn chunk_propensity(&self, chunk: usize, state: &SimState) -> f64 {
+        let mut total = 0.0;
+        for &site in self.partition.chunk(chunk) {
+            for rt in self.model.reactions() {
+                if rt.is_enabled(&state.lattice, site) {
+                    total += rt.rate();
+                }
+            }
+        }
+        total
+    }
+
+    /// Run one PNDCA step (each strategy performs `|P|` chunk sweeps).
+    pub fn step(
+        &self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        hook: &mut impl EventHook,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut changes = Vec::with_capacity(4);
+        let m = self.partition.num_chunks();
+        match self.selection {
+            ChunkSelection::InOrder => {
+                for c in 0..m {
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                }
+            }
+            ChunkSelection::RandomOrder => {
+                let mut order: Vec<usize> = (0..m).collect();
+                shuffle(rng, &mut order);
+                for &c in &order {
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                }
+            }
+            ChunkSelection::RandomWithReplacement => {
+                for _ in 0..m {
+                    let c = rng.index(m);
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                }
+            }
+            ChunkSelection::WeightedByRates => {
+                for _ in 0..m {
+                    let weights: Vec<f64> =
+                        (0..m).map(|c| self.chunk_propensity(c, state)).collect();
+                    let total: f64 = weights.iter().sum();
+                    let c = if total <= 0.0 {
+                        rng.index(m)
+                    } else {
+                        let mut x = rng.f64() * total;
+                        let mut chosen = m - 1;
+                        for (i, &w) in weights.iter().enumerate() {
+                            if x < w {
+                                chosen = i;
+                                break;
+                            }
+                            x -= w;
+                        }
+                        chosen
+                    };
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Run `steps` PNDCA steps with optional coverage recording.
+    pub fn run_steps(
+        &self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        steps: u64,
+        mut recorder: Option<&mut Recorder>,
+        hook: &mut impl EventHook,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(state.time, &state.coverage);
+        }
+        for _ in 0..steps {
+            let s = self.step(state, rng, hook);
+            stats.trials += s.trials;
+            stats.executed += s.executed;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(state.time, &state.coverage);
+            }
+        }
+        stats
+    }
+
+    /// Run whole steps until the clock reaches `t_end`.
+    pub fn run_until(
+        &self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        t_end: f64,
+        mut recorder: Option<&mut Recorder>,
+        hook: &mut impl EventHook,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(state.time, &state.coverage);
+        }
+        // Half-a-trial tolerance: with discretised time, N float additions
+        // of 1/(N K) can land just below t_end and would trigger a spurious
+        // extra step.
+        let eps = 0.5 / (state.num_sites() as f64 * self.model.total_rate());
+        while state.time < t_end - eps {
+            let s = self.step(state, rng, hook);
+            stats.trials += s.trials;
+            stats.executed += s.executed;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(state.time.min(t_end), &state.coverage);
+            }
+        }
+        stats
+    }
+}
+
+/// Run `steps` steps cycling through several PNDCA instances (one per
+/// partition) — the paper's "choose a partition P" step (§5), analogous to
+/// the shifting blocks of a BCA. Step `k` uses `pndcas[k % len]`.
+///
+/// # Panics
+///
+/// Panics if `pndcas` is empty.
+pub fn run_alternating(
+    pndcas: &[Pndca<'_, '_>],
+    state: &mut SimState,
+    rng: &mut SimRng,
+    steps: u64,
+    mut recorder: Option<&mut Recorder>,
+    hook: &mut impl EventHook,
+) -> RunStats {
+    assert!(!pndcas.is_empty(), "need at least one partition");
+    let mut stats = RunStats::default();
+    if let Some(rec) = recorder.as_deref_mut() {
+        rec.record(state.time, &state.coverage);
+    }
+    for k in 0..steps {
+        let s = pndcas[(k % pndcas.len() as u64) as usize].step(state, rng, hook);
+        stats.trials += s.trials;
+        stats.executed += s.executed;
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(state.time, &state.coverage);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_builder::five_coloring;
+    use psr_dmc::events::NoHook;
+    use psr_lattice::{Dims, Lattice};
+    use psr_model::library::zgb::zgb_ziff;
+    use psr_model::ModelBuilder;
+    use psr_rng::rng_from_seed;
+
+    fn adsorption(rate: f64) -> Model {
+        ModelBuilder::new(&["*", "A"])
+            .reaction("ads", rate, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .build()
+    }
+
+    #[test]
+    fn ordered_step_visits_each_site_once() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(1);
+        let pndca = Pndca::new(&model, &partition);
+        let mut visits = vec![0u32; 100];
+        pndca.step(&mut state, &mut rng, &mut |e: Event| {
+            visits[e.site.0 as usize] += 1;
+        });
+        assert!(visits.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn random_order_visits_each_site_once_per_step() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(2);
+        let pndca = Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomOrder);
+        let mut visits = vec![0u32; 100];
+        pndca.step(&mut state, &mut rng, &mut |e: Event| {
+            visits[e.site.0 as usize] += 1;
+        });
+        assert!(visits.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn with_replacement_does_n_trials_but_may_skip_chunks() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(3);
+        let pndca =
+            Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomWithReplacement);
+        let stats = pndca.step(&mut state, &mut rng, &mut NoHook);
+        assert_eq!(stats.trials, 100, "5 draws × 20-site chunks");
+    }
+
+    #[test]
+    fn weighted_selection_runs() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(4);
+        let pndca =
+            Pndca::new(&model, &partition).with_selection(ChunkSelection::WeightedByRates);
+        let stats = pndca.run_steps(&mut state, &mut rng, 3, None, &mut NoHook);
+        assert_eq!(stats.trials, 300);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn langmuir_kinetics_close_to_analytic_with_diluted_rates() {
+        // Like NDCA, PNDCA visits each site once per step; its kinetics
+        // approach the ME when k_i/K per visit is small. Dilute with a
+        // null reaction so the per-visit success probability is 0.01.
+        let model = ModelBuilder::new(&["*", "A"])
+            .reaction("ads", 1.0, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .reaction("null", 99.0, |r| {
+                r.site((0, 0), "*", "*");
+            })
+            .build();
+        let d = Dims::square(50);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(5);
+        let pndca = Pndca::new(&model, &partition);
+        pndca.run_until(&mut state, &mut rng, 1.0, None, &mut NoHook);
+        let theta = state.coverage.fraction(1);
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!(
+            (theta - expected).abs() < 0.03,
+            "PNDCA coverage {theta} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn one_step_advances_one_over_k() {
+        let model = adsorption(4.0);
+        let d = Dims::square(10);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(6);
+        Pndca::new(&model, &partition).run_steps(&mut state, &mut rng, 8, None, &mut NoHook);
+        assert!((state.time - 8.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zgb_coverage_consistent_after_run() {
+        let model = zgb_ziff(0.45, 3.0);
+        let d = Dims::square(20);
+        let partition = five_coloring(d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(7);
+        let pndca = Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomOrder);
+        pndca.run_steps(&mut state, &mut rng, 20, None, &mut NoHook);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn alternating_partitions_cycle() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let p1 = five_coloring(d);
+        let p2 = crate::partition_builder::five_coloring_alt(d);
+        let pndcas = [Pndca::new(&model, &p1), Pndca::new(&model, &p2)];
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(8);
+        let stats = run_alternating(&pndcas, &mut state, &mut rng, 4, None, &mut NoHook);
+        assert_eq!(stats.trials, 400);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for partitions and the CA algorithms.
+
+use proptest::prelude::*;
+use psr_ca::partition::Partition;
+use psr_ca::partition_builder::{five_coloring, greedy_coloring, singleton_chunks};
+use psr_ca::pndca::{ChunkSelection, Pndca};
+use psr_dmc::events::{Event, EventHook};
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::{Model, ModelBuilder};
+use psr_rng::rng_from_seed;
+
+struct CountVisits(Vec<u32>);
+impl EventHook for CountVisits {
+    fn on_event(&mut self, event: Event) {
+        self.0[event.site.0 as usize] += 1;
+    }
+}
+
+/// A random model whose patterns are single sites or von Neumann pairs.
+fn model_strategy() -> impl Strategy<Value = Model> {
+    prop::collection::vec(
+        (
+            prop::bool::ANY,            // pair?
+            0u32..4,                    // orientation
+            (0u8..3, 0u8..3, 0u8..3, 0u8..3), // src/tgt for both sites
+            0.01f64..5.0,
+        ),
+        1..6,
+    )
+    .prop_map(|specs| {
+        let names = ["*", "A", "B"];
+        let mut b = ModelBuilder::new(&names);
+        for (i, (pair, orient, (s0, t0, s1, t1), rate)) in specs.into_iter().enumerate() {
+            let name = format!("r{i}");
+            b = b.reaction(name, rate, |r| {
+                r.site((0, 0), names[s0 as usize], names[t0 as usize]);
+                if pair {
+                    let off = match orient {
+                        0 => (1, 0),
+                        1 => (0, 1),
+                        2 => (-1, 0),
+                        _ => (0, -1),
+                    };
+                    r.site(off, names[s1 as usize], names[t1 as usize]);
+                }
+            });
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn five_coloring_valid_for_any_von_neumann_model(model in model_strategy()) {
+        let p = five_coloring(Dims::square(10));
+        prop_assert!(p.is_valid_for(&model));
+    }
+
+    #[test]
+    fn greedy_coloring_always_valid(
+        model in model_strategy(),
+        w in 4u32..12,
+        h in 4u32..12,
+    ) {
+        let p = greedy_coloring(Dims::new(w, h), &model);
+        prop_assert!(p.is_valid_for(&model), "greedy produced an invalid partition");
+    }
+
+    #[test]
+    fn singleton_partition_valid_for_everything(model in model_strategy()) {
+        let p = singleton_chunks(Dims::square(8));
+        prop_assert!(p.is_valid_for(&model));
+    }
+
+    #[test]
+    fn partition_from_labels_is_a_disjoint_cover(
+        labels in prop::collection::vec(0u32..4, 36),
+    ) {
+        // Densify labels so from_labels accepts them.
+        let mut dense = labels.clone();
+        let mut map = std::collections::BTreeMap::new();
+        for l in &mut dense {
+            let next = map.len() as u32;
+            *l = *map.entry(*l).or_insert(next);
+        }
+        let dims = Dims::new(6, 6);
+        let p = Partition::from_labels(dims, &dense);
+        let total: usize = (0..p.num_chunks()).map(|c| p.chunk(c).len()).sum();
+        prop_assert_eq!(total, 36);
+        for c in 0..p.num_chunks() {
+            for &site in p.chunk(c) {
+                prop_assert_eq!(p.chunk_of(site), c);
+            }
+        }
+    }
+
+    #[test]
+    fn pndca_step_visits_every_site_once_for_any_model(
+        model in model_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let dims = Dims::square(10);
+        let p = five_coloring(dims);
+        let pndca = Pndca::new(&model, &p).with_selection(ChunkSelection::RandomOrder);
+        let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut rng = rng_from_seed(seed);
+        let mut visits = CountVisits(vec![0; 100]);
+        pndca.step(&mut state, &mut rng, &mut visits);
+        prop_assert!(visits.0.iter().all(|&v| v == 1));
+        prop_assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn pndca_coverage_consistent_after_random_runs(
+        model in model_strategy(),
+        seed in 0u64..1000,
+        steps in 1u64..5,
+    ) {
+        let dims = Dims::square(10);
+        let p = five_coloring(dims);
+        let pndca = Pndca::new(&model, &p);
+        let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut rng = rng_from_seed(seed);
+        pndca.run_steps(&mut state, &mut rng, steps, None, &mut psr_dmc::events::NoHook);
+        prop_assert!(state.coverage.matches(&state.lattice));
+    }
+}

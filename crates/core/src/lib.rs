@@ -1,0 +1,51 @@
+//! PSR — parallel simulation of surface reactions.
+//!
+//! A unified facade over the layered crates reproducing Nedea, Lukkien,
+//! Jansen & Hilbers, *"Methods for Parallel Simulations of Surface
+//! Reactions"* (IPPS 2003):
+//!
+//! - `psr-lattice` — the 2-D periodic lattice substrate;
+//! - `psr-model` — species, reaction types, rates, and the model library
+//!   (ZGB CO oxidation, Kuzovkov Pt(100), diffusion, Ising);
+//! - `psr-dmc` — the Master-Equation algorithms (RSM, VSSM, FRM) and the
+//!   exact ME solver;
+//! - `psr-ca` — the paper's partitioned CA family (NDCA, BCA, PNDCA,
+//!   L-PNDCA, type-partitioned NDCA);
+//! - `psr-parallel` — the threaded chunk executor, machine model, and the
+//!   Segers domain-decomposition baseline;
+//! - `psr-stats` — time series, deviation metrics, oscillation analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use psr_core::prelude::*;
+//!
+//! // ZGB CO oxidation at CO fraction y = 0.45, reacting fast.
+//! let model = zgb_ziff(0.45, 10.0);
+//! let output = Simulator::new(model)
+//!     .dims(Dims::square(50))
+//!     .seed(2003)
+//!     .algorithm(Algorithm::Rsm)
+//!     .sample_dt(0.1)
+//!     .run_until(5.0);
+//! let co = output.series(1); // species id 1 = CO
+//! assert!(co.len() > 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod output;
+pub mod prelude;
+pub mod simulator;
+
+pub use output::SimOutput;
+pub use simulator::{Algorithm, PartitionSpec, Simulator};
+
+// Re-export the layered crates under stable names.
+pub use psr_ca as ca;
+pub use psr_dmc as dmc;
+pub use psr_lattice as lattice;
+pub use psr_model as model;
+pub use psr_parallel as parallel;
+pub use psr_rng as rng;
+pub use psr_stats as stats;

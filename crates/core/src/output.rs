@@ -1,0 +1,84 @@
+//! Simulation output: final state, coverage series, run statistics.
+
+use psr_dmc::recorder::Recorder;
+use psr_dmc::rsm::RunStats;
+use psr_dmc::sim::SimState;
+use psr_stats::TimeSeries;
+
+/// Everything a [`crate::Simulator`] run produces.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    state: SimState,
+    recorder: Recorder,
+    stats: RunStats,
+}
+
+impl SimOutput {
+    /// Bundle the pieces (used by the simulator).
+    pub fn new(state: SimState, recorder: Recorder, stats: RunStats) -> Self {
+        SimOutput {
+            state,
+            recorder,
+            stats,
+        }
+    }
+
+    /// The final simulation state (lattice + coverage + clock).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Trial/event counters.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The sampled coverage series of one species id.
+    pub fn series(&self, species: u8) -> &TimeSeries {
+        self.recorder.series(species)
+    }
+
+    /// Sum of several species' coverage series (e.g. total CO in the
+    /// Kuzovkov model, where CO lives on two phases).
+    pub fn combined_series(&self, species: &[u8]) -> TimeSeries {
+        self.recorder.combined_series(species)
+    }
+
+    /// The recorder with all series.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Final coverage fraction of a species.
+    pub fn final_fraction(&self, species: u8) -> f64 {
+        self.state.coverage.fraction(species)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_lattice::{Coverage, Dims, Lattice};
+    use psr_model::library::zgb::zgb_ziff;
+
+    #[test]
+    fn accessors_expose_the_pieces() {
+        let model = zgb_ziff(0.5, 1.0);
+        let lattice = Lattice::filled(Dims::square(4), 0);
+        let state = SimState::new(lattice, &model);
+        let mut recorder = Recorder::new(3, 1.0);
+        recorder.record(0.0, &Coverage::uniform(16, 3, 0));
+        let out = SimOutput::new(
+            state,
+            recorder,
+            RunStats {
+                trials: 5,
+                executed: 2,
+            },
+        );
+        assert_eq!(out.stats().trials, 5);
+        assert_eq!(out.series(0).len(), 1);
+        assert_eq!(out.final_fraction(0), 1.0);
+        assert_eq!(out.combined_series(&[1, 2]).values(), &[0.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Convenience re-exports for typical use.
+//!
+//! ```
+//! use psr_core::prelude::*;
+//! let out = Simulator::new(zgb_ziff(0.5, 10.0))
+//!     .dims(Dims::square(20))
+//!     .run_until(1.0);
+//! assert!(out.stats().trials > 0);
+//! ```
+
+pub use crate::output::SimOutput;
+pub use crate::simulator::{Algorithm, PartitionSpec, Simulator};
+
+pub use psr_ca::lpndca::{ChunkVisit, LPndca};
+pub use psr_ca::ndca::Ndca;
+pub use psr_ca::partition::Partition;
+pub use psr_ca::partition_builder::{
+    checkerboard, five_coloring, greedy_coloring, single_chunk, singleton_chunks,
+};
+pub use psr_ca::pndca::{ChunkSelection, Pndca};
+pub use psr_ca::tpndca::{axis_type_partition, TPndca};
+pub use psr_dmc::{MasterEquation, RateMeter, Recorder, Rsm, SimState, TimeMode, Vssm, VssmTree};
+pub use psr_lattice::{Coverage, Dims, Lattice, Neighborhood, Offset, Site};
+pub use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams, KUZOVKOV_SPECIES};
+pub use psr_model::library::zgb::{zgb_model, zgb_ziff, ZgbRates, ZGB_SPECIES};
+pub use psr_model::{Model, ModelBuilder, ReactionType, Species, SpeciesSet, Transform};
+pub use psr_parallel::{MachineParams, ParallelPndca, SegersDecomposition, SimulatedMachine};
+pub use psr_rng::{rng_from_seed, SimRng, StreamFactory};
+pub use psr_stats::{
+    detect_peaks, linf_deviation, rms_deviation, OscillationSummary, TimeSeries,
+};

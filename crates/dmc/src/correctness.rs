@@ -1,0 +1,210 @@
+//! Segers' correctness criteria (paper §6).
+//!
+//! An algorithm simulates the Master Equation correctly if only enabled
+//! reactions are performed and:
+//!
+//! 1. the waiting time for a reaction of type `i` is exponentially
+//!    distributed with its rate constant (`exp(−k_i t)`);
+//! 2. reaction types fire in proportion to their rate constants among the
+//!    enabled reactions.
+//!
+//! The probes here instrument any algorithm through the [`EventHook`]
+//! mechanism. Used against a model whose reactions are *always enabled*
+//! (identity transforms), criterion 1 becomes exact: the inter-fire times of
+//! type `i` at a fixed site must be `Exp(k_i)` — e.g. under RSM,
+//! `P(fire/trial) = (1/N)(k_i/K)` and trials arrive at rate `N·K`, giving a
+//! thinned Poisson process of rate `k_i`.
+
+use crate::events::{Event, EventHook};
+use psr_lattice::Site;
+use psr_model::{Model, ModelBuilder};
+use psr_stats::{ks_exponential, KsResult};
+
+/// Records inter-fire waiting times of one `(site, reaction)` pair.
+#[derive(Clone, Debug)]
+pub struct WaitingTimeSampler {
+    site: Site,
+    reaction: usize,
+    last_fire: f64,
+    /// Collected waiting times.
+    pub samples: Vec<f64>,
+}
+
+impl WaitingTimeSampler {
+    /// Track reaction `reaction` at `site`, with the clock starting at 0.
+    pub fn new(site: Site, reaction: usize) -> Self {
+        WaitingTimeSampler {
+            site,
+            reaction,
+            last_fire: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// KS-test the samples against `Exp(rate)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were collected.
+    pub fn ks_against(&self, rate: f64) -> KsResult {
+        ks_exponential(&self.samples, rate)
+    }
+}
+
+impl EventHook for WaitingTimeSampler {
+    fn on_event(&mut self, event: Event) {
+        if event.executed && event.site == self.site && event.reaction == self.reaction {
+            self.samples.push(event.time - self.last_fire);
+            self.last_fire = event.time;
+        }
+    }
+}
+
+/// Counts executed events per reaction type (criterion 2).
+#[derive(Clone, Debug)]
+pub struct TypeFrequencyCounter {
+    /// Executed count per reaction-type index.
+    pub counts: Vec<u64>,
+}
+
+impl TypeFrequencyCounter {
+    /// A counter for `num_reactions` types.
+    pub fn new(num_reactions: usize) -> Self {
+        TypeFrequencyCounter {
+            counts: vec![0; num_reactions],
+        }
+    }
+
+    /// Total executed events.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Empirical frequency of each type.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Largest absolute deviation between the empirical frequencies and the
+    /// rate-proportional expectation `k_i / K`.
+    pub fn max_deviation_from(&self, model: &Model) -> f64 {
+        let k = model.total_rate();
+        self.frequencies()
+            .iter()
+            .zip(model.rate_weights())
+            .map(|(&f, ki)| (f - ki / k).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl EventHook for TypeFrequencyCounter {
+    fn on_event(&mut self, event: Event) {
+        if event.executed {
+            self.counts[event.reaction] += 1;
+        }
+    }
+}
+
+/// Run two hooks side by side.
+#[derive(Debug, Default)]
+pub struct PairHook<A, B>(pub A, pub B);
+
+impl<A: EventHook, B: EventHook> EventHook for PairHook<A, B> {
+    fn on_event(&mut self, event: Event) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// A model whose reaction types never change the lattice (src = tgt = `*`),
+/// so every type is enabled at every site forever — the exact setting of the
+/// waiting-time criterion.
+pub fn always_enabled_model(rates: &[f64]) -> Model {
+    assert!(!rates.is_empty(), "need at least one rate");
+    let mut b = ModelBuilder::new(&["*"]);
+    for (i, &k) in rates.iter().enumerate() {
+        b = b.reaction(format!("touch{i}"), k, |r| {
+            r.site((0, 0), "*", "*");
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsm::Rsm;
+    use crate::sim::SimState;
+    use psr_lattice::{Dims, Lattice};
+    use psr_rng::rng_from_seed;
+
+    #[test]
+    fn rsm_waiting_times_are_exponential() {
+        // Criterion 1: type with k = 2 at a fixed site fires as Exp(2).
+        let model = always_enabled_model(&[2.0, 1.0]);
+        let mut state = SimState::new(Lattice::filled(Dims::new(4, 4), 0), &model);
+        let mut rng = rng_from_seed(42);
+        let rsm = Rsm::new(&model);
+        let mut probe = WaitingTimeSampler::new(Site(5), 0);
+        rsm.run_until(&mut state, &mut rng, 2000.0, None, &mut probe);
+        assert!(probe.samples.len() > 1000, "only {} fires", probe.samples.len());
+        let ks = probe.ks_against(2.0);
+        assert!(
+            ks.accepts(0.01),
+            "KS statistic {} (scaled {}) rejects exponential",
+            ks.statistic,
+            ks.scaled
+        );
+        // The wrong rate must be rejected.
+        assert!(!probe.ks_against(4.0).accepts(0.01));
+    }
+
+    #[test]
+    fn rsm_type_frequencies_match_rates() {
+        // Criterion 2: executed counts ∝ k_i when everything is enabled.
+        let model = always_enabled_model(&[1.0, 2.0, 5.0]);
+        let mut state = SimState::new(Lattice::filled(Dims::new(8, 8), 0), &model);
+        let mut rng = rng_from_seed(17);
+        let rsm = Rsm::new(&model);
+        let mut counter = TypeFrequencyCounter::new(model.num_reactions());
+        rsm.run_mc_steps(&mut state, &mut rng, 200, None, &mut counter);
+        let dev = counter.max_deviation_from(&model);
+        assert!(dev < 0.01, "frequency deviation {dev}");
+        assert_eq!(counter.total(), 200 * 64);
+    }
+
+    #[test]
+    fn pair_hook_feeds_both() {
+        let mut hook = PairHook(
+            TypeFrequencyCounter::new(1),
+            TypeFrequencyCounter::new(1),
+        );
+        hook.on_event(Event {
+            time: 1.0,
+            site: Site(0),
+            reaction: 0,
+            executed: true,
+        });
+        assert_eq!(hook.0.total(), 1);
+        assert_eq!(hook.1.total(), 1);
+    }
+
+    #[test]
+    fn counter_ignores_failed_trials() {
+        let mut counter = TypeFrequencyCounter::new(2);
+        counter.on_event(Event {
+            time: 0.0,
+            site: Site(0),
+            reaction: 1,
+            executed: false,
+        });
+        assert_eq!(counter.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_rates_panic() {
+        always_enabled_model(&[]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Execution hooks: observing individual trials and reactions.
+
+use psr_lattice::Site;
+
+/// One simulation trial (RSM/NDCA) or event (VSSM/FRM).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Simulated time at which the trial/event completed.
+    pub time: f64,
+    /// The site that was selected.
+    pub site: Site,
+    /// Index of the reaction type that was attempted.
+    pub reaction: usize,
+    /// True if the reaction was enabled and executed.
+    pub executed: bool,
+}
+
+/// Observer of individual events.
+///
+/// Implementations must be cheap: the hook is called once per trial in the
+/// inner loop. The [`NoHook`] implementation compiles to nothing.
+pub trait EventHook {
+    /// Called after each trial/event.
+    fn on_event(&mut self, event: Event);
+}
+
+/// The do-nothing hook.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHook;
+
+impl EventHook for NoHook {
+    #[inline]
+    fn on_event(&mut self, _event: Event) {}
+}
+
+/// A hook that retains every event (tests and probes only — unbounded).
+#[derive(Clone, Debug, Default)]
+pub struct CollectHook {
+    /// The recorded events.
+    pub events: Vec<Event>,
+}
+
+impl EventHook for CollectHook {
+    fn on_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+impl<F: FnMut(Event)> EventHook for F {
+    #[inline]
+    fn on_event(&mut self, event: Event) {
+        self(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_hook_retains_events() {
+        let mut hook = CollectHook::default();
+        let e = Event {
+            time: 1.0,
+            site: Site(3),
+            reaction: 2,
+            executed: true,
+        };
+        hook.on_event(e);
+        assert_eq!(hook.events, vec![e]);
+    }
+
+    #[test]
+    fn closures_are_hooks() {
+        let mut count = 0;
+        {
+            let mut hook = |_e: Event| count += 1;
+            hook.on_event(Event {
+                time: 0.0,
+                site: Site(0),
+                reaction: 0,
+                executed: false,
+            });
+        }
+        assert_eq!(count, 1);
+    }
+}

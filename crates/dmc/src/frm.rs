@@ -1,0 +1,338 @@
+//! The First Reaction Method.
+//!
+//! The third classic DMC formulation (Segers taxonomy; Lukkien et al.,
+//! Phys.Rev.E 58, 2598): every enabled reaction `(site, type)` carries a
+//! tentative occurrence time `t + Exp(k)`; the earliest event fires, then
+//! reactions invalidated by the lattice change are removed and newly enabled
+//! ones scheduled. Exponential waiting times are memoryless, so rescheduling
+//! a still-enabled reaction on re-validation does not bias the kinetics.
+//!
+//! The queue uses lazy deletion: a generation counter per `(site, type)`
+//! invalidates stale heap entries when they surface.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::events::{Event, EventHook};
+use crate::recorder::Recorder;
+use crate::rsm::RunStats;
+use crate::sim::SimState;
+use psr_lattice::{Lattice, Site};
+use psr_model::Model;
+use psr_rng::{exponential, SimRng};
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedEvent {
+    time: f64,
+    site: Site,
+    reaction: u32,
+    generation: u64,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the earliest time.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+    }
+}
+
+/// FRM simulator with a lazy-deletion event queue.
+#[derive(Clone, Debug)]
+pub struct Frm<'m> {
+    model: &'m Model,
+    queue: BinaryHeap<QueuedEvent>,
+    /// Generation per (site, reaction); bumping invalidates queued entries.
+    generation: Vec<u64>,
+    /// Whether (site, reaction) currently has a live queue entry.
+    scheduled: Vec<bool>,
+    num_reactions: usize,
+    anchor_offsets: Vec<Vec<psr_lattice::Offset>>,
+}
+
+impl<'m> Frm<'m> {
+    /// Build the event queue by scanning `lattice`; tentative times start
+    /// from `state_time` (usually 0).
+    pub fn new(model: &'m Model, lattice: &Lattice, state_time: f64, rng: &mut SimRng) -> Self {
+        let n = lattice.len();
+        let num_reactions = model.num_reactions();
+        let mut frm = Frm {
+            model,
+            queue: BinaryHeap::new(),
+            generation: vec![0; n * num_reactions],
+            scheduled: vec![false; n * num_reactions],
+            num_reactions,
+            anchor_offsets: model
+                .reactions()
+                .iter()
+                .map(|rt| {
+                    rt.transforms()
+                        .iter()
+                        .map(|t| t.offset.negated())
+                        .collect()
+                })
+                .collect(),
+        };
+        for site in lattice.dims().iter_sites() {
+            for ri in 0..num_reactions {
+                if model.reaction(ri).is_enabled(lattice, site) {
+                    frm.schedule(site, ri, state_time, rng);
+                }
+            }
+        }
+        frm
+    }
+
+    #[inline]
+    fn slot(&self, site: Site, ri: usize) -> usize {
+        site.0 as usize * self.num_reactions + ri
+    }
+
+    fn schedule(&mut self, site: Site, ri: usize, now: f64, rng: &mut SimRng) {
+        let slot = self.slot(site, ri);
+        if self.scheduled[slot] {
+            return;
+        }
+        let rate = self.model.reaction(ri).rate();
+        if rate <= 0.0 {
+            return;
+        }
+        self.scheduled[slot] = true;
+        self.queue.push(QueuedEvent {
+            time: now + exponential(rng, rate),
+            site,
+            reaction: ri as u32,
+            generation: self.generation[slot],
+        });
+    }
+
+    fn unschedule(&mut self, site: Site, ri: usize) {
+        let slot = self.slot(site, ri);
+        if self.scheduled[slot] {
+            self.scheduled[slot] = false;
+            self.generation[slot] += 1;
+        }
+    }
+
+    /// Number of live queue entries (lazy entries excluded).
+    pub fn live_events(&self) -> usize {
+        self.scheduled.iter().filter(|&&s| s).count()
+    }
+
+    /// Execute the earliest event not after `t_end`. Returns `None` when the
+    /// queue runs dry (absorbing state) or the next event is past `t_end`
+    /// (clock clamps to `t_end`).
+    pub fn step_until(
+        &mut self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        changes: &mut Vec<(Site, u8, u8)>,
+        t_end: f64,
+    ) -> Option<Event> {
+        loop {
+            let &top = self.queue.peek()?;
+            let slot = self.slot(top.site, top.reaction as usize);
+            if !self.scheduled[slot] || self.generation[slot] != top.generation {
+                self.queue.pop(); // stale entry
+                continue;
+            }
+            if top.time > t_end {
+                state.time = t_end;
+                return None;
+            }
+            self.queue.pop();
+            self.scheduled[slot] = false;
+            self.generation[slot] += 1;
+
+            let ri = top.reaction as usize;
+            let rt = self.model.reaction(ri);
+            debug_assert!(rt.is_enabled(&state.lattice, top.site));
+            state.time = top.time;
+            changes.clear();
+            rt.execute(&mut state.lattice, top.site, changes);
+            state.apply_changes(changes);
+
+            // Revalidate every (anchor, reaction) whose pattern touches a
+            // changed site.
+            let dims = state.lattice.dims();
+            let now = state.time;
+            let changed_sites: Vec<Site> = changes.iter().map(|&(z, _, _)| z).collect();
+            for z in changed_sites {
+                for rj in 0..self.num_reactions {
+                    for k in 0..self.anchor_offsets[rj].len() {
+                        let anchor = dims.translate(z, self.anchor_offsets[rj][k]);
+                        if self.model.reaction(rj).is_enabled(&state.lattice, anchor) {
+                            self.schedule(anchor, rj, now, rng);
+                        } else {
+                            self.unschedule(anchor, rj);
+                        }
+                    }
+                }
+            }
+            return Some(Event {
+                time: state.time,
+                site: top.site,
+                reaction: ri,
+                executed: true,
+            });
+        }
+    }
+
+    /// Run until `t_end` (or the absorbing state).
+    pub fn run_until(
+        &mut self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        t_end: f64,
+        mut recorder: Option<&mut Recorder>,
+        hook: &mut impl EventHook,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut changes = Vec::with_capacity(4);
+        while state.time < t_end {
+            let Some(event) = self.step_until(state, rng, &mut changes, t_end) else {
+                break;
+            };
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record_until(event.time, &state.coverage);
+            }
+            stats.trials += 1;
+            stats.executed += 1;
+            hook.on_event(event);
+        }
+        if let Some(rec) = recorder {
+            rec.record(t_end, &state.coverage);
+        }
+        stats
+    }
+
+    /// Check the schedule against a fresh lattice scan (tests only).
+    pub fn schedule_is_consistent(&self, lattice: &Lattice) -> bool {
+        for site in lattice.dims().iter_sites() {
+            for ri in 0..self.num_reactions {
+                let enabled = self.model.reaction(ri).is_enabled(lattice, site)
+                    && self.model.reaction(ri).rate() > 0.0;
+                if enabled != self.scheduled[self.slot(site, ri)] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NoHook;
+    use psr_lattice::Dims;
+    use psr_model::library::zgb::zgb_ziff;
+    use psr_model::ModelBuilder;
+    use psr_rng::rng_from_seed;
+
+    fn adsorption(rate: f64) -> Model {
+        ModelBuilder::new(&["*", "A"])
+            .reaction("ads", rate, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .build()
+    }
+
+    #[test]
+    fn initial_schedule_matches_lattice() {
+        let model = adsorption(1.0);
+        let lattice = Lattice::filled(Dims::new(5, 5), 0);
+        let mut rng = rng_from_seed(1);
+        let frm = Frm::new(&model, &lattice, 0.0, &mut rng);
+        assert_eq!(frm.live_events(), 25);
+        assert!(frm.schedule_is_consistent(&lattice));
+    }
+
+    #[test]
+    fn fills_lattice_and_drains_queue() {
+        let model = adsorption(1.0);
+        let lattice = Lattice::filled(Dims::new(4, 4), 0);
+        let mut rng = rng_from_seed(2);
+        let mut state = SimState::new(lattice, &model);
+        let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
+        let stats = frm.run_until(&mut state, &mut rng, 1e9, None, &mut NoHook);
+        assert_eq!(stats.executed, 16);
+        assert_eq!(state.coverage.count(1), 16);
+        assert_eq!(frm.live_events(), 0);
+    }
+
+    #[test]
+    fn event_times_are_nondecreasing() {
+        let model = zgb_ziff(0.5, 3.0);
+        let lattice = Lattice::filled(Dims::new(8, 8), 0);
+        let mut rng = rng_from_seed(3);
+        let mut state = SimState::new(lattice, &model);
+        let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
+        let mut last = 0.0;
+        let mut ordered = true;
+        frm.run_until(&mut state, &mut rng, 1.0, None, &mut |e: Event| {
+            if e.time < last {
+                ordered = false;
+            }
+            last = e.time;
+        });
+        assert!(ordered, "FRM must fire events in time order");
+    }
+
+    #[test]
+    fn schedule_stays_consistent_through_zgb_run() {
+        let model = zgb_ziff(0.4, 2.0);
+        let lattice = Lattice::filled(Dims::new(6, 6), 0);
+        let mut rng = rng_from_seed(4);
+        let mut state = SimState::new(lattice, &model);
+        let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
+        let mut changes = Vec::new();
+        for _ in 0..300 {
+            if frm.step_until(&mut state, &mut rng, &mut changes, f64::INFINITY).is_none() {
+                break;
+            }
+        }
+        assert!(frm.schedule_is_consistent(&state.lattice));
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn langmuir_kinetics_match_analytic() {
+        let model = adsorption(1.0);
+        let lattice = Lattice::filled(Dims::new(80, 80), 0);
+        let mut rng = rng_from_seed(5);
+        let mut state = SimState::new(lattice, &model);
+        let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
+        frm.run_until(&mut state, &mut rng, 1.0, None, &mut NoHook);
+        let theta = state.coverage.fraction(1);
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!(
+            (theta - expected).abs() < 0.02,
+            "FRM coverage {theta} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn stop_time_respected() {
+        let model = adsorption(0.001); // slow: most events past t_end
+        let lattice = Lattice::filled(Dims::new(4, 4), 0);
+        let mut rng = rng_from_seed(6);
+        let mut state = SimState::new(lattice, &model);
+        let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
+        frm.run_until(&mut state, &mut rng, 0.5, None, &mut NoHook);
+        assert!((state.time - 0.5).abs() < 1e-12 || state.time < 0.5);
+    }
+}

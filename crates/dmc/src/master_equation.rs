@@ -1,0 +1,299 @@
+//! Exact Master Equation integration for tiny lattices.
+//!
+//! The stochastic model is defined by the Master Equation (paper Eq. 1):
+//!
+//! ```text
+//! dP(S,t)/dt = Σ_S' [ k_{SS'} P(S',t) − k_{S'S} P(S,t) ]
+//! ```
+//!
+//! For a lattice of `N` sites over `|D|` species the state space has
+//! `|D|^N` configurations — intractable in general, but exactly enumerable
+//! for the tiny lattices used in correctness tests. This module builds the
+//! full generator and integrates it with classic RK4, yielding ground-truth
+//! coverage curves that the stochastic algorithms (RSM/VSSM/FRM and the CA
+//! family) are validated against.
+
+use psr_lattice::{Dims, Lattice};
+use psr_model::Model;
+use psr_stats::TimeSeries;
+
+/// Hard cap on the enumerated state space.
+const MAX_STATES: usize = 1 << 20;
+
+/// The exact Master Equation for a model on a tiny lattice.
+#[derive(Clone, Debug)]
+pub struct MasterEquation {
+    dims: Dims,
+    num_species: usize,
+    num_states: usize,
+    /// COO transition list `(from, to, rate)`.
+    transitions: Vec<(u32, u32, f64)>,
+    /// Probability vector, indexed by encoded configuration.
+    prob: Vec<f64>,
+    time: f64,
+}
+
+impl MasterEquation {
+    /// Enumerate the state space of `model` on `dims` and start from the
+    /// point distribution at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|D|^N` exceeds the internal cap (about 10⁶ states), or if
+    /// the initial lattice has mismatched dimensions.
+    pub fn new(model: &Model, initial: &Lattice) -> Self {
+        let dims = initial.dims();
+        let n = dims.sites() as usize;
+        let num_species = model.species().len();
+        let num_states = (num_species as f64).powi(n as i32);
+        assert!(
+            num_states <= MAX_STATES as f64,
+            "state space {num_states} exceeds the exact-solver cap ({MAX_STATES})"
+        );
+        let num_states = num_states as usize;
+
+        // Enumerate transitions.
+        let mut transitions = Vec::new();
+        let mut scratch = Lattice::filled(dims, 0);
+        for from in 0..num_states {
+            decode(from, num_species, &mut scratch);
+            for site in dims.iter_sites() {
+                for rt in model.reactions() {
+                    if rt.rate() > 0.0 && rt.is_enabled(&scratch, site) {
+                        let mut succ = scratch.clone();
+                        let mut changes = Vec::new();
+                        rt.execute(&mut succ, site, &mut changes);
+                        let to = encode(&succ, num_species);
+                        transitions.push((from as u32, to as u32, rt.rate()));
+                    }
+                }
+            }
+        }
+
+        let mut prob = vec![0.0; num_states];
+        prob[encode(initial, num_species)] = 1.0;
+        MasterEquation {
+            dims,
+            num_species,
+            num_states,
+            transitions,
+            prob,
+            time: 0.0,
+        }
+    }
+
+    /// Number of enumerated configurations.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of non-zero transition rates.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Current integration time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.prob
+    }
+
+    fn derivative(&self, p: &[f64], dp: &mut [f64]) {
+        dp.fill(0.0);
+        for &(from, to, rate) in &self.transitions {
+            let flow = rate * p[from as usize];
+            dp[from as usize] -= flow;
+            dp[to as usize] += flow;
+        }
+    }
+
+    /// Advance the distribution by `dt` using one RK4 step.
+    pub fn rk4_step(&mut self, dt: f64) {
+        let n = self.num_states;
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        self.derivative(&self.prob, &mut k1);
+        for i in 0..n {
+            tmp[i] = self.prob[i] + 0.5 * dt * k1[i];
+        }
+        self.derivative(&tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = self.prob[i] + 0.5 * dt * k2[i];
+        }
+        self.derivative(&tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = self.prob[i] + dt * k3[i];
+        }
+        self.derivative(&tmp, &mut k4);
+        for i in 0..n {
+            self.prob[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        self.time += dt;
+    }
+
+    /// Integrate to `t_end` with steps of at most `dt`, sampling the
+    /// expected coverage of `species` every `sample_dt` into a time series.
+    pub fn integrate(
+        &mut self,
+        t_end: f64,
+        dt: f64,
+        sample_dt: f64,
+        species: u8,
+    ) -> TimeSeries {
+        assert!(dt > 0.0 && sample_dt > 0.0, "steps must be positive");
+        let mut series = TimeSeries::new();
+        let mut next_sample = self.time;
+        while self.time < t_end - 1e-12 {
+            if self.time >= next_sample - 1e-12 {
+                series.push(next_sample, self.expected_coverage(species));
+                next_sample += sample_dt;
+            }
+            let step = dt.min(t_end - self.time);
+            self.rk4_step(step);
+        }
+        series.push(self.time, self.expected_coverage(species));
+        series
+    }
+
+    /// Expected coverage `E[fraction of sites in `species`]`.
+    pub fn expected_coverage(&self, species: u8) -> f64 {
+        let n = self.dims.sites() as usize;
+        let mut scratch = Lattice::filled(self.dims, 0);
+        let mut acc = 0.0;
+        for (state, &p) in self.prob.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            decode(state, self.num_species, &mut scratch);
+            acc += p * scratch.count(species) as f64 / n as f64;
+        }
+        acc
+    }
+
+    /// Total probability (should stay 1 up to integration error).
+    pub fn total_probability(&self) -> f64 {
+        self.prob.iter().sum()
+    }
+}
+
+/// Encode a configuration as a mixed-radix integer.
+fn encode(lattice: &Lattice, num_species: usize) -> usize {
+    let mut acc = 0usize;
+    for &c in lattice.cells().iter().rev() {
+        acc = acc * num_species + c as usize;
+    }
+    acc
+}
+
+/// Decode a mixed-radix integer into `out`.
+fn decode(mut state: usize, num_species: usize, out: &mut Lattice) {
+    for i in 0..out.len() {
+        out.cells_mut()[i] = (state % num_species) as u8;
+        state /= num_species;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_model::ModelBuilder;
+
+    fn adsorption(rate: f64) -> Model {
+        ModelBuilder::new(&["*", "A"])
+            .reaction("ads", rate, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .build()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dims = Dims::new(3, 2);
+        let mut l = Lattice::filled(dims, 0);
+        for state in [0usize, 1, 5, 63, 100, 728] {
+            decode(state, 3, &mut l);
+            assert_eq!(encode(&l, 3), state);
+        }
+    }
+
+    #[test]
+    fn langmuir_adsorption_exact() {
+        // Single-site adsorption: E[θ](t) = 1 − e^(−kt), exactly.
+        let model = adsorption(2.0);
+        let initial = Lattice::filled(Dims::new(2, 2), 0);
+        let mut me = MasterEquation::new(&model, &initial);
+        assert_eq!(me.num_states(), 16);
+        for _ in 0..20 {
+            me.rk4_step(0.01);
+        }
+        let expected = 1.0 - (-2.0 * 0.2f64).exp();
+        assert!(
+            (me.expected_coverage(1) - expected).abs() < 1e-8,
+            "got {}, want {expected}",
+            me.expected_coverage(1)
+        );
+        assert!((me.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_reaction_conserves_probability() {
+        let model = ModelBuilder::new(&["*", "A"])
+            .reaction("ads", 1.0, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .reaction_rotations("pair des", 0.7, 2, |r| {
+                r.site((0, 0), "A", "*").site((1, 0), "A", "*");
+            })
+            .build();
+        let initial = Lattice::filled(Dims::new(2, 2), 0);
+        let mut me = MasterEquation::new(&model, &initial);
+        for _ in 0..50 {
+            me.rk4_step(0.02);
+        }
+        assert!((me.total_probability() - 1.0).abs() < 1e-8);
+        let theta = me.expected_coverage(1);
+        assert!(theta > 0.0 && theta < 1.0);
+    }
+
+    #[test]
+    fn integrate_produces_monotone_adsorption_curve() {
+        let model = adsorption(1.0);
+        let initial = Lattice::filled(Dims::new(2, 2), 0);
+        let mut me = MasterEquation::new(&model, &initial);
+        let series = me.integrate(1.0, 0.01, 0.25, 1);
+        assert!(series.len() >= 4);
+        for w in series.values().windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "coverage must be non-decreasing");
+        }
+        let last = *series.values().last().expect("non-empty");
+        assert!((last - (1.0 - (-1.0f64).exp())).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the exact-solver cap")]
+    fn oversized_state_space_panics() {
+        let model = adsorption(1.0);
+        let initial = Lattice::filled(Dims::new(30, 30), 0);
+        MasterEquation::new(&model, &initial);
+    }
+
+    #[test]
+    fn transition_count_matches_combinatorics() {
+        // 2x1 lattice (with periodic wrap, sites see each other twice),
+        // adsorption only: transitions = #(vacant sites) summed over states.
+        // States: 4 (empty, A_, _A, AA) → 2 + 1 + 1 + 0 = 4.
+        let model = adsorption(1.0);
+        let initial = Lattice::filled(Dims::new(2, 1), 0);
+        let me = MasterEquation::new(&model, &initial);
+        assert_eq!(me.num_states(), 4);
+        assert_eq!(me.num_transitions(), 4);
+    }
+}

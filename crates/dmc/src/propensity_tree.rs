@@ -1,0 +1,203 @@
+//! A segment tree over reaction propensities: O(log n) sampling and update.
+//!
+//! The plain [`crate::Vssm`] keeps one site list per reaction *type* and
+//! scans the types linearly per event — ideal when `|T|` is small and all
+//! instances of a type share one rate. The classic alternative from the KMC
+//! literature (and the Segers taxonomy's tree-selection methods) indexes
+//! the propensity of every `(site, reaction)` pair in a binary tree, giving
+//! logarithmic selection regardless of how rates are structured. This is
+//! the backing store for [`crate::vssm_tree::VssmTree`] and is benchmarked
+//! against the linear scan in `ablation_sampling`.
+
+use psr_rng::SimRng;
+
+/// A fixed-capacity segment tree over non-negative weights.
+#[derive(Clone, Debug)]
+pub struct PropensityTree {
+    /// Number of leaves (padded to a power of two).
+    leaves: usize,
+    /// Heap-layout tree: `tree[1]` is the root; leaf `i` lives at
+    /// `leaves + i`.
+    tree: Vec<f64>,
+}
+
+impl PropensityTree {
+    /// A tree for `n` weights, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tree needs at least one slot");
+        let leaves = n.next_power_of_two();
+        PropensityTree {
+            leaves,
+            tree: vec![0.0; 2 * leaves],
+        }
+    }
+
+    /// Number of addressable slots.
+    pub fn capacity(&self) -> usize {
+        self.leaves
+    }
+
+    /// Total weight (the root).
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Current weight of slot `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.tree[self.leaves + i]
+    }
+
+    /// Set slot `i` to `weight`, updating ancestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `weight` is negative/non-finite.
+    pub fn set(&mut self, i: usize, weight: f64) {
+        assert!(i < self.leaves, "slot {i} out of range");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be finite and >= 0, got {weight}"
+        );
+        let mut node = self.leaves + i;
+        self.tree[node] = weight;
+        node /= 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    /// Sample a slot with probability proportional to its weight.
+    ///
+    /// Returns `None` when the total weight is zero.
+    pub fn sample(&self, rng: &mut SimRng) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut x = rng.f64() * total;
+        let mut node = 1usize;
+        while node < self.leaves {
+            let left = self.tree[2 * node];
+            if x < left {
+                node *= 2;
+            } else {
+                x -= left;
+                node = 2 * node + 1;
+            }
+        }
+        let slot = node - self.leaves;
+        // Float drift can land on a zero-weight leaf; walk to a non-zero
+        // neighbor (total > 0 guarantees one exists).
+        if self.tree[node] <= 0.0 {
+            return (0..self.leaves).find(|&i| self.tree[self.leaves + i] > 0.0);
+        }
+        Some(slot)
+    }
+
+    /// Recompute all internal nodes from the leaves (O(n); used after bulk
+    /// leaf writes and by consistency tests).
+    pub fn rebuild(&mut self) {
+        for node in (1..self.leaves).rev() {
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+        }
+    }
+
+    /// True if internal nodes equal the sum of their children (within
+    /// tolerance); test helper.
+    pub fn is_consistent(&self) -> bool {
+        for node in 1..self.leaves {
+            let sum = self.tree[2 * node] + self.tree[2 * node + 1];
+            if (self.tree[node] - sum).abs() > 1e-9 * (1.0 + sum.abs()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_rng::rng_from_seed;
+
+    #[test]
+    fn set_and_total() {
+        let mut t = PropensityTree::new(5);
+        t.set(0, 1.0);
+        t.set(3, 2.5);
+        assert!((t.total() - 3.5).abs() < 1e-12);
+        assert_eq!(t.get(0), 1.0);
+        assert_eq!(t.get(1), 0.0);
+        t.set(0, 0.0);
+        assert!((t.total() - 2.5).abs() < 1e-12);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mut t = PropensityTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 0.0);
+        t.set(3, 7.0);
+        let mut rng = rng_from_seed(5);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng).expect("non-zero total")] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[0] as f64 / draws as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / draws as f64 - 0.2).abs() < 0.01);
+        assert!((counts[3] as f64 / draws as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_tree_samples_none() {
+        let t = PropensityTree::new(8);
+        let mut rng = rng_from_seed(1);
+        assert_eq!(t.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_padded() {
+        let t = PropensityTree::new(5);
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn rebuild_after_bulk_writes() {
+        let mut t = PropensityTree::new(16);
+        for i in 0..16 {
+            // Write leaves directly through set (ancestors updated), then
+            // scramble one internal node and fix it with rebuild.
+            t.set(i, i as f64);
+        }
+        let total = t.total();
+        t.tree[1] = -1.0;
+        assert!(!t.is_consistent());
+        t.rebuild();
+        assert!(t.is_consistent());
+        assert!((t.total() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        PropensityTree::new(4).set(4, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        PropensityTree::new(4).set(0, -1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Windowed reaction-rate measurement (turnover frequencies).
+//!
+//! The natural activity observable for catalysis models is the *production
+//! rate*: executed events of a reaction group per site per unit time. For
+//! ZGB this is the CO₂ turnover frequency — the quantity that vanishes in
+//! both poisoned phases and peaks inside the reactive window. The
+//! [`RateMeter`] hook buckets executed events into fixed time windows and
+//! exposes per-group rate time series.
+
+use crate::events::{Event, EventHook};
+use psr_stats::TimeSeries;
+
+/// Buckets executed events of selected reaction groups into time windows.
+#[derive(Clone, Debug)]
+pub struct RateMeter {
+    window: f64,
+    num_sites: f64,
+    /// Reaction index → group index (or usize::MAX for untracked).
+    group_of: Vec<usize>,
+    /// Per group: completed windows' counts.
+    completed: Vec<Vec<u64>>,
+    /// Per group: count in the currently open window.
+    open: Vec<u64>,
+    /// Index of the currently open window.
+    open_window: u64,
+}
+
+impl RateMeter {
+    /// Track `groups` of reaction indices (e.g. the four CO+O orientation
+    /// versions as one group) over windows of `window` time units on a
+    /// lattice of `num_sites` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window <= 0`, `num_sites == 0` or a reaction index
+    /// appears in two groups.
+    pub fn new(num_reactions: usize, num_sites: usize, window: f64, groups: &[&[usize]]) -> Self {
+        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(num_sites > 0, "need at least one site");
+        let mut group_of = vec![usize::MAX; num_reactions];
+        for (gi, group) in groups.iter().enumerate() {
+            for &ri in *group {
+                assert!(ri < num_reactions, "reaction index {ri} out of range");
+                assert_eq!(
+                    group_of[ri],
+                    usize::MAX,
+                    "reaction {ri} assigned to two groups"
+                );
+                group_of[ri] = gi;
+            }
+        }
+        RateMeter {
+            window,
+            num_sites: num_sites as f64,
+            group_of,
+            completed: vec![Vec::new(); groups.len()],
+            open: vec![0; groups.len()],
+            open_window: 0,
+        }
+    }
+
+    fn roll_to(&mut self, window_index: u64) {
+        while self.open_window < window_index {
+            for (gi, count) in self.open.iter_mut().enumerate() {
+                self.completed[gi].push(*count);
+                *count = 0;
+            }
+            self.open_window += 1;
+        }
+    }
+
+    /// Number of completed windows.
+    pub fn windows_completed(&self) -> usize {
+        self.completed.first().map_or(0, Vec::len)
+    }
+
+    /// Rate series of group `gi`: events / site / time, one sample per
+    /// completed window (timestamped at the window centre).
+    pub fn rate_series(&self, gi: usize) -> TimeSeries {
+        let mut series = TimeSeries::new();
+        for (w, &count) in self.completed[gi].iter().enumerate() {
+            let t = (w as f64 + 0.5) * self.window;
+            series.push(t, count as f64 / (self.num_sites * self.window));
+        }
+        series
+    }
+
+    /// Mean rate of group `gi` over all completed windows.
+    pub fn mean_rate(&self, gi: usize) -> f64 {
+        let windows = self.completed[gi].len();
+        if windows == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.completed[gi].iter().sum();
+        total as f64 / (self.num_sites * self.window * windows as f64)
+    }
+}
+
+impl EventHook for RateMeter {
+    fn on_event(&mut self, event: Event) {
+        let window_index = (event.time / self.window) as u64;
+        self.roll_to(window_index);
+        if event.executed {
+            let gi = self.group_of[event.reaction];
+            if gi != usize::MAX {
+                self.open[gi] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_lattice::Site;
+
+    fn event(time: f64, reaction: usize, executed: bool) -> Event {
+        Event {
+            time,
+            site: Site(0),
+            reaction,
+            executed,
+        }
+    }
+
+    #[test]
+    fn windows_roll_and_rates_computed() {
+        // 10 sites, window 1.0, group {0}.
+        let mut meter = RateMeter::new(2, 10, 1.0, &[&[0]]);
+        meter.on_event(event(0.2, 0, true));
+        meter.on_event(event(0.7, 0, true));
+        meter.on_event(event(1.3, 0, true)); // rolls window 0
+        meter.on_event(event(2.1, 1, true)); // untracked type; rolls window 1
+        assert_eq!(meter.windows_completed(), 2);
+        let series = meter.rate_series(0);
+        // Window 0: 2 events / (10 sites · 1.0) = 0.2; window 1: 0.1.
+        assert_eq!(series.values(), &[0.2, 0.1]);
+        assert_eq!(series.times(), &[0.5, 1.5]);
+        assert!((meter.mean_rate(0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_trials_do_not_count() {
+        let mut meter = RateMeter::new(1, 4, 1.0, &[&[0]]);
+        meter.on_event(event(0.5, 0, false));
+        meter.on_event(event(1.5, 0, true));
+        meter.on_event(event(2.5, 0, true));
+        assert_eq!(meter.rate_series(0).values(), &[0.0, 0.25]);
+    }
+
+    #[test]
+    fn multiple_groups_tracked_independently() {
+        let mut meter = RateMeter::new(3, 2, 2.0, &[&[0, 1], &[2]]);
+        meter.on_event(event(0.1, 0, true));
+        meter.on_event(event(0.2, 1, true));
+        meter.on_event(event(0.3, 2, true));
+        meter.on_event(event(2.5, 2, true));
+        assert_eq!(meter.windows_completed(), 1);
+        assert_eq!(meter.rate_series(0).values(), &[0.5]); // 2/(2·2)
+        assert_eq!(meter.rate_series(1).values(), &[0.25]); // 1/(2·2)
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let meter = RateMeter::new(1, 1, 1.0, &[&[0]]);
+        assert_eq!(meter.mean_rate(0), 0.0);
+        assert!(meter.rate_series(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn duplicate_group_membership_panics() {
+        RateMeter::new(2, 1, 1.0, &[&[0], &[0]]);
+    }
+}

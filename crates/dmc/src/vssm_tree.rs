@@ -1,0 +1,252 @@
+//! VSSM over a segment-tree propensity index.
+//!
+//! Functionally identical kinetics to [`crate::Vssm`] (both are exact
+//! Master-Equation samplers); the difference is the data structure. Here
+//! every `(site, reaction)` pair owns a leaf in a [`PropensityTree`], so
+//! selection is a single O(log(N·|T|)) descent with no per-type scan. This
+//! is the method of choice when reaction types are many or their rates
+//! vary per instance, and it is the shape used by production KMC codes.
+
+use crate::events::{Event, EventHook};
+use crate::propensity_tree::PropensityTree;
+use crate::recorder::Recorder;
+use crate::rsm::RunStats;
+use crate::sim::SimState;
+use psr_lattice::{Lattice, Site};
+use psr_model::Model;
+use psr_rng::{exponential, SimRng};
+
+/// Tree-indexed VSSM simulator.
+#[derive(Clone, Debug)]
+pub struct VssmTree<'m> {
+    model: &'m Model,
+    tree: PropensityTree,
+    num_reactions: usize,
+    anchor_offsets: Vec<Vec<psr_lattice::Offset>>,
+}
+
+impl<'m> VssmTree<'m> {
+    /// Build the propensity index by scanning `lattice`.
+    pub fn new(model: &'m Model, lattice: &Lattice) -> Self {
+        let n = lattice.len();
+        let num_reactions = model.num_reactions();
+        let mut tree = PropensityTree::new(n * num_reactions);
+        for site in lattice.dims().iter_sites() {
+            for (ri, rt) in model.reactions().iter().enumerate() {
+                if rt.is_enabled(lattice, site) {
+                    tree.set(site.0 as usize * num_reactions + ri, rt.rate());
+                }
+            }
+        }
+        VssmTree {
+            model,
+            tree,
+            num_reactions,
+            anchor_offsets: model
+                .reactions()
+                .iter()
+                .map(|rt| {
+                    rt.transforms()
+                        .iter()
+                        .map(|t| t.offset.negated())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Summed rate of all enabled reactions.
+    pub fn total_propensity(&self) -> f64 {
+        self.tree.total()
+    }
+
+    fn refresh_around(&mut self, lattice: &Lattice, changed_site: Site) {
+        let dims = lattice.dims();
+        for ri in 0..self.num_reactions {
+            let rt = self.model.reaction(ri);
+            for k in 0..self.anchor_offsets[ri].len() {
+                let anchor = dims.translate(changed_site, self.anchor_offsets[ri][k]);
+                let slot = anchor.0 as usize * self.num_reactions + ri;
+                let weight = if rt.is_enabled(lattice, anchor) {
+                    rt.rate()
+                } else {
+                    0.0
+                };
+                self.tree.set(slot, weight);
+            }
+        }
+    }
+
+    /// Execute one event, refusing to pass `t_end` (clock clamps there).
+    pub fn step_until(
+        &mut self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        changes: &mut Vec<(Site, u8, u8)>,
+        t_end: f64,
+    ) -> Option<Event> {
+        let total = self.tree.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let dt = exponential(rng, total);
+        if state.time + dt > t_end {
+            state.time = t_end;
+            return None;
+        }
+        let slot = self.tree.sample(rng)?;
+        let site = Site((slot / self.num_reactions) as u32);
+        let ri = slot % self.num_reactions;
+        state.time += dt;
+        changes.clear();
+        let rt = self.model.reaction(ri);
+        debug_assert!(rt.is_enabled(&state.lattice, site));
+        rt.execute(&mut state.lattice, site, changes);
+        state.apply_changes(changes);
+        let changed: Vec<Site> = changes.iter().map(|&(z, _, _)| z).collect();
+        for z in changed {
+            self.refresh_around(&state.lattice, z);
+        }
+        Some(Event {
+            time: state.time,
+            site,
+            reaction: ri,
+            executed: true,
+        })
+    }
+
+    /// Run until `t_end` (or the absorbing state).
+    pub fn run_until(
+        &mut self,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        t_end: f64,
+        mut recorder: Option<&mut Recorder>,
+        hook: &mut impl EventHook,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut changes = Vec::with_capacity(4);
+        while state.time < t_end {
+            let Some(event) = self.step_until(state, rng, &mut changes, t_end) else {
+                break;
+            };
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record_until(event.time, &state.coverage);
+            }
+            stats.trials += 1;
+            stats.executed += 1;
+            hook.on_event(event);
+        }
+        if let Some(rec) = recorder {
+            rec.record(t_end, &state.coverage);
+        }
+        stats
+    }
+
+    /// Rebuild-from-scratch comparison (tests only).
+    pub fn index_is_consistent(&self, lattice: &Lattice) -> bool {
+        if !self.tree.is_consistent() {
+            return false;
+        }
+        for site in lattice.dims().iter_sites() {
+            for (ri, rt) in self.model.reactions().iter().enumerate() {
+                let slot = site.0 as usize * self.num_reactions + ri;
+                let expected = if rt.is_enabled(lattice, site) {
+                    rt.rate()
+                } else {
+                    0.0
+                };
+                if (self.tree.get(slot) - expected).abs() > 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NoHook;
+    use crate::vssm::Vssm;
+    use psr_lattice::Dims;
+    use psr_model::library::zgb::zgb_ziff;
+    use psr_model::ModelBuilder;
+    use psr_rng::rng_from_seed;
+
+    #[test]
+    fn initial_index_matches_scan() {
+        let model = zgb_ziff(0.5, 2.0);
+        let lattice = Lattice::filled(Dims::new(8, 8), 0);
+        let vt = VssmTree::new(&model, &lattice);
+        assert!(vt.index_is_consistent(&lattice));
+        // Empty ZGB surface: CO ads everywhere (64·0.5) + O2 both
+        // orientations everywhere (64·2·0.25).
+        let expected = 64.0 * 0.5 + 64.0 * 2.0 * 0.25;
+        assert!((vt.total_propensity() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_propensity_tracks_plain_vssm() {
+        let model = zgb_ziff(0.45, 3.0);
+        let lattice = Lattice::filled(Dims::new(8, 8), 0);
+        let mut state = SimState::new(lattice, &model);
+        let mut vt = VssmTree::new(&model, &state.lattice);
+        let mut rng = rng_from_seed(4);
+        let mut changes = Vec::new();
+        for i in 0..400 {
+            if vt
+                .step_until(&mut state, &mut rng, &mut changes, f64::INFINITY)
+                .is_none()
+            {
+                break;
+            }
+            if i % 100 == 0 {
+                let reference = Vssm::new(&model, &state.lattice);
+                assert!(
+                    (vt.total_propensity() - reference.total_propensity()).abs() < 1e-6,
+                    "propensity diverged at event {i}"
+                );
+            }
+        }
+        assert!(vt.index_is_consistent(&state.lattice));
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn langmuir_kinetics_match_analytic() {
+        let model = ModelBuilder::new(&["*", "A"])
+            .reaction("ads", 1.0, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .build();
+        let lattice = Lattice::filled(Dims::new(80, 80), 0);
+        let mut state = SimState::new(lattice, &model);
+        let mut vt = VssmTree::new(&model, &state.lattice);
+        let mut rng = rng_from_seed(9);
+        vt.run_until(&mut state, &mut rng, 1.0, None, &mut NoHook);
+        let theta = state.coverage.fraction(1);
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!(
+            (theta - expected).abs() < 0.02,
+            "tree-VSSM coverage {theta} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn absorbing_state_terminates() {
+        let model = ModelBuilder::new(&["*", "A"])
+            .reaction("ads", 1.0, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .build();
+        let lattice = Lattice::filled(Dims::new(4, 4), 0);
+        let mut state = SimState::new(lattice, &model);
+        let mut vt = VssmTree::new(&model, &state.lattice);
+        let mut rng = rng_from_seed(2);
+        let stats = vt.run_until(&mut state, &mut rng, 1e9, None, &mut NoHook);
+        assert_eq!(stats.executed, 16);
+        assert_eq!(vt.total_propensity(), 0.0);
+    }
+}

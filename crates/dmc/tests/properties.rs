@@ -1,0 +1,156 @@
+//! Property-based tests for the DMC algorithms' bookkeeping invariants.
+
+use proptest::prelude::*;
+use psr_dmc::events::NoHook;
+use psr_dmc::frm::Frm;
+use psr_dmc::master_equation::MasterEquation;
+use psr_dmc::rsm::Rsm;
+use psr_dmc::sim::SimState;
+use psr_dmc::vssm::Vssm;
+use psr_lattice::{Dims, Lattice};
+use psr_model::{Model, ModelBuilder};
+use psr_rng::rng_from_seed;
+
+/// A random model over 3 species with single-site or axis-pair patterns.
+fn model_strategy() -> impl Strategy<Value = Model> {
+    prop::collection::vec(
+        (
+            prop::bool::ANY,
+            0u32..4,
+            (0u8..3, 0u8..3, 0u8..3, 0u8..3),
+            0.05f64..5.0,
+        ),
+        1..5,
+    )
+    .prop_map(|specs| {
+        let names = ["*", "A", "B"];
+        let mut b = ModelBuilder::new(&names);
+        for (i, (pair, orient, (s0, t0, s1, t1), rate)) in specs.into_iter().enumerate() {
+            b = b.reaction(format!("r{i}"), rate, |r| {
+                r.site((0, 0), names[s0 as usize], names[t0 as usize]);
+                if pair {
+                    let off = match orient {
+                        0 => (1, 0),
+                        1 => (0, 1),
+                        2 => (-1, 0),
+                        _ => (0, -1),
+                    };
+                    r.site(off, names[s1 as usize], names[t1 as usize]);
+                }
+            });
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vssm_index_consistent_after_random_runs(
+        model in model_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let dims = Dims::new(6, 6);
+        let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut vssm = Vssm::new(&model, &state.lattice);
+        let mut rng = rng_from_seed(seed);
+        let mut changes = Vec::new();
+        for _ in 0..200 {
+            if vssm.step(&mut state, &mut rng, &mut changes).is_none() {
+                break;
+            }
+        }
+        prop_assert!(vssm.index_is_consistent(&state.lattice));
+        prop_assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn frm_schedule_consistent_after_random_runs(
+        model in model_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let dims = Dims::new(5, 5);
+        let mut rng = rng_from_seed(seed);
+        let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
+        let mut changes = Vec::new();
+        for _ in 0..200 {
+            if frm
+                .step_until(&mut state, &mut rng, &mut changes, f64::INFINITY)
+                .is_none()
+            {
+                break;
+            }
+        }
+        prop_assert!(frm.schedule_is_consistent(&state.lattice));
+        prop_assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn rsm_time_is_monotone_and_coverage_consistent(
+        model in model_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let dims = Dims::new(6, 6);
+        let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut rng = rng_from_seed(seed);
+        let rsm = Rsm::new(&model);
+        let mut last_time = 0.0;
+        let mut ordered = true;
+        rsm.run_mc_steps(&mut state, &mut rng, 5, None, &mut |e: psr_dmc::events::Event| {
+            if e.time < last_time {
+                ordered = false;
+            }
+            last_time = e.time;
+        });
+        prop_assert!(ordered, "event times went backwards");
+        prop_assert!(state.coverage.matches(&state.lattice));
+        prop_assert!(state.time > 0.0);
+    }
+
+    #[test]
+    fn master_equation_conserves_probability(
+        model in model_strategy(),
+        steps in 1u32..20,
+    ) {
+        let dims = Dims::new(2, 2);
+        let initial = Lattice::filled(dims, 0);
+        let mut me = MasterEquation::new(&model, &initial);
+        for _ in 0..steps {
+            me.rk4_step(0.01);
+        }
+        prop_assert!((me.total_probability() - 1.0).abs() < 1e-6);
+        // Expected coverages stay inside [0, 1].
+        for s in 0..3u8 {
+            let c = me.expected_coverage(s);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c), "coverage {c}");
+        }
+    }
+
+    #[test]
+    fn rsm_and_vssm_agree_on_final_mean_coverage(
+        seed in 0u64..500,
+    ) {
+        // Fixed simple model (adsorption + desorption): both algorithms
+        // must produce statistically identical equilibrium coverage
+        // k_ads/(k_ads+k_des) = 2/3 on average.
+        let model = ModelBuilder::new(&["*", "A"])
+            .reaction("ads", 2.0, |r| { r.site((0, 0), "*", "A"); })
+            .reaction("des", 1.0, |r| { r.site((0, 0), "A", "*"); })
+            .build();
+        let dims = Dims::new(12, 12);
+        let mut s1 = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut r1 = rng_from_seed(seed);
+        Rsm::new(&model).run_until(&mut s1, &mut r1, 20.0, None, &mut NoHook);
+
+        let mut s2 = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut vssm = Vssm::new(&model, &s2.lattice);
+        let mut r2 = rng_from_seed(seed + 1);
+        vssm.run_until(&mut s2, &mut r2, 20.0, None, &mut NoHook);
+
+        let eq = 2.0 / 3.0;
+        prop_assert!((s1.coverage.fraction(1) - eq).abs() < 0.15);
+        prop_assert!((s2.coverage.fraction(1) - eq).abs() < 0.15);
+    }
+}

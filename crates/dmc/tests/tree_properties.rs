@@ -1,0 +1,78 @@
+//! Property-based tests for the propensity tree and tree-VSSM.
+
+use proptest::prelude::*;
+use psr_dmc::propensity_tree::PropensityTree;
+use psr_rng::rng_from_seed;
+
+proptest! {
+    #[test]
+    fn total_is_sum_of_weights(
+        weights in prop::collection::vec(0.0f64..10.0, 1..60),
+    ) {
+        let mut tree = PropensityTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            tree.set(i, w);
+        }
+        let expected: f64 = weights.iter().sum();
+        prop_assert!((tree.total() - expected).abs() < 1e-9 * (1.0 + expected));
+        prop_assert!(tree.is_consistent());
+    }
+
+    #[test]
+    fn overwrites_keep_consistency(
+        ops in prop::collection::vec((0usize..32, 0.0f64..5.0), 1..200),
+    ) {
+        let mut tree = PropensityTree::new(32);
+        let mut reference = vec![0.0f64; 32];
+        for (i, w) in ops {
+            tree.set(i, w);
+            reference[i] = w;
+        }
+        let expected: f64 = reference.iter().sum();
+        prop_assert!((tree.total() - expected).abs() < 1e-9 * (1.0 + expected));
+        for (i, &w) in reference.iter().enumerate() {
+            prop_assert_eq!(tree.get(i), w);
+        }
+        prop_assert!(tree.is_consistent());
+    }
+
+    #[test]
+    fn sampling_only_returns_positive_weight_slots(
+        weights in prop::collection::vec(0.0f64..3.0, 2..40),
+        seed in 0u64..1000,
+    ) {
+        let mut tree = PropensityTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            tree.set(i, w);
+        }
+        let mut rng = rng_from_seed(seed);
+        if tree.total() > 0.0 {
+            for _ in 0..50 {
+                let slot = tree.sample(&mut rng).expect("non-zero total");
+                prop_assert!(slot < weights.len());
+                prop_assert!(
+                    weights[slot] > 0.0,
+                    "sampled zero-weight slot {} (w = {})", slot, weights[slot]
+                );
+            }
+        } else {
+            prop_assert_eq!(tree.sample(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn clearing_all_weights_empties_the_tree(
+        weights in prop::collection::vec(0.01f64..3.0, 1..30),
+    ) {
+        let mut tree = PropensityTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            tree.set(i, w);
+        }
+        for i in 0..weights.len() {
+            tree.set(i, 0.0);
+        }
+        prop_assert!(tree.total().abs() < 1e-9);
+        let mut rng = rng_from_seed(1);
+        prop_assert_eq!(tree.sample(&mut rng), None);
+    }
+}

@@ -1,0 +1,232 @@
+//! Connected-component (island) analysis.
+//!
+//! ZGB-type models develop islands of adsorbed CO and O; cluster statistics
+//! are a standard morphological observable and are used by the
+//! `zgb_phase_diagram` example to illustrate the poisoned phases. Components
+//! are computed with a union-find over 4-connected (von Neumann) same-state
+//! neighbors, respecting periodic boundaries.
+
+use crate::geometry::{Offset, Site};
+use crate::lattice::{Lattice, State};
+
+/// Union-find with path halving and union by size.
+#[derive(Clone, Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Connected components of same-state sites (4-connectivity, periodic).
+#[derive(Clone, Debug)]
+pub struct Clusters {
+    /// Component label per site (dense, arbitrary ids).
+    labels: Vec<u32>,
+    /// Size of each component, indexed by label.
+    sizes: Vec<usize>,
+    /// State of each component.
+    states: Vec<State>,
+}
+
+impl Clusters {
+    /// Label all connected components of `lattice`.
+    pub fn find(lattice: &Lattice) -> Self {
+        let dims = lattice.dims();
+        let n = lattice.len();
+        let mut uf = UnionFind::new(n);
+        let right = Offset::new(1, 0);
+        let down = Offset::new(0, 1);
+        for (site, state) in lattice.iter() {
+            for off in [right, down] {
+                let nb = dims.translate(site, off);
+                if lattice.get(nb) == state {
+                    uf.union(site.0, nb.0);
+                }
+            }
+        }
+        // Compact root ids into dense labels.
+        let mut root_to_label = vec![u32::MAX; n];
+        let mut labels = vec![0u32; n];
+        let mut sizes = Vec::new();
+        let mut states = Vec::new();
+        for i in 0..n as u32 {
+            let root = uf.find(i);
+            let label = if root_to_label[root as usize] == u32::MAX {
+                let l = sizes.len() as u32;
+                root_to_label[root as usize] = l;
+                sizes.push(0);
+                states.push(lattice.get(Site(root)));
+                l
+            } else {
+                root_to_label[root as usize]
+            };
+            labels[i as usize] = label;
+            sizes[label as usize] += 1;
+        }
+        Clusters { labels, sizes, states }
+    }
+
+    /// Component label of a site.
+    pub fn label(&self, site: Site) -> u32 {
+        self.labels[site.0 as usize]
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the component with `label`.
+    pub fn size(&self, label: u32) -> usize {
+        self.sizes[label as usize]
+    }
+
+    /// State shared by all sites of the component with `label`.
+    pub fn state(&self, label: u32) -> State {
+        self.states[label as usize]
+    }
+
+    /// Summary statistics for components of one state.
+    pub fn stats_for(&self, state: State) -> ClusterStats {
+        let sizes: Vec<usize> = self
+            .sizes
+            .iter()
+            .zip(&self.states)
+            .filter(|&(_, &s)| s == state)
+            .map(|(&sz, _)| sz)
+            .collect();
+        ClusterStats::from_sizes(&sizes)
+    }
+}
+
+/// Island-size summary for one state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterStats {
+    /// Number of islands.
+    pub count: usize,
+    /// Largest island size (0 if none).
+    pub largest: usize,
+    /// Mean island size (0.0 if none).
+    pub mean_size: f64,
+}
+
+impl ClusterStats {
+    fn from_sizes(sizes: &[usize]) -> Self {
+        if sizes.is_empty() {
+            return ClusterStats {
+                count: 0,
+                largest: 0,
+                mean_size: 0.0,
+            };
+        }
+        ClusterStats {
+            count: sizes.len(),
+            largest: *sizes.iter().max().expect("non-empty"),
+            mean_size: sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dims;
+
+    #[test]
+    fn uniform_lattice_is_one_cluster() {
+        let l = Lattice::filled(Dims::new(5, 5), 1);
+        let c = Clusters::find(&l);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.size(0), 25);
+        assert_eq!(c.state(0), 1);
+    }
+
+    #[test]
+    fn checkerboard_on_even_lattice() {
+        // On an even-sized torus, a checkerboard has no same-state
+        // 4-neighbors, so every site is its own cluster.
+        let d = Dims::new(4, 4);
+        let cells: Vec<u8> = (0..16)
+            .map(|i| (((i % 4) + (i / 4)) % 2) as u8)
+            .collect();
+        let l = Lattice::from_cells(d, cells);
+        let c = Clusters::find(&l);
+        assert_eq!(c.count(), 16);
+    }
+
+    #[test]
+    fn wrapping_joins_components() {
+        // A single row of 1s wraps into one ring cluster.
+        let d = Dims::new(4, 3);
+        let mut l = Lattice::filled(d, 0);
+        for x in 0..4 {
+            l.set(d.site_at(x, 1), 1);
+        }
+        let c = Clusters::find(&l);
+        let stats = c.stats_for(1);
+        assert_eq!(stats.count, 1);
+        assert_eq!(stats.largest, 4);
+    }
+
+    #[test]
+    fn separate_islands_counted() {
+        let d = Dims::new(7, 1);
+        // 1 1 0 1 0 1 1  -> islands {0,1},{3},{5,6} but 5,6 wraps to 0,1: one island of 4.
+        let l = Lattice::from_cells(d, vec![1, 1, 0, 1, 0, 1, 1]);
+        let c = Clusters::find(&l);
+        let stats = c.stats_for(1);
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.largest, 4);
+        assert!((stats.mean_size - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_for_absent_state() {
+        let l = Lattice::filled(Dims::new(3, 3), 0);
+        let c = Clusters::find(&l);
+        let stats = c.stats_for(7);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.largest, 0);
+        assert_eq!(stats.mean_size, 0.0);
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        let d = Dims::new(6, 6);
+        let mut l = Lattice::filled(d, 0);
+        l.set(d.site_at(2, 2), 1);
+        l.set(d.site_at(2, 3), 1);
+        let c = Clusters::find(&l);
+        assert_eq!(c.label(d.site_at(2, 2)), c.label(d.site_at(2, 3)));
+        assert_ne!(c.label(d.site_at(2, 2)), c.label(d.site_at(0, 0)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text snapshots of lattice configurations.
+//!
+//! Long simulations (the Fig 7 sweeps, the oscillation studies) benefit
+//! from checkpointing, and the examples exchange configurations with
+//! external plotting. The format is deliberately trivial:
+//!
+//! ```text
+//! psr-lattice v1
+//! <width> <height>
+//! <row 0: one state id per cell, space separated>
+//! …
+//! ```
+
+use crate::geometry::Dims;
+use crate::lattice::Lattice;
+use std::fmt::Write as _;
+
+/// Magic header line of the snapshot format.
+const MAGIC: &str = "psr-lattice v1";
+
+/// Serialise a lattice to the snapshot text format.
+pub fn to_text(lattice: &Lattice) -> String {
+    let dims = lattice.dims();
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "{} {}", dims.width(), dims.height());
+    for y in 0..dims.height() {
+        let row: Vec<String> = (0..dims.width())
+            .map(|x| {
+                lattice
+                    .get(dims.site_at(x as i64, y as i64))
+                    .to_string()
+            })
+            .collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Parse a snapshot produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns a description of the first format violation encountered.
+pub fn from_text(text: &str) -> Result<Lattice, String> {
+    let mut lines = text.lines();
+    let magic = lines.next().ok_or("empty snapshot")?;
+    if magic.trim() != MAGIC {
+        return Err(format!("bad header {magic:?}, expected {MAGIC:?}"));
+    }
+    let dims_line = lines.next().ok_or("missing dimension line")?;
+    let mut parts = dims_line.split_whitespace();
+    let width: u32 = parts
+        .next()
+        .ok_or("missing width")?
+        .parse()
+        .map_err(|e| format!("bad width: {e}"))?;
+    let height: u32 = parts
+        .next()
+        .ok_or("missing height")?
+        .parse()
+        .map_err(|e| format!("bad height: {e}"))?;
+    if width == 0 || height == 0 {
+        return Err("dimensions must be positive".to_owned());
+    }
+    let dims = Dims::new(width, height);
+    let mut cells = Vec::with_capacity((width * height) as usize);
+    for y in 0..height {
+        let row = lines
+            .next()
+            .ok_or_else(|| format!("missing row {y}"))?;
+        let mut count = 0u32;
+        for token in row.split_whitespace() {
+            let v: u8 = token
+                .parse()
+                .map_err(|e| format!("row {y}: bad cell {token:?}: {e}"))?;
+            cells.push(v);
+            count += 1;
+        }
+        if count != width {
+            return Err(format!("row {y} has {count} cells, expected {width}"));
+        }
+    }
+    if lines.any(|l| !l.trim().is_empty()) {
+        return Err("trailing content after the last row".to_owned());
+    }
+    Ok(Lattice::from_cells(dims, cells))
+}
+
+/// Write a snapshot to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save(lattice: &Lattice, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(lattice))
+}
+
+/// Read a snapshot from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors; format violations become `InvalidData`.
+pub fn load(path: &std::path::Path) -> std::io::Result<Lattice> {
+    let text = std::fs::read_to_string(path)?;
+    from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dims = Dims::new(4, 3);
+        let cells: Vec<u8> = (0..12).map(|i| (i % 5) as u8).collect();
+        let lattice = Lattice::from_cells(dims, cells);
+        let text = to_text(&lattice);
+        let back = from_text(&text).expect("parse");
+        assert_eq!(back, lattice);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dims = Dims::new(3, 3);
+        let lattice = Lattice::from_cells(dims, vec![0, 1, 2, 2, 1, 0, 1, 1, 1]);
+        let path = std::env::temp_dir().join("psr_snapshot_test.txt");
+        save(&lattice, &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(back, lattice);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(from_text("nonsense\n2 2\n0 0\n0 0\n")
+            .unwrap_err()
+            .contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_short_row() {
+        let text = format!("{MAGIC}\n3 1\n0 1\n");
+        assert!(from_text(&text).unwrap_err().contains("has 2 cells"));
+    }
+
+    #[test]
+    fn rejects_missing_row() {
+        let text = format!("{MAGIC}\n2 2\n0 0\n");
+        assert!(from_text(&text).unwrap_err().contains("missing row 1"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let text = format!("{MAGIC}\n1 1\n0\nextra\n");
+        assert!(from_text(&text).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_cell() {
+        let text = format!("{MAGIC}\n2 1\n0 x\n");
+        assert!(from_text(&text).unwrap_err().contains("bad cell"));
+    }
+}

@@ -1,0 +1,205 @@
+//! The configuration `S : Ω → D` as a flat array of state ids.
+
+use crate::geometry::{Dims, Offset, Site};
+
+/// A state id — an element of the domain `D` (paper §2).
+///
+/// The mapping between ids and chemical species (`*`, `CO`, `O`, …) is owned
+/// by `psr-model`; the lattice only stores the ids. `u8` keeps a 1000×1000
+/// lattice at 1 MB, which fits in L2 on most machines.
+pub type State = u8;
+
+/// A complete assignment of states to sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lattice {
+    dims: Dims,
+    cells: Vec<State>,
+}
+
+impl Lattice {
+    /// Create a lattice with every site in state `fill`.
+    pub fn filled(dims: Dims, fill: State) -> Self {
+        Lattice {
+            dims,
+            cells: vec![fill; dims.sites() as usize],
+        }
+    }
+
+    /// Create a lattice from an explicit cell vector (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != dims.sites()`.
+    pub fn from_cells(dims: Dims, cells: Vec<State>) -> Self {
+        assert_eq!(
+            cells.len(),
+            dims.sites() as usize,
+            "cell vector length does not match dimensions"
+        );
+        Lattice { dims, cells }
+    }
+
+    /// Lattice dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Number of sites `N`.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Always false: lattices have at least one site.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// State of a site.
+    #[inline]
+    pub fn get(&self, site: Site) -> State {
+        self.cells[site.0 as usize]
+    }
+
+    /// Set the state of a site, returning the previous state.
+    #[inline]
+    pub fn set(&mut self, site: Site, state: State) -> State {
+        std::mem::replace(&mut self.cells[site.0 as usize], state)
+    }
+
+    /// State at `site + offset` (periodic).
+    #[inline]
+    pub fn get_rel(&self, site: Site, offset: Offset) -> State {
+        self.get(self.dims.translate(site, offset))
+    }
+
+    /// Raw row-major cell slice.
+    pub fn cells(&self) -> &[State] {
+        &self.cells
+    }
+
+    /// Mutable raw cell slice (used by the parallel executor).
+    pub fn cells_mut(&mut self) -> &mut [State] {
+        &mut self.cells
+    }
+
+    /// Count sites currently in `state`.
+    pub fn count(&self, state: State) -> usize {
+        self.cells.iter().filter(|&&c| c == state).count()
+    }
+
+    /// Fraction of sites in `state` (the paper's "coverage").
+    pub fn fraction(&self, state: State) -> f64 {
+        self.count(state) as f64 / self.len() as f64
+    }
+
+    /// Counts for every state id up to `num_states`.
+    pub fn histogram(&self, num_states: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_states];
+        for &c in &self.cells {
+            let idx = c as usize;
+            assert!(
+                idx < num_states,
+                "state id {idx} out of range (< {num_states})"
+            );
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Iterate `(site, state)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Site, State)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (Site(i as u32), s))
+    }
+
+    /// Sites currently in `state`.
+    pub fn sites_in_state(&self, state: State) -> Vec<Site> {
+        self.iter()
+            .filter(|&(_, s)| s == state)
+            .map(|(site, _)| site)
+            .collect()
+    }
+
+    /// Overwrite every site with `state`.
+    pub fn fill(&mut self, state: State) {
+        self.cells.fill(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_lattice_is_uniform() {
+        let l = Lattice::filled(Dims::new(4, 4), 2);
+        assert_eq!(l.count(2), 16);
+        assert_eq!(l.count(0), 0);
+        assert_eq!(l.fraction(2), 1.0);
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut l = Lattice::filled(Dims::new(3, 3), 0);
+        let s = Site(4);
+        assert_eq!(l.set(s, 7), 0);
+        assert_eq!(l.set(s, 1), 7);
+        assert_eq!(l.get(s), 1);
+    }
+
+    #[test]
+    fn get_rel_wraps() {
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        l.set(d.site_at(0, 0), 5);
+        assert_eq!(l.get_rel(d.site_at(2, 0), Offset::new(1, 0)), 5);
+        assert_eq!(l.get_rel(d.site_at(0, 2), Offset::new(0, 1)), 5);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let d = Dims::new(2, 2);
+        let l = Lattice::from_cells(d, vec![0, 1, 1, 2]);
+        assert_eq!(l.histogram(3), vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_rejects_out_of_range_state() {
+        let d = Dims::new(2, 1);
+        let l = Lattice::from_cells(d, vec![0, 5]);
+        l.histogram(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_cells_length_mismatch_panics() {
+        Lattice::from_cells(Dims::new(2, 2), vec![0; 3]);
+    }
+
+    #[test]
+    fn sites_in_state_finds_all() {
+        let d = Dims::new(3, 1);
+        let l = Lattice::from_cells(d, vec![1, 0, 1]);
+        assert_eq!(l.sites_in_state(1), vec![Site(0), Site(2)]);
+        assert_eq!(l.sites_in_state(0), vec![Site(1)]);
+        assert!(l.sites_in_state(9).is_empty());
+    }
+
+    #[test]
+    fn fill_overwrites() {
+        let mut l = Lattice::from_cells(Dims::new(2, 1), vec![1, 2]);
+        l.fill(3);
+        assert_eq!(l.count(3), 2);
+    }
+
+    #[test]
+    fn iter_visits_in_row_major_order() {
+        let d = Dims::new(2, 2);
+        let l = Lattice::from_cells(d, vec![9, 8, 7, 6]);
+        let collected: Vec<(u32, State)> = l.iter().map(|(s, v)| (s.0, v)).collect();
+        assert_eq!(collected, vec![(0, 9), (1, 8), (2, 7), (3, 6)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Neighborhood stencils.
+//!
+//! A reaction type's neighborhood `Nb_Rt(s)` (paper §2) is a translation-
+//! invariant set of sites around `s` that always includes `s` itself. We
+//! represent it by the set of [`Offset`]s from `s`; applying it at a site
+//! materialises the wrapped site set.
+
+use crate::geometry::{Dims, Offset, Site};
+
+/// A translation-invariant set of offsets including the origin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Neighborhood {
+    offsets: Vec<Offset>,
+}
+
+impl Neighborhood {
+    /// Build a neighborhood from offsets.
+    ///
+    /// The origin is added if absent (paper §2 property 1: `s ∈ Nb(s)`), and
+    /// duplicates are removed.
+    pub fn new(mut offsets: Vec<Offset>) -> Self {
+        if !offsets.contains(&Offset::ZERO) {
+            offsets.push(Offset::ZERO);
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        Neighborhood { offsets }
+    }
+
+    /// The origin-only neighborhood (single-site reactions, e.g. CO adsorption).
+    pub fn origin() -> Self {
+        Neighborhood::new(vec![])
+    }
+
+    /// The von Neumann neighborhood: origin plus the 4 axis neighbors.
+    pub fn von_neumann() -> Self {
+        Neighborhood::new(vec![
+            Offset::new(1, 0),
+            Offset::new(-1, 0),
+            Offset::new(0, 1),
+            Offset::new(0, -1),
+        ])
+    }
+
+    /// The triangular-lattice neighborhood: origin plus 6 neighbors in the
+    /// standard skewed square-grid representation (`±(1,0)`, `±(0,1)`,
+    /// `(1,1)`, `(-1,-1)`), giving every site 6 mutual neighbors — the
+    /// coordination of a close-packed (e.g. hex-reconstructed) surface.
+    pub fn triangular() -> Self {
+        Neighborhood::new(vec![
+            Offset::new(1, 0),
+            Offset::new(-1, 0),
+            Offset::new(0, 1),
+            Offset::new(0, -1),
+            Offset::new(1, 1),
+            Offset::new(-1, -1),
+        ])
+    }
+
+    /// The Moore neighborhood: origin plus all 8 surrounding sites.
+    pub fn moore() -> Self {
+        let mut offs = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                offs.push(Offset::new(dx, dy));
+            }
+        }
+        Neighborhood::new(offs)
+    }
+
+    /// All offsets with L1 norm at most `radius` (a diamond).
+    pub fn l1_ball(radius: u32) -> Self {
+        let r = radius as i32;
+        let mut offs = Vec::new();
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if dx.unsigned_abs() + dy.unsigned_abs() <= radius {
+                    offs.push(Offset::new(dx, dy));
+                }
+            }
+        }
+        Neighborhood::new(offs)
+    }
+
+    /// The offsets, sorted, always containing the origin.
+    pub fn offsets(&self) -> &[Offset] {
+        &self.offsets
+    }
+
+    /// Number of sites in the neighborhood.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Never true: the origin is always present.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Largest L1 norm over the offsets (the neighborhood's radius).
+    pub fn radius(&self) -> u32 {
+        self.offsets.iter().map(|o| o.l1_norm()).max().unwrap_or(0)
+    }
+
+    /// Materialise the neighborhood at `site` on a torus of `dims`.
+    pub fn sites_at(&self, dims: Dims, site: Site) -> Vec<Site> {
+        self.offsets
+            .iter()
+            .map(|&o| dims.translate(site, o))
+            .collect()
+    }
+
+    /// Union of two neighborhoods.
+    pub fn union(&self, other: &Neighborhood) -> Neighborhood {
+        let mut offs = self.offsets.clone();
+        offs.extend_from_slice(&other.offsets);
+        Neighborhood::new(offs)
+    }
+
+    /// True if the neighborhoods at `a` and `b` share any site on `dims`.
+    ///
+    /// This is the overlap test behind the partition non-conflict rule
+    /// (paper §5): `Nb(a) ∩ Nb(b) ≠ ∅`.
+    pub fn overlaps_at(&self, dims: Dims, a: Site, other: &Neighborhood, b: Site) -> bool {
+        let sa = self.sites_at(dims, a);
+        for sb in other.sites_at(dims, b) {
+            if sa.contains(&sb) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_always_included() {
+        let nb = Neighborhood::new(vec![Offset::new(1, 0)]);
+        assert!(nb.offsets().contains(&Offset::ZERO));
+        assert_eq!(nb.len(), 2);
+    }
+
+    #[test]
+    fn von_neumann_has_five_sites() {
+        let nb = Neighborhood::von_neumann();
+        assert_eq!(nb.len(), 5);
+        assert_eq!(nb.radius(), 1);
+    }
+
+    #[test]
+    fn triangular_has_seven_sites() {
+        let nb = Neighborhood::triangular();
+        assert_eq!(nb.len(), 7);
+        // Every neighbor offset's negation is also present (mutuality).
+        for &o in nb.offsets() {
+            assert!(nb.offsets().contains(&o.negated()));
+        }
+    }
+
+    #[test]
+    fn moore_has_nine_sites() {
+        let nb = Neighborhood::moore();
+        assert_eq!(nb.len(), 9);
+    }
+
+    #[test]
+    fn l1_ball_counts() {
+        // |B_r| = 2r(r+1) + 1 for the diamond.
+        for r in 0..4u32 {
+            assert_eq!(Neighborhood::l1_ball(r).len() as u32, 2 * r * (r + 1) + 1);
+        }
+        assert_eq!(Neighborhood::l1_ball(1), Neighborhood::von_neumann());
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let nb = Neighborhood::new(vec![Offset::new(1, 0), Offset::new(1, 0)]);
+        assert_eq!(nb.len(), 2);
+    }
+
+    #[test]
+    fn sites_at_wraps() {
+        let d = Dims::new(3, 3);
+        let nb = Neighborhood::von_neumann();
+        let sites = nb.sites_at(d, d.site_at(0, 0));
+        assert_eq!(sites.len(), 5);
+        assert!(sites.contains(&d.site_at(2, 0)));
+        assert!(sites.contains(&d.site_at(0, 2)));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let d = Dims::new(10, 10);
+        let nb = Neighborhood::von_neumann();
+        let a = d.site_at(5, 5);
+        // Distance 2 along an axis: the balls share the midpoint.
+        assert!(nb.overlaps_at(d, a, &nb, d.site_at(7, 5)));
+        // Distance 3: disjoint.
+        assert!(!nb.overlaps_at(d, a, &nb, d.site_at(8, 5)));
+        // Same site trivially overlaps.
+        assert!(nb.overlaps_at(d, a, &nb, a));
+    }
+
+    #[test]
+    fn overlap_respects_wrapping() {
+        let d = Dims::new(5, 5);
+        let nb = Neighborhood::von_neumann();
+        // (0,0) and (4,0) are torus distance 1 apart: overlap through the seam.
+        assert!(nb.overlaps_at(d, d.site_at(0, 0), &nb, d.site_at(4, 0)));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Neighborhood::new(vec![Offset::new(1, 0)]);
+        let b = Neighborhood::new(vec![Offset::new(0, 1)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Rectangular regions and tilings.
+//!
+//! Block Cellular Automata (paper §5, Fig 3) and the Segers domain
+//! decomposition (paper §3) both carve the lattice into rectangular blocks.
+//! A [`Region`] is an axis-aligned rectangle on the torus; [`Region::tile`]
+//! produces a non-overlapping cover of the whole lattice.
+
+use crate::geometry::{Dims, Site};
+
+/// An axis-aligned rectangle of sites, anchored at `(x0, y0)` (wrapped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Left column (may exceed lattice width; wrapped on materialisation).
+    pub x0: i64,
+    /// Top row.
+    pub y0: i64,
+    /// Width in sites.
+    pub w: u32,
+    /// Height in sites.
+    pub h: u32,
+}
+
+impl Region {
+    /// Create a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is zero.
+    pub fn new(x0: i64, y0: i64, w: u32, h: u32) -> Self {
+        assert!(w > 0 && h > 0, "region dimensions must be positive");
+        Region { x0, y0, w, h }
+    }
+
+    /// Number of sites in the region.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Number of sites on the boundary (perimeter cells).
+    ///
+    /// The volume/boundary ratio governs communication cost in the Segers
+    /// domain-decomposition approach (paper §3).
+    pub fn boundary_sites(&self) -> u64 {
+        if self.w <= 2 || self.h <= 2 {
+            self.area()
+        } else {
+            self.area() - (self.w as u64 - 2) * (self.h as u64 - 2)
+        }
+    }
+
+    /// Volume-to-boundary ratio.
+    pub fn volume_boundary_ratio(&self) -> f64 {
+        self.area() as f64 / self.boundary_sites() as f64
+    }
+
+    /// Materialise the (wrapped) sites of the region, row-major.
+    pub fn sites(&self, dims: Dims) -> Vec<Site> {
+        let mut out = Vec::with_capacity(self.area() as usize);
+        for dy in 0..self.h as i64 {
+            for dx in 0..self.w as i64 {
+                out.push(dims.site_at(self.x0 + dx, self.y0 + dy));
+            }
+        }
+        out
+    }
+
+    /// Tile `dims` with `bw × bh` blocks starting at offset `(ox, oy)`.
+    ///
+    /// With a nonzero offset this produces the *shifted* block grid used by
+    /// BCAs between steps (paper Fig 3). Blocks at the seam wrap around the
+    /// torus. The tiling is exact when `bw` divides the width and `bh` the
+    /// height; otherwise the rightmost/bottom blocks are clipped.
+    pub fn tile(dims: Dims, bw: u32, bh: u32, ox: i64, oy: i64) -> Vec<Region> {
+        assert!(bw > 0 && bh > 0, "block dimensions must be positive");
+        let mut blocks = Vec::new();
+        let mut y = 0;
+        while y < dims.height() {
+            let h = bh.min(dims.height() - y);
+            let mut x = 0;
+            while x < dims.width() {
+                let w = bw.min(dims.width() - x);
+                blocks.push(Region::new(x as i64 + ox, y as i64 + oy, w, h));
+                x += bw;
+            }
+            y += bh;
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_boundary() {
+        let r = Region::new(0, 0, 4, 4);
+        assert_eq!(r.area(), 16);
+        assert_eq!(r.boundary_sites(), 12);
+        assert!((r.volume_boundary_ratio() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thin_region_is_all_boundary() {
+        let r = Region::new(0, 0, 10, 2);
+        assert_eq!(r.boundary_sites(), 20);
+        let r1 = Region::new(0, 0, 1, 7);
+        assert_eq!(r1.boundary_sites(), 7);
+    }
+
+    #[test]
+    fn sites_wrap() {
+        let d = Dims::new(4, 4);
+        let r = Region::new(3, 3, 2, 2);
+        let sites = r.sites(d);
+        assert_eq!(sites.len(), 4);
+        assert!(sites.contains(&d.site_at(3, 3)));
+        assert!(sites.contains(&d.site_at(0, 0)));
+    }
+
+    #[test]
+    fn exact_tiling_covers_without_overlap() {
+        let d = Dims::new(9, 6);
+        let blocks = Region::tile(d, 3, 3, 0, 0);
+        assert_eq!(blocks.len(), 6);
+        let mut seen = vec![false; d.sites() as usize];
+        for b in &blocks {
+            for s in b.sites(d) {
+                assert!(!seen[s.0 as usize], "site {} covered twice", s.0);
+                seen[s.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn shifted_tiling_still_covers() {
+        // The BCA shift (paper Fig 3): same blocks, offset by 1 — on the
+        // torus the cover is still exact and disjoint.
+        let d = Dims::new(9, 9);
+        let blocks = Region::tile(d, 3, 3, 1, 1);
+        let mut seen = vec![false; d.sites() as usize];
+        for b in &blocks {
+            for s in b.sites(d) {
+                assert!(!seen[s.0 as usize]);
+                seen[s.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn clipped_tiling_covers() {
+        let d = Dims::new(7, 5);
+        let blocks = Region::tile(d, 3, 2, 0, 0);
+        let total: u64 = blocks.iter().map(|b| b.area()).sum();
+        assert_eq!(total, 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_region_panics() {
+        Region::new(0, 0, 0, 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! ASCII rendering of lattice configurations.
+//!
+//! The examples print snapshots of the surface (CO/O islands, phase fronts)
+//! to the terminal; this module maps state ids to glyphs.
+
+use crate::lattice::{Lattice, State};
+
+/// Render a lattice as text, one row per line.
+///
+/// `glyphs[id]` is the character for state `id`; ids beyond the table render
+/// as `'?'`.
+pub fn render(lattice: &Lattice, glyphs: &[char]) -> String {
+    let dims = lattice.dims();
+    let w = dims.width() as usize;
+    let mut out = String::with_capacity(lattice.len() + dims.height() as usize);
+    for (i, &cell) in lattice.cells().iter().enumerate() {
+        out.push(glyph(cell, glyphs));
+        if (i + 1) % w == 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render only every `stride`-th row and column (for large lattices).
+pub fn render_downsampled(lattice: &Lattice, glyphs: &[char], stride: usize) -> String {
+    assert!(stride > 0, "stride must be positive");
+    let dims = lattice.dims();
+    let mut out = String::new();
+    for y in (0..dims.height() as usize).step_by(stride) {
+        for x in (0..dims.width() as usize).step_by(stride) {
+            let cell = lattice.cells()[y * dims.width() as usize + x];
+            out.push(glyph(cell, glyphs));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn glyph(state: State, glyphs: &[char]) -> char {
+    glyphs.get(state as usize).copied().unwrap_or('?')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dims;
+
+    #[test]
+    fn renders_rows() {
+        let l = Lattice::from_cells(Dims::new(2, 2), vec![0, 1, 1, 0]);
+        let s = render(&l, &['.', 'C']);
+        assert_eq!(s, ".C\nC.\n");
+    }
+
+    #[test]
+    fn unknown_state_renders_question_mark() {
+        let l = Lattice::from_cells(Dims::new(1, 1), vec![9]);
+        assert_eq!(render(&l, &['.']), "?\n");
+    }
+
+    #[test]
+    fn downsampling_shrinks_output() {
+        let l = Lattice::filled(Dims::new(8, 8), 0);
+        let s = render_downsampled(&l, &['.'], 2);
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(s.lines().next().expect("row").len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_panics() {
+        let l = Lattice::filled(Dims::new(2, 2), 0);
+        render_downsampled(&l, &['.'], 0);
+    }
+}

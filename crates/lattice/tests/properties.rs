@@ -1,0 +1,123 @@
+//! Property-based tests for the torus geometry and lattice invariants.
+
+use proptest::prelude::*;
+use psr_lattice::{Clusters, Coverage, Dims, Lattice, Neighborhood, Offset, Site};
+
+fn dims_strategy() -> impl Strategy<Value = Dims> {
+    (1u32..40, 1u32..40).prop_map(|(w, h)| Dims::new(w, h))
+}
+
+proptest! {
+    #[test]
+    fn site_at_always_in_range(d in dims_strategy(), x in -1000i64..1000, y in -1000i64..1000) {
+        let s = d.site_at(x, y);
+        prop_assert!(d.contains(s));
+    }
+
+    #[test]
+    fn coord_roundtrip(d in dims_strategy(), idx in 0u32..1600) {
+        let idx = idx % d.sites();
+        let s = Site(idx);
+        let c = d.coord(s);
+        prop_assert_eq!(d.site_at(c.x, c.y), s);
+    }
+
+    #[test]
+    fn translate_negation_is_identity(
+        d in dims_strategy(),
+        idx in 0u32..1600,
+        dx in -50i32..50,
+        dy in -50i32..50,
+    ) {
+        let s = Site(idx % d.sites());
+        let o = Offset::new(dx, dy);
+        prop_assert_eq!(d.translate(d.translate(s, o), o.negated()), s);
+    }
+
+    #[test]
+    fn translation_commutes(
+        d in dims_strategy(),
+        idx in 0u32..1600,
+        a in (-10i32..10, -10i32..10),
+        b in (-10i32..10, -10i32..10),
+    ) {
+        // (s + a) + b == (s + b) + a: the group structure of the torus.
+        let s = Site(idx % d.sites());
+        let oa = Offset::new(a.0, a.1);
+        let ob = Offset::new(b.0, b.1);
+        prop_assert_eq!(
+            d.translate(d.translate(s, oa), ob),
+            d.translate(d.translate(s, ob), oa)
+        );
+    }
+
+    #[test]
+    fn torus_distance_triangle_inequality(
+        d in dims_strategy(),
+        i in 0u32..1600, j in 0u32..1600, k in 0u32..1600,
+    ) {
+        let (a, b, c) = (Site(i % d.sites()), Site(j % d.sites()), Site(k % d.sites()));
+        prop_assert!(
+            d.torus_l1_distance(a, c)
+                <= d.torus_l1_distance(a, b) + d.torus_l1_distance(b, c)
+        );
+    }
+
+    #[test]
+    fn coverage_stays_consistent_under_random_writes(
+        d in dims_strategy(),
+        writes in proptest::collection::vec((0u32..1600, 0u8..4), 0..100),
+    ) {
+        let mut lattice = Lattice::filled(d, 0);
+        let mut cov = Coverage::from_lattice(&lattice, 4);
+        for (idx, state) in writes {
+            let site = Site(idx % d.sites());
+            let old = lattice.set(site, state);
+            cov.transition(old, state);
+        }
+        prop_assert!(cov.matches(&lattice));
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_lattice_size(
+        d in dims_strategy(),
+        seed_cells in proptest::collection::vec(0u8..3, 1..1600),
+    ) {
+        let n = d.sites() as usize;
+        let cells: Vec<u8> = (0..n).map(|i| seed_cells[i % seed_cells.len()]).collect();
+        let lattice = Lattice::from_cells(d, cells);
+        let clusters = Clusters::find(&lattice);
+        let total: usize = (0..clusters.count() as u32).map(|l| clusters.size(l)).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn neighborhood_overlap_is_symmetric(
+        idx1 in 0u32..400, idx2 in 0u32..400,
+    ) {
+        let d = Dims::new(20, 20);
+        let nb = Neighborhood::von_neumann();
+        let a = Site(idx1 % d.sites());
+        let b = Site(idx2 % d.sites());
+        prop_assert_eq!(
+            nb.overlaps_at(d, a, &nb, b),
+            nb.overlaps_at(d, b, &nb, a)
+        );
+    }
+
+    #[test]
+    fn neighborhood_overlap_iff_within_radius_sum(
+        idx1 in 0u32..400, idx2 in 0u32..400,
+    ) {
+        // For L1 balls on a large-enough torus, overlap <=> torus distance
+        // <= r1 + r2.
+        let d = Dims::new(20, 20);
+        let nb1 = Neighborhood::l1_ball(1);
+        let nb2 = Neighborhood::l1_ball(2);
+        let a = Site(idx1 % d.sites());
+        let b = Site(idx2 % d.sites());
+        let overlap = nb1.overlaps_at(d, a, &nb2, b);
+        let within = d.torus_l1_distance(a, b) <= 3;
+        prop_assert_eq!(overlap, within);
+    }
+}

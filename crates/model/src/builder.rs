@@ -1,0 +1,172 @@
+//! A small DSL for assembling models.
+//!
+//! ```
+//! use psr_model::ModelBuilder;
+//!
+//! let model = ModelBuilder::new(&["*", "A", "B"])
+//!     .reaction("A ads", 1.0, |r| {
+//!         r.site((0, 0), "*", "A");
+//!     })
+//!     .reaction("A+B annihilate", 0.5, |r| {
+//!         r.site((0, 0), "A", "*").site((1, 0), "B", "*");
+//!     })
+//!     .build();
+//! assert_eq!(model.num_reactions(), 2);
+//! ```
+
+use crate::model::Model;
+use crate::pattern::Transform;
+use crate::reaction::ReactionType;
+use crate::species::SpeciesSet;
+use psr_lattice::Offset;
+
+/// Builder for a [`Model`].
+#[derive(Debug)]
+pub struct ModelBuilder {
+    species: SpeciesSet,
+    reactions: Vec<ReactionType>,
+}
+
+/// Builder for one reaction's transform list (see [`ModelBuilder::reaction`]).
+#[derive(Debug)]
+pub struct ReactionBuilder<'a> {
+    species: &'a SpeciesSet,
+    transforms: Vec<Transform>,
+}
+
+impl ReactionBuilder<'_> {
+    /// Add a transform: at `offset` relative to the anchor, require species
+    /// named `src` and produce species named `tgt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown species names.
+    pub fn site(&mut self, offset: (i32, i32), src: &str, tgt: &str) -> &mut Self {
+        self.transforms.push(Transform::new(
+            Offset::new(offset.0, offset.1),
+            self.species.species(src),
+            self.species.species(tgt),
+        ));
+        self
+    }
+}
+
+impl ModelBuilder {
+    /// Start a builder with the given species names (first must be `"*"`).
+    pub fn new<S: AsRef<str>>(species: &[S]) -> Self {
+        ModelBuilder {
+            species: SpeciesSet::new(species),
+            reactions: Vec::new(),
+        }
+    }
+
+    /// The species set being built against.
+    pub fn species(&self) -> &SpeciesSet {
+        &self.species
+    }
+
+    /// Add a reaction type; configure its transforms in the closure.
+    pub fn reaction(
+        mut self,
+        name: impl Into<String>,
+        rate: f64,
+        configure: impl FnOnce(&mut ReactionBuilder<'_>),
+    ) -> Self {
+        let mut rb = ReactionBuilder {
+            species: &self.species,
+            transforms: Vec::new(),
+        };
+        configure(&mut rb);
+        self.reactions
+            .push(ReactionType::new(name, rb.transforms, rate));
+        self
+    }
+
+    /// Add all four 90°-rotations of a reaction as separate types named
+    /// `"{name}[q]"`, each with the given rate.
+    ///
+    /// This is how Table I's four `RtCO+O` versions arise from one pattern.
+    pub fn reaction_rotations(
+        mut self,
+        name: &str,
+        rate: f64,
+        rotations: u32,
+        configure: impl FnOnce(&mut ReactionBuilder<'_>),
+    ) -> Self {
+        assert!(
+            (1..=4).contains(&rotations),
+            "rotations must be between 1 and 4"
+        );
+        let mut rb = ReactionBuilder {
+            species: &self.species,
+            transforms: Vec::new(),
+        };
+        configure(&mut rb);
+        for q in 0..rotations {
+            let rotated: Vec<Transform> =
+                rb.transforms.iter().map(|t| t.rotated(q)).collect();
+            self.reactions
+                .push(ReactionType::new(format!("{name}[{q}]"), rotated, rate));
+        }
+        self
+    }
+
+    /// Add a prebuilt reaction type.
+    pub fn reaction_type(mut self, rt: ReactionType) -> Self {
+        self.reactions.push(rt);
+        self
+    }
+
+    /// Finish and validate the model.
+    pub fn build(self) -> Model {
+        Model::new(self.species, self.reactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_reactions_with_named_species() {
+        let m = ModelBuilder::new(&["*", "X"])
+            .reaction("X ads", 2.0, |r| {
+                r.site((0, 0), "*", "X");
+            })
+            .build();
+        assert_eq!(m.num_reactions(), 1);
+        assert_eq!(m.total_rate(), 2.0);
+        assert_eq!(m.reaction(0).arity(), 1);
+    }
+
+    #[test]
+    fn rotations_generate_variants() {
+        let m = ModelBuilder::new(&["*", "A"])
+            .reaction_rotations("pair", 1.0, 4, |r| {
+                r.site((0, 0), "*", "A").site((1, 0), "*", "A");
+            })
+            .build();
+        assert_eq!(m.num_reactions(), 4);
+        assert_eq!(m.reaction_index("pair[0]"), Some(0));
+        assert_eq!(m.reaction_index("pair[3]"), Some(3));
+        // Rotation 1 should touch (0,1).
+        let nb = m.reaction(1).neighborhood();
+        assert!(nb.offsets().contains(&psr_lattice::Offset::new(0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown species")]
+    fn unknown_species_in_reaction_panics() {
+        ModelBuilder::new(&["*"]).reaction("bad", 1.0, |r| {
+            r.site((0, 0), "*", "Z");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 4")]
+    fn invalid_rotation_count_panics() {
+        ModelBuilder::new(&["*", "A"]).reaction_rotations("p", 1.0, 5, |r| {
+            r.site((0, 0), "*", "A");
+        });
+    }
+}

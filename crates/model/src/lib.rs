@@ -1,0 +1,34 @@
+//! Species, reaction types, rates and concrete surface-reaction models.
+//!
+//! This crate implements the mathematical model of the paper's §2:
+//!
+//! - a finite domain `D` of particle types ([`Species`], [`SpeciesSet`]),
+//!   conventionally containing `*` (vacant) as id 0;
+//! - reaction types as functions yielding collections of
+//!   `(site, source, target)` triples ([`Transform`], [`ReactionType`]) with
+//!   translation-invariant neighborhoods;
+//! - rate constants, optionally from an Arrhenius expression
+//!   ([`rates::arrhenius`]);
+//! - a [`Model`] bundling a species set with its reaction types, plus a
+//!   [`ModelBuilder`] DSL.
+//!
+//! The [`library`] module contains the concrete chemistry used by the paper's
+//! evaluation: the ZGB CO-oxidation model (Table I), the Kuzovkov/Kortlüke
+//! Pt(100) reconstruction model whose coverage oscillations drive Figs 8–10,
+//! plus the diffusion, single-file and Ising models referenced in §4.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod library;
+pub mod model;
+pub mod pattern;
+pub mod rates;
+pub mod reaction;
+pub mod species;
+
+pub use builder::ModelBuilder;
+pub use model::Model;
+pub use pattern::Transform;
+pub use reaction::ReactionType;
+pub use species::{Species, SpeciesSet, VACANT};

@@ -1,0 +1,125 @@
+//! Diffusion models.
+//!
+//! The paper's Fig 2 illustrates the fundamental CA conflict with a
+//! diffusion model: two particles adjacent to the same vacancy may both try
+//! to jump into it during one synchronous step. [`diffusion_model`] is that
+//! model on the 2-D lattice; [`single_file_model`] is the 1-D variant
+//! (particles cannot pass each other) that the paper cites as a system where
+//! the plain NDCA gives degenerate results.
+
+use crate::builder::ModelBuilder;
+use crate::model::Model;
+
+/// 2-D hop diffusion: a particle `A` jumps to an adjacent vacant site with
+/// rate `k_hop` per orientation (4 orientations).
+pub fn diffusion_model(k_hop: f64) -> Model {
+    ModelBuilder::new(&["*", "A"])
+        .reaction_rotations("hop", k_hop, 4, |r| {
+            r.site((0, 0), "A", "*").site((1, 0), "*", "A");
+        })
+        .build()
+}
+
+/// Triangular-lattice hop diffusion: a particle `A` jumps to any of its 6
+/// neighbors (skewed square-grid representation; see
+/// `Neighborhood::triangular`) with rate `k_hop` per direction.
+pub fn triangular_diffusion_model(k_hop: f64) -> Model {
+    let mut b = ModelBuilder::new(&["*", "A"]).reaction_rotations("hop", k_hop, 4, |r| {
+        r.site((0, 0), "A", "*").site((1, 0), "*", "A");
+    });
+    for (name, off) in [("hop ne", (1, 1)), ("hop sw", (-1, -1))] {
+        b = b.reaction(name, k_hop, |r| {
+            r.site((0, 0), "A", "*").site(off, "*", "A");
+        });
+    }
+    b.build()
+}
+
+/// 1-D single-file diffusion on a `L × 1` lattice: hops left and right only.
+///
+/// Build the lattice with `Dims::new(L, 1)`; the vertical rotations are
+/// omitted so patterns never wrap the 1-site-high torus onto themselves.
+pub fn single_file_model(k_hop: f64) -> Model {
+    ModelBuilder::new(&["*", "A"])
+        .reaction("hop right", k_hop, |r| {
+            r.site((0, 0), "A", "*").site((1, 0), "*", "A");
+        })
+        .reaction("hop left", k_hop, |r| {
+            r.site((0, 0), "A", "*").site((-1, 0), "*", "A");
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_lattice::{Dims, Lattice};
+
+    #[test]
+    fn hop_moves_particle() {
+        let m = diffusion_model(1.0);
+        assert_eq!(m.num_reactions(), 4);
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        l.set(d.site_at(1, 1), 1);
+        let rt = m.reaction(0); // hop[0]: +x
+        assert!(rt.is_enabled(&l, d.site_at(1, 1)));
+        rt.execute_collect(&mut l, d.site_at(1, 1));
+        assert_eq!(l.get(d.site_at(1, 1)), 0);
+        assert_eq!(l.get(d.site_at(2, 1)), 1);
+        assert_eq!(l.count(1), 1, "particle count conserved");
+    }
+
+    #[test]
+    fn hop_blocked_by_occupied_target() {
+        let m = diffusion_model(1.0);
+        let d = Dims::new(3, 1);
+        let mut l = Lattice::filled(d, 1); // all occupied
+        for s in d.iter_sites() {
+            assert!(m.enabled_at(&l, s).is_empty());
+        }
+        l.set(d.site_at(1, 0), 0);
+        // Now both neighbors of the vacancy can hop into it — the Fig 2
+        // conflict situation.
+        let enabled_left = m.enabled_at(&l, d.site_at(0, 0));
+        let enabled_right = m.enabled_at(&l, d.site_at(2, 0));
+        assert!(!enabled_left.is_empty());
+        assert!(!enabled_right.is_empty());
+    }
+
+    #[test]
+    fn triangular_model_has_six_hops() {
+        let m = triangular_diffusion_model(0.5);
+        assert_eq!(m.num_reactions(), 6);
+        assert_eq!(m.combined_neighborhood().len(), 7);
+        // Particle count conserved by a diagonal hop.
+        let d = Dims::new(4, 4);
+        let mut l = Lattice::filled(d, 0);
+        l.set(d.site_at(1, 1), 1);
+        let ne = m.reaction(m.reaction_index("hop ne").expect("exists"));
+        assert!(ne.is_enabled(&l, d.site_at(1, 1)));
+        ne.execute_collect(&mut l, d.site_at(1, 1));
+        assert_eq!(l.get(d.site_at(2, 2)), 1);
+        assert_eq!(l.count(1), 1);
+    }
+
+    #[test]
+    fn single_file_has_two_reactions() {
+        let m = single_file_model(0.5);
+        assert_eq!(m.num_reactions(), 2);
+        assert_eq!(m.total_rate(), 1.0);
+    }
+
+    #[test]
+    fn single_file_conserves_order() {
+        // In single-file diffusion particles cannot pass: executing any
+        // enabled hop never swaps two particles.
+        let m = single_file_model(1.0);
+        let d = Dims::new(5, 1);
+        let mut l = Lattice::from_cells(d, vec![1, 1, 0, 1, 0]);
+        let rt = m.reaction(0); // hop right
+        assert!(rt.is_enabled(&l, d.site_at(1, 0)));
+        rt.execute_collect(&mut l, d.site_at(1, 0));
+        assert_eq!(l.cells(), &[1, 0, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Ising model with Glauber (spin-flip) dynamics, expressed as reaction types.
+//!
+//! The paper (§4) notes that the plain NDCA "gives degenerate results for
+//! some systems (Ising models, Single-File models, …)" — Vichniac's classic
+//! observation that synchronous updates of the Ising model converge to
+//! artificial antiferromagnetic checkerboards. To demonstrate this we need
+//! the Ising model inside the same reaction-type framework.
+//!
+//! A spin-flip's rate depends on the spins of the four von Neumann
+//! neighbors. Reaction types require an *exact* source pattern, so we
+//! enumerate all `2 · 2⁴ = 32` (center, neighborhood) configurations and
+//! emit one single-flip reaction type per configuration, with the Glauber
+//! rate `k(ΔE) = 1 / (1 + exp(ΔE / k_B T))`.
+//!
+//! Spins: state 0 (`*`) is down, state 1 (`U`) is up. (The vacant marker
+//! doubles as spin-down; the lattice is always fully "occupied".)
+
+use crate::model::Model;
+use crate::pattern::Transform;
+use crate::reaction::ReactionType;
+use crate::species::{Species, SpeciesSet};
+use psr_lattice::Offset;
+
+const NEIGHBOR_OFFSETS: [Offset; 4] = [
+    Offset::new(1, 0),
+    Offset::new(-1, 0),
+    Offset::new(0, 1),
+    Offset::new(0, -1),
+];
+
+/// Build the Glauber-dynamics Ising model at reduced temperature
+/// `t = k_B T / J` (coupling `J = 1`).
+///
+/// # Panics
+///
+/// Panics unless `t > 0`.
+pub fn ising_glauber(t: f64) -> Model {
+    assert!(t > 0.0 && t.is_finite(), "temperature must be positive");
+    let species = SpeciesSet::new(&["*", "U"]);
+    let down = Species(0);
+    let up = Species(1);
+    let spin = |bit: u32| if bit == 1 { up } else { down };
+    let sign = |s: Species| if s == up { 1.0 } else { -1.0 };
+
+    let mut reactions = Vec::with_capacity(32);
+    for center_bit in 0..2u32 {
+        for mask in 0..16u32 {
+            let center = spin(center_bit);
+            let flipped = spin(1 - center_bit);
+            // ΔE of flipping the center: E = -J Σ s_c s_n, so
+            // ΔE = 2 J s_c Σ s_n.
+            let neighbor_sum: f64 = (0..4).map(|i| sign(spin((mask >> i) & 1))).sum();
+            let delta_e = 2.0 * sign(center) * neighbor_sum;
+            let rate = 1.0 / (1.0 + (delta_e / t).exp());
+            let mut transforms = vec![Transform::at_origin(center, flipped)];
+            for (i, &off) in NEIGHBOR_OFFSETS.iter().enumerate() {
+                let nb = spin((mask >> i) & 1);
+                // Neighbors are part of the source pattern but unchanged.
+                transforms.push(Transform::new(off, nb, nb));
+            }
+            reactions.push(ReactionType::new(
+                format!("flip c={center_bit} nb={mask:04b}"),
+                transforms,
+                rate,
+            ));
+        }
+    }
+    Model::new(species, reactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_lattice::{Dims, Lattice, Site};
+
+    #[test]
+    fn has_32_reaction_types() {
+        let m = ising_glauber(2.0);
+        assert_eq!(m.num_reactions(), 32);
+    }
+
+    #[test]
+    fn exactly_one_reaction_enabled_per_site() {
+        // The 32 patterns partition configuration space: any (center,
+        // neighborhood) matches exactly one reaction type.
+        let m = ising_glauber(2.0);
+        let d = Dims::new(4, 4);
+        let mut l = Lattice::filled(d, 0);
+        // A scattered configuration.
+        for (i, s) in d.iter_sites().enumerate() {
+            l.set(s, ((i * 7) % 3 == 0) as u8);
+        }
+        for s in d.iter_sites() {
+            assert_eq!(m.enabled_at(&l, s).len(), 1, "site {}", s.0);
+        }
+    }
+
+    #[test]
+    fn glauber_rates_satisfy_detailed_balance() {
+        // k(ΔE) / k(-ΔE) = exp(-ΔE / t).
+        let t = 1.7;
+        for delta_e in [-8.0f64, -4.0, 0.0, 4.0, 8.0] {
+            let k_fwd = 1.0 / (1.0 + (delta_e / t).exp());
+            let k_bwd = 1.0 / (1.0 + (-delta_e / t).exp());
+            assert!((k_fwd / k_bwd - (-delta_e / t).exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aligned_spin_flips_slowly_at_low_temperature() {
+        let m = ising_glauber(0.5);
+        let d = Dims::new(3, 3);
+        let l = Lattice::filled(d, 1); // all up
+        let idx = m.enabled_at(&l, Site(4));
+        assert_eq!(idx.len(), 1);
+        let rate = m.reaction(idx[0]).rate();
+        // ΔE = +8 at t = 0.5 → rate ≈ exp(-16).
+        assert!(rate < 1e-6, "rate {rate} should be tiny");
+    }
+
+    #[test]
+    fn flip_changes_only_center() {
+        let m = ising_glauber(2.0);
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        let s = Site(4);
+        let idx = m.enabled_at(&l, s)[0];
+        m.reaction(idx).execute_collect(&mut l, s);
+        assert_eq!(l.get(s), 1);
+        assert_eq!(l.count(1), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! The Kuzovkov/Kortlüke Pt(100) surface-reconstruction model (paper §6).
+//!
+//! The paper compares RSM and L-PNDCA on "the model used by Kuzovkov et al.
+//! [J.Chem.Phys. 108, 5571] … the oxidation of CO on a face of
+//! Platinum(100)". The Pt(100) top layer exists in two phases — a
+//! reconstructed *hex* phase and a bulk-like *1×1 (square)* phase. CO adsorbs
+//! on both; O₂ adsorbs dissociatively **only on the square phase**. Adsorbed
+//! CO lifts the reconstruction (hex → square); vacant square sites relax
+//! back (square → hex). The interplay produces the coverage oscillations the
+//! paper's Figs 8–10 compare.
+//!
+//! **Substitution note (see DESIGN.md):** the paper gives no rate table, so
+//! the default [`KuzovkovParams`] were calibrated in this repository until a
+//! 100×100 lattice shows sustained global coverage oscillations; figures
+//! compare oscillation *preservation and deviation* between algorithms, which
+//! is what the paper reports, not absolute periods.
+//!
+//! Site states (`D`, five values):
+//!
+//! | id | name    | meaning                       |
+//! |----|---------|-------------------------------|
+//! | 0  | `*`     | vacant hex site               |
+//! | 1  | `COh`   | CO on a hex site              |
+//! | 2  | `sq`    | vacant square (1×1) site      |
+//! | 3  | `COs`   | CO on a square site           |
+//! | 4  | `O`     | O on a square site            |
+
+use crate::builder::ModelBuilder;
+use crate::model::Model;
+use crate::species::Species;
+
+/// Species ids of the Kuzovkov model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KuzovkovSpecies {
+    /// Vacant hex site (id 0, the `*` marker).
+    pub hex_vacant: Species,
+    /// CO adsorbed on a hex site (id 1).
+    pub hex_co: Species,
+    /// Vacant square site (id 2).
+    pub sq_vacant: Species,
+    /// CO adsorbed on a square site (id 3).
+    pub sq_co: Species,
+    /// O adsorbed on a square site (id 4).
+    pub sq_o: Species,
+}
+
+/// Canonical species layout.
+pub const KUZOVKOV_SPECIES: KuzovkovSpecies = KuzovkovSpecies {
+    hex_vacant: Species(0),
+    hex_co: Species(1),
+    sq_vacant: Species(2),
+    sq_co: Species(3),
+    sq_o: Species(4),
+};
+
+/// Rate constants of the Kuzovkov model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KuzovkovParams {
+    /// CO impingement rate `y` (adsorption on any vacant site, both phases).
+    pub y_co: f64,
+    /// O₂ dissociative adsorption rate per orientation (needs two adjacent
+    /// vacant *square* sites).
+    pub k_o2: f64,
+    /// CO desorption rate (phase-preserving).
+    pub k_des: f64,
+    /// CO+O → CO₂ surface reaction rate per orientation.
+    pub k_react: f64,
+    /// Local hex → square transformation rate of a CO-covered hex site.
+    pub k_lift: f64,
+    /// Relaxation rate of a vacant square site back to hex.
+    pub k_relax: f64,
+    /// CO hop rate per orientation (phase-preserving hop; CO carries the
+    /// local phase state with it — hops between phases keep each site's
+    /// phase).
+    pub k_diff: f64,
+    /// Front-propagation rate of the hex → square transformation: a
+    /// CO-covered hex site adjacent to an already-square site converts
+    /// (per square neighbor orientation). Kortlüke's model grows the 1×1
+    /// phase as fronts, which synchronises the oscillation globally;
+    /// 0 disables the term.
+    pub k_lift_front: f64,
+    /// Front-propagation rate of square → hex relaxation: a vacant square
+    /// site adjacent to a hex site relaxes (per hex neighbor orientation).
+    /// 0 disables the term.
+    pub k_relax_front: f64,
+}
+
+impl Default for KuzovkovParams {
+    /// Parameters calibrated to oscillate (see `calibrate_kuzovkov`):
+    /// sustained global CO/O oscillations with period ≈ 30 time units and
+    /// peak-to-trough amplitude ≈ 0.06–0.1 up to 100×100 lattices. The
+    /// front-propagation terms are essential at large sizes: with purely
+    /// local phase dynamics the regional oscillators dephase and the
+    /// global signal averages away.
+    fn default() -> Self {
+        KuzovkovParams {
+            y_co: 0.42,
+            k_o2: 0.29,
+            k_des: 0.1,
+            k_react: 10.0,
+            k_lift: 0.2,
+            k_relax: 0.05,
+            k_diff: 4.0,
+            k_lift_front: 1.0,
+            k_relax_front: 0.5,
+        }
+    }
+}
+
+/// Build the Kuzovkov Pt(100) model.
+pub fn kuzovkov_model(p: KuzovkovParams) -> Model {
+    let mut b = ModelBuilder::new(&["*", "COh", "sq", "COs", "O"])
+        // CO adsorption on both phases.
+        .reaction("CO ads hex", p.y_co, |r| {
+            r.site((0, 0), "*", "COh");
+        })
+        .reaction("CO ads sq", p.y_co, |r| {
+            r.site((0, 0), "sq", "COs");
+        })
+        // CO desorption, phase preserving.
+        .reaction("CO des hex", p.k_des, |r| {
+            r.site((0, 0), "COh", "*");
+        })
+        .reaction("CO des sq", p.k_des, |r| {
+            r.site((0, 0), "COs", "sq");
+        })
+        // O2 dissociative adsorption on two adjacent vacant square sites.
+        .reaction_rotations("O2 ads", p.k_o2, 2, |r| {
+            r.site((0, 0), "sq", "O").site((1, 0), "sq", "O");
+        })
+        // CO2 formation: adjacent CO (either phase) + O; both sites empty,
+        // phases preserved (square stays square until it relaxes).
+        .reaction_rotations("CO2 hex", p.k_react, 4, |r| {
+            r.site((0, 0), "COh", "*").site((1, 0), "O", "sq");
+        })
+        .reaction_rotations("CO2 sq", p.k_react, 4, |r| {
+            r.site((0, 0), "COs", "sq").site((1, 0), "O", "sq");
+        })
+        // Phase dynamics.
+        .reaction("lift hex->sq", p.k_lift, |r| {
+            r.site((0, 0), "COh", "COs");
+        })
+        .reaction("relax sq->hex", p.k_relax, |r| {
+            r.site((0, 0), "sq", "*");
+        });
+    // Front propagation of the phase transformations (Kortlüke-style):
+    // the transformation is catalysed by an adjacent site already in the
+    // target phase, so phase domains grow as fronts.
+    if p.k_lift_front > 0.0 {
+        for (suffix, nb_src, nb_tgt) in
+            [("sq", "sq", "sq"), ("COs", "COs", "COs"), ("O", "O", "O")]
+        {
+            b = b.reaction_rotations(
+                &format!("lift front {suffix}"),
+                p.k_lift_front,
+                4,
+                |r| {
+                    r.site((0, 0), "COh", "COs").site((1, 0), nb_src, nb_tgt);
+                },
+            );
+        }
+    }
+    if p.k_relax_front > 0.0 {
+        for (suffix, nb_src, nb_tgt) in [("hex", "*", "*"), ("COh", "COh", "COh")] {
+            b = b.reaction_rotations(
+                &format!("relax front {suffix}"),
+                p.k_relax_front,
+                4,
+                |r| {
+                    r.site((0, 0), "sq", "*").site((1, 0), nb_src, nb_tgt);
+                },
+            );
+        }
+    }
+    // CO diffusion: hop to an adjacent vacant site; each site keeps its
+    // phase, the CO moves. Four source/target phase combinations.
+    if p.k_diff > 0.0 {
+        b = b
+            .reaction_rotations("CO hop h->h", p.k_diff, 4, |r| {
+                r.site((0, 0), "COh", "*").site((1, 0), "*", "COh");
+            })
+            .reaction_rotations("CO hop h->s", p.k_diff, 4, |r| {
+                r.site((0, 0), "COh", "*").site((1, 0), "sq", "COs");
+            })
+            .reaction_rotations("CO hop s->h", p.k_diff, 4, |r| {
+                r.site((0, 0), "COs", "sq").site((1, 0), "*", "COh");
+            })
+            .reaction_rotations("CO hop s->s", p.k_diff, 4, |r| {
+                r.site((0, 0), "COs", "sq").site((1, 0), "sq", "COs");
+            });
+    }
+    b.build()
+}
+
+/// Total CO coverage (both phases) from a state histogram.
+pub fn co_coverage(fractions: &[f64]) -> f64 {
+    fractions[KUZOVKOV_SPECIES.hex_co.id() as usize]
+        + fractions[KUZOVKOV_SPECIES.sq_co.id() as usize]
+}
+
+/// O coverage from a state histogram.
+pub fn o_coverage(fractions: &[f64]) -> f64 {
+    fractions[KUZOVKOV_SPECIES.sq_o.id() as usize]
+}
+
+/// Fraction of the surface in the square (1×1) phase.
+pub fn square_phase_fraction(fractions: &[f64]) -> f64 {
+    fractions[KUZOVKOV_SPECIES.sq_vacant.id() as usize]
+        + fractions[KUZOVKOV_SPECIES.sq_co.id() as usize]
+        + fractions[KUZOVKOV_SPECIES.sq_o.id() as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_lattice::{Dims, Lattice};
+
+    #[test]
+    fn reaction_count() {
+        // 2 ads + 2 des + 2 O2 + 8 CO2 + lift + relax + 12 lift-front +
+        // 8 relax-front + 16 hops = 52 with the calibrated defaults.
+        let m = kuzovkov_model(KuzovkovParams::default());
+        assert_eq!(m.num_reactions(), 52);
+    }
+
+    #[test]
+    fn local_only_variant_has_32_reactions() {
+        // Disabling the front terms leaves the purely local model:
+        // 2 ads + 2 des + 2 O2 + 8 CO2 + lift + relax + 16 hops = 32.
+        let m = kuzovkov_model(KuzovkovParams {
+            k_lift_front: 0.0,
+            k_relax_front: 0.0,
+            ..KuzovkovParams::default()
+        });
+        assert_eq!(m.num_reactions(), 32);
+    }
+
+    #[test]
+    fn no_diffusion_variant() {
+        let m = kuzovkov_model(KuzovkovParams {
+            k_diff: 0.0,
+            k_lift_front: 0.0,
+            k_relax_front: 0.0,
+            ..KuzovkovParams::default()
+        });
+        assert_eq!(m.num_reactions(), 16);
+    }
+
+    #[test]
+    fn front_lift_requires_square_neighbor() {
+        let m = kuzovkov_model(KuzovkovParams::default());
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, KUZOVKOV_SPECIES.hex_co.id());
+        let rt = m.reaction(m.reaction_index("lift front sq[0]").expect("exists"));
+        let s = d.site_at(0, 0);
+        assert!(!rt.is_enabled(&l, s), "no square neighbor yet");
+        l.set(d.site_at(1, 0), KUZOVKOV_SPECIES.sq_vacant.id());
+        assert!(rt.is_enabled(&l, s));
+        rt.execute_collect(&mut l, s);
+        assert_eq!(l.get(s), KUZOVKOV_SPECIES.sq_co.id());
+        assert_eq!(
+            l.get(d.site_at(1, 0)),
+            KUZOVKOV_SPECIES.sq_vacant.id(),
+            "catalysing neighbor unchanged"
+        );
+    }
+
+    #[test]
+    fn front_relax_requires_hex_neighbor() {
+        let m = kuzovkov_model(KuzovkovParams::default());
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, KUZOVKOV_SPECIES.sq_vacant.id());
+        let rt = m.reaction(m.reaction_index("relax front hex[0]").expect("exists"));
+        let s = d.site_at(0, 0);
+        assert!(!rt.is_enabled(&l, s), "no hex neighbor yet");
+        l.set(d.site_at(1, 0), KUZOVKOV_SPECIES.hex_vacant.id());
+        assert!(rt.is_enabled(&l, s));
+        rt.execute_collect(&mut l, s);
+        assert_eq!(l.get(s), KUZOVKOV_SPECIES.hex_vacant.id());
+    }
+
+    #[test]
+    fn o2_requires_square_pair() {
+        let m = kuzovkov_model(KuzovkovParams::default());
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, KUZOVKOV_SPECIES.hex_vacant.id());
+        let rt = m.reaction(m.reaction_index("O2 ads[0]").expect("exists"));
+        let s = d.site_at(0, 0);
+        assert!(!rt.is_enabled(&l, s), "hex sites must not adsorb O2");
+        l.set(s, KUZOVKOV_SPECIES.sq_vacant.id());
+        assert!(!rt.is_enabled(&l, s), "one square site is not enough");
+        l.set(d.site_at(1, 0), KUZOVKOV_SPECIES.sq_vacant.id());
+        assert!(rt.is_enabled(&l, s));
+    }
+
+    #[test]
+    fn co2_formation_preserves_square_phase_of_o_site() {
+        let m = kuzovkov_model(KuzovkovParams::default());
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        let s = d.site_at(0, 0);
+        l.set(s, KUZOVKOV_SPECIES.sq_co.id());
+        l.set(d.site_at(1, 0), KUZOVKOV_SPECIES.sq_o.id());
+        let rt = m.reaction(m.reaction_index("CO2 sq[0]").expect("exists"));
+        assert!(rt.is_enabled(&l, s));
+        rt.execute_collect(&mut l, s);
+        assert_eq!(l.get(s), KUZOVKOV_SPECIES.sq_vacant.id());
+        assert_eq!(l.get(d.site_at(1, 0)), KUZOVKOV_SPECIES.sq_vacant.id());
+    }
+
+    #[test]
+    fn phase_lift_and_relax() {
+        let m = kuzovkov_model(KuzovkovParams::default());
+        let d = Dims::new(2, 2);
+        let mut l = Lattice::filled(d, KUZOVKOV_SPECIES.hex_co.id());
+        let lift = m.reaction(m.reaction_index("lift hex->sq").expect("exists"));
+        assert!(lift.is_enabled(&l, psr_lattice::Site(0)));
+        lift.execute_collect(&mut l, psr_lattice::Site(0));
+        assert_eq!(l.get(psr_lattice::Site(0)), KUZOVKOV_SPECIES.sq_co.id());
+
+        l.set(psr_lattice::Site(0), KUZOVKOV_SPECIES.sq_vacant.id());
+        let relax = m.reaction(m.reaction_index("relax sq->hex").expect("exists"));
+        assert!(relax.is_enabled(&l, psr_lattice::Site(0)));
+        relax.execute_collect(&mut l, psr_lattice::Site(0));
+        assert_eq!(
+            l.get(psr_lattice::Site(0)),
+            KUZOVKOV_SPECIES.hex_vacant.id()
+        );
+    }
+
+    #[test]
+    fn coverage_helpers() {
+        let fractions = vec![0.2, 0.1, 0.3, 0.25, 0.15];
+        assert!((co_coverage(&fractions) - 0.35).abs() < 1e-12);
+        assert!((o_coverage(&fractions) - 0.15).abs() < 1e-12);
+        assert!((square_phase_fraction(&fractions) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diffusion_hops_preserve_particle_count() {
+        let m = kuzovkov_model(KuzovkovParams::default());
+        let d = Dims::new(3, 1);
+        let mut l = Lattice::filled(d, 0);
+        l.set(d.site_at(0, 0), KUZOVKOV_SPECIES.hex_co.id());
+        let rt = m.reaction(m.reaction_index("CO hop h->h[0]").expect("exists"));
+        assert!(rt.is_enabled(&l, d.site_at(0, 0)));
+        rt.execute_collect(&mut l, d.site_at(0, 0));
+        assert_eq!(l.get(d.site_at(0, 0)), 0);
+        assert_eq!(l.get(d.site_at(1, 0)), KUZOVKOV_SPECIES.hex_co.id());
+    }
+}

@@ -1,0 +1,21 @@
+//! Concrete surface-reaction models from the paper and its references.
+//!
+//! - [`zgb`] — the Ziff–Gulari–Barshad CO-oxidation model of §2 / Table I;
+//! - [`kuzovkov`] — the Pt(100) surface-reconstruction model with coverage
+//!   oscillations used by the §6 experiments (Figs 8–10);
+//! - [`diffusion`] — particle-hop models, including the two-site conflict of
+//!   Fig 2 and the 1-D single-file model;
+//! - [`ising`] — Glauber-dynamics Ising model, the classic example where a
+//!   plain NDCA gives degenerate results (§4, Vichniac).
+
+pub mod annihilation;
+pub mod diffusion;
+pub mod ising;
+pub mod kuzovkov;
+pub mod zgb;
+
+pub use annihilation::ab_annihilation;
+pub use diffusion::{diffusion_model, single_file_model, triangular_diffusion_model};
+pub use ising::ising_glauber;
+pub use kuzovkov::{kuzovkov_model, KuzovkovParams, KuzovkovSpecies};
+pub use zgb::{zgb_model, zgb_ziff, ZgbRates, ZgbSpecies};

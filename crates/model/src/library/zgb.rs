@@ -1,0 +1,178 @@
+//! The Ziff–Gulari–Barshad CO-oxidation model (paper §2, Table I).
+//!
+//! Three species `D = {*, CO, O}` and seven reaction types:
+//!
+//! | type       | versions | pattern |
+//! |------------|----------|---------|
+//! | `RtCO`     | 1        | `{(s, *, CO)}` |
+//! | `RtO2`     | 2        | `{(s, *, O), (s+e, *, O)}` for `e ∈ {(1,0), (0,1)}` |
+//! | `RtCO+O`   | 4        | `{(s, CO, *), (s+e, O, *)}` for the 4 axis offsets |
+//!
+//! Note: Table I in the paper prints the fourth `RtCO+O` version as
+//! `(s+(0,-1), CO, *)`; that is a typographical error (the partner of an
+//! adsorbed CO in the CO₂ formation is an O), and we implement the
+//! physically intended `(s+(0,-1), O, *)`.
+
+use crate::builder::ModelBuilder;
+use crate::model::Model;
+use crate::species::Species;
+
+/// Species ids of the ZGB model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZgbSpecies {
+    /// Vacant site `*` (id 0).
+    pub vacant: Species,
+    /// Adsorbed CO (id 1).
+    pub co: Species,
+    /// Adsorbed O (id 2).
+    pub o: Species,
+}
+
+/// The canonical ZGB species layout.
+pub const ZGB_SPECIES: ZgbSpecies = ZgbSpecies {
+    vacant: Species(0),
+    co: Species(1),
+    o: Species(2),
+};
+
+/// Rate constants of the three reaction groups.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZgbRates {
+    /// CO adsorption rate `k_CO` (the single `RtCO` type).
+    pub k_co: f64,
+    /// O₂ dissociative adsorption rate `k_O2` (each of the 2 orientations).
+    pub k_o2: f64,
+    /// CO₂ formation+desorption rate `k_CO2` (each of the 4 orientations).
+    pub k_co2: f64,
+}
+
+/// Build the ZGB model with explicit rate constants per reaction version.
+pub fn zgb_model(rates: ZgbRates) -> Model {
+    ModelBuilder::new(&["*", "CO", "O"])
+        .reaction("RtCO", rates.k_co, |r| {
+            r.site((0, 0), "*", "CO");
+        })
+        .reaction_rotations("RtO2", rates.k_o2, 2, |r| {
+            r.site((0, 0), "*", "O").site((1, 0), "*", "O");
+        })
+        .reaction_rotations("RtCO+O", rates.k_co2, 4, |r| {
+            r.site((0, 0), "CO", "*").site((1, 0), "O", "*");
+        })
+        .build()
+}
+
+/// The classic single-parameter ZGB parameterization.
+///
+/// `y` is the CO fraction in the gas phase: CO impinges with rate `y`, O₂
+/// with total rate `1 − y` split over the two orientations. `k_react` is the
+/// CO+O surface-reaction rate per orientation; the original ZGB paper takes
+/// the reaction as instantaneous, which a large `k_react` approximates.
+///
+/// # Panics
+///
+/// Panics unless `0 < y < 1`.
+pub fn zgb_ziff(y: f64, k_react: f64) -> Model {
+    assert!(y > 0.0 && y < 1.0, "CO fraction y must be in (0, 1), got {y}");
+    zgb_model(ZgbRates {
+        k_co: y,
+        k_o2: (1.0 - y) / 2.0,
+        k_co2: k_react,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_lattice::{Dims, Lattice, Offset};
+
+    #[test]
+    fn zgb_has_seven_reaction_types() {
+        // Table I: 1 CO adsorption + 2 O2 orientations + 4 CO+O orientations.
+        let m = zgb_model(ZgbRates {
+            k_co: 1.0,
+            k_o2: 1.0,
+            k_co2: 1.0,
+        });
+        assert_eq!(m.num_reactions(), 7);
+        assert_eq!(m.reaction_index("RtCO"), Some(0));
+        assert!(m.reaction_index("RtO2[0]").is_some());
+        assert!(m.reaction_index("RtO2[1]").is_some());
+        for q in 0..4 {
+            assert!(m.reaction_index(&format!("RtCO+O[{q}]")).is_some());
+        }
+    }
+
+    #[test]
+    fn combined_neighborhood_is_von_neumann() {
+        let m = zgb_ziff(0.5, 1.0);
+        let nb = m.combined_neighborhood();
+        assert_eq!(nb.len(), 5);
+        assert_eq!(nb.radius(), 1);
+    }
+
+    #[test]
+    fn total_rate_matches_parameterization() {
+        let m = zgb_ziff(0.4, 2.0);
+        // K = y + 2*(1-y)/2 + 4*k_react = 0.4 + 0.6 + 8.
+        assert!((m.total_rate() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn o2_adsorbs_only_on_adjacent_vacancies() {
+        let m = zgb_ziff(0.5, 1.0);
+        let d = Dims::new(4, 4);
+        let mut l = Lattice::filled(d, 0);
+        let rt = m.reaction(m.reaction_index("RtO2[0]").expect("exists"));
+        let s = d.site_at(1, 1);
+        assert!(rt.is_enabled(&l, s));
+        l.set(d.site_at(2, 1), ZGB_SPECIES.co.id());
+        assert!(!rt.is_enabled(&l, s));
+    }
+
+    #[test]
+    fn co_o_pattern_orientations_point_in_all_axes() {
+        let m = zgb_ziff(0.5, 1.0);
+        let mut partner_offsets = Vec::new();
+        for q in 0..4 {
+            let rt = m.reaction(m.reaction_index(&format!("RtCO+O[{q}]")).expect("exists"));
+            // The non-origin transform is the O partner; it must require O
+            // (Table I's fourth row has a typo we correct).
+            let partner = rt
+                .transforms()
+                .iter()
+                .find(|t| t.offset != Offset::ZERO)
+                .expect("pair pattern");
+            assert_eq!(partner.src, ZGB_SPECIES.o);
+            assert_eq!(partner.tgt, ZGB_SPECIES.vacant);
+            partner_offsets.push(partner.offset);
+        }
+        for e in [
+            Offset::new(1, 0),
+            Offset::new(0, 1),
+            Offset::new(-1, 0),
+            Offset::new(0, -1),
+        ] {
+            assert!(partner_offsets.contains(&e), "missing orientation {e:?}");
+        }
+    }
+
+    #[test]
+    fn co_o_reaction_clears_both_sites() {
+        let m = zgb_ziff(0.5, 1.0);
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        let s = d.site_at(0, 0);
+        l.set(s, ZGB_SPECIES.co.id());
+        l.set(d.site_at(1, 0), ZGB_SPECIES.o.id());
+        let rt = m.reaction(m.reaction_index("RtCO+O[0]").expect("exists"));
+        assert!(rt.is_enabled(&l, s));
+        rt.execute_collect(&mut l, s);
+        assert_eq!(l.count(0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "CO fraction")]
+    fn invalid_y_panics() {
+        zgb_ziff(1.5, 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The complete simulation model: species + reaction types.
+
+use crate::reaction::ReactionType;
+use crate::species::SpeciesSet;
+use psr_lattice::{Lattice, Neighborhood, Site};
+
+/// A surface-reaction model: the domain `D` and the set of reaction types
+/// `T` with their rates (paper §2).
+#[derive(Clone, Debug)]
+pub struct Model {
+    species: SpeciesSet,
+    reactions: Vec<ReactionType>,
+    total_rate: f64,
+}
+
+impl Model {
+    /// Bundle species and reaction types into a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no reaction types, if any transform references a
+    /// species outside the set, or if the total rate is zero.
+    pub fn new(species: SpeciesSet, reactions: Vec<ReactionType>) -> Self {
+        assert!(!reactions.is_empty(), "a model needs at least one reaction type");
+        for rt in &reactions {
+            for t in rt.transforms() {
+                assert!(
+                    species.contains(t.src) && species.contains(t.tgt),
+                    "reaction {:?} references a species outside the set",
+                    rt.name()
+                );
+            }
+        }
+        let total_rate: f64 = reactions.iter().map(|r| r.rate()).sum();
+        assert!(
+            total_rate > 0.0,
+            "total rate K must be positive (all reaction rates are zero)"
+        );
+        Model {
+            species,
+            reactions,
+            total_rate,
+        }
+    }
+
+    /// The domain `D`.
+    pub fn species(&self) -> &SpeciesSet {
+        &self.species
+    }
+
+    /// The reaction types, in declaration order.
+    pub fn reactions(&self) -> &[ReactionType] {
+        &self.reactions
+    }
+
+    /// Number of reaction types `|T|`.
+    pub fn num_reactions(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// A reaction type by index.
+    pub fn reaction(&self, index: usize) -> &ReactionType {
+        &self.reactions[index]
+    }
+
+    /// `K = Σ_i k_i`, the sum of all reaction-type rate constants (paper §3).
+    pub fn total_rate(&self) -> f64 {
+        self.total_rate
+    }
+
+    /// The rate constants in reaction order (weights for `k_i / K` sampling).
+    pub fn rate_weights(&self) -> Vec<f64> {
+        self.reactions.iter().map(|r| r.rate()).collect()
+    }
+
+    /// Union of all reaction neighborhoods — the stencil that determines
+    /// conflicts and hence partitions (paper §5).
+    pub fn combined_neighborhood(&self) -> Neighborhood {
+        let mut nb = Neighborhood::origin();
+        for rt in &self.reactions {
+            nb = nb.union(&rt.neighborhood());
+        }
+        nb
+    }
+
+    /// Largest L1 radius over all reaction neighborhoods.
+    pub fn interaction_radius(&self) -> u32 {
+        self.combined_neighborhood().radius()
+    }
+
+    /// Indices of reaction types enabled at `site`.
+    pub fn enabled_at(&self, lattice: &Lattice, site: Site) -> Vec<usize> {
+        self.reactions
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| rt.is_enabled(lattice, site))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sum of rates of reactions enabled anywhere on the lattice.
+    ///
+    /// This is the total propensity `Σ kSS'` of the Master Equation (Eq. 1);
+    /// O(N·|T|) — used by VSSM initialisation, tests and the exact solver,
+    /// not in inner loops.
+    pub fn total_propensity(&self, lattice: &Lattice) -> f64 {
+        let mut total = 0.0;
+        for site in lattice.dims().iter_sites() {
+            for rt in &self.reactions {
+                if rt.is_enabled(lattice, site) {
+                    total += rt.rate();
+                }
+            }
+        }
+        total
+    }
+
+    /// Find a reaction type index by name.
+    pub fn reaction_index(&self, name: &str) -> Option<usize> {
+        self.reactions.iter().position(|r| r.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Transform;
+    use crate::species::{Species, VACANT};
+    use psr_lattice::{Dims, Offset};
+
+    fn toy_model() -> Model {
+        let species = SpeciesSet::new(&["*", "A", "B"]);
+        let a = Species(1);
+        let b = Species(2);
+        let ads = ReactionType::new("A ads", vec![Transform::at_origin(VACANT, a)], 1.0);
+        let pair = ReactionType::new(
+            "A+B",
+            vec![
+                Transform::at_origin(a, VACANT),
+                Transform::new(Offset::new(1, 0), b, VACANT),
+            ],
+            3.0,
+        );
+        Model::new(species, vec![ads, pair])
+    }
+
+    #[test]
+    fn total_rate_is_sum_of_constants() {
+        let m = toy_model();
+        assert_eq!(m.total_rate(), 4.0);
+        assert_eq!(m.rate_weights(), vec![1.0, 3.0]);
+        assert_eq!(m.num_reactions(), 2);
+    }
+
+    #[test]
+    fn combined_neighborhood_unions_patterns() {
+        let m = toy_model();
+        let nb = m.combined_neighborhood();
+        assert_eq!(nb.len(), 2);
+        assert_eq!(m.interaction_radius(), 1);
+    }
+
+    #[test]
+    fn enabled_at_lists_reactions() {
+        let m = toy_model();
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        let s = d.site_at(1, 1);
+        assert_eq!(m.enabled_at(&l, s), vec![0]); // only adsorption on vacant
+        l.set(s, 1);
+        l.set(d.site_at(2, 1), 2);
+        assert_eq!(m.enabled_at(&l, s), vec![1]); // only the A+B reaction
+    }
+
+    #[test]
+    fn total_propensity_counts_all_sites() {
+        let m = toy_model();
+        let d = Dims::new(2, 2);
+        let l = Lattice::filled(d, 0);
+        // All 4 sites vacant: adsorption (k=1) enabled everywhere, pair not.
+        assert_eq!(m.total_propensity(&l), 4.0);
+    }
+
+    #[test]
+    fn reaction_lookup_by_name() {
+        let m = toy_model();
+        assert_eq!(m.reaction_index("A+B"), Some(1));
+        assert_eq!(m.reaction_index("nope"), None);
+        assert_eq!(m.reaction(0).name(), "A ads");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the set")]
+    fn species_out_of_range_panics() {
+        let species = SpeciesSet::new(&["*"]);
+        let bad = ReactionType::new(
+            "bad",
+            vec![Transform::at_origin(VACANT, Species(9))],
+            1.0,
+        );
+        Model::new(species, vec![bad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reaction")]
+    fn empty_model_panics() {
+        Model::new(SpeciesSet::new(&["*"]), vec![]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Rate constants.
+//!
+//! The paper (§2): each reaction type has a rate constant
+//! `k = ν · exp(−E / (k_B · T))` — the Arrhenius expression with activation
+//! energy `E`, pre-exponential factor `ν`, Boltzmann constant `k_B` and
+//! temperature `T`.
+
+/// Boltzmann constant in eV/K.
+pub const BOLTZMANN_EV: f64 = 8.617_333_262e-5;
+
+/// Arrhenius rate constant.
+///
+/// * `prefactor` — `ν`, in 1/time (typically 10¹²–10¹³ s⁻¹ for surface
+///   processes).
+/// * `activation_energy_ev` — `E` in eV.
+/// * `temperature_k` — `T` in Kelvin.
+///
+/// # Panics
+///
+/// Panics if the prefactor is negative or the temperature is not positive.
+pub fn arrhenius(prefactor: f64, activation_energy_ev: f64, temperature_k: f64) -> f64 {
+    assert!(
+        prefactor >= 0.0 && prefactor.is_finite(),
+        "prefactor must be >= 0"
+    );
+    assert!(
+        temperature_k > 0.0 && temperature_k.is_finite(),
+        "temperature must be positive"
+    );
+    prefactor * (-activation_energy_ev / (BOLTZMANN_EV * temperature_k)).exp()
+}
+
+/// A temperature-dependent rate specification that can be evaluated at a
+/// temperature, or a fixed constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RateSpec {
+    /// A fixed rate constant (most of the paper's experiments use
+    /// dimensionless rates).
+    Constant(f64),
+    /// An Arrhenius expression `ν · exp(−E / k_B T)`.
+    Arrhenius {
+        /// Pre-exponential factor `ν` (1/time).
+        prefactor: f64,
+        /// Activation energy `E` in eV.
+        activation_energy_ev: f64,
+    },
+}
+
+impl RateSpec {
+    /// Evaluate the rate at temperature `temperature_k` (ignored for
+    /// [`RateSpec::Constant`]).
+    pub fn at(&self, temperature_k: f64) -> f64 {
+        match *self {
+            RateSpec::Constant(k) => k,
+            RateSpec::Arrhenius {
+                prefactor,
+                activation_energy_ev,
+            } => arrhenius(prefactor, activation_energy_ev, temperature_k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_activation_energy_gives_prefactor() {
+        assert_eq!(arrhenius(1e13, 0.0, 300.0), 1e13);
+    }
+
+    #[test]
+    fn rate_increases_with_temperature() {
+        let low = arrhenius(1e13, 1.0, 300.0);
+        let high = arrhenius(1e13, 1.0, 600.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn known_value() {
+        // E = 1 eV, T such that k_B T = 0.05 eV => exp(-20).
+        let t = 1.0 / (BOLTZMANN_EV * 20.0);
+        let k = arrhenius(1.0, 1.0, t);
+        assert!((k - (-20.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_spec_evaluation() {
+        assert_eq!(RateSpec::Constant(2.5).at(1000.0), 2.5);
+        let spec = RateSpec::Arrhenius {
+            prefactor: 1e12,
+            activation_energy_ev: 0.8,
+        };
+        assert!((spec.at(500.0) - arrhenius(1e12, 0.8, 500.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn zero_temperature_panics() {
+        arrhenius(1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for reaction-type semantics.
+
+use proptest::prelude::*;
+use psr_lattice::{Dims, Lattice, Offset, Site};
+use psr_model::{ReactionType, Species, Transform};
+
+/// Strategy: a reaction type over `num_species` species with offsets in the
+/// von Neumann ball (the paper's pattern class).
+fn reaction_strategy(num_species: u8) -> impl Strategy<Value = ReactionType> {
+    let offsets = prop::sample::subsequence(
+        vec![
+            Offset::new(1, 0),
+            Offset::new(-1, 0),
+            Offset::new(0, 1),
+            Offset::new(0, -1),
+        ],
+        0..=2,
+    );
+    (
+        offsets,
+        prop::collection::vec((0..num_species, 0..num_species), 3),
+        0.01f64..10.0,
+    )
+        .prop_map(move |(extra, specs, rate)| {
+            let mut transforms = vec![Transform::at_origin(
+                Species(specs[0].0),
+                Species(specs[0].1),
+            )];
+            for (i, off) in extra.into_iter().enumerate() {
+                let (src, tgt) = specs[i + 1];
+                transforms.push(Transform::new(off, Species(src), Species(tgt)));
+            }
+            ReactionType::new("prop", transforms, rate)
+        })
+}
+
+proptest! {
+    #[test]
+    fn execution_only_touches_the_neighborhood(
+        rt in reaction_strategy(3),
+        cells in prop::collection::vec(0u8..3, 36),
+        anchor in 0u32..36,
+    ) {
+        let dims = Dims::new(6, 6);
+        let lattice = Lattice::from_cells(dims, cells);
+        let site = Site(anchor);
+        if rt.is_enabled(&lattice, site) {
+            let mut after = lattice.clone();
+            rt.execute_collect(&mut after, site);
+            let nb_sites = rt.neighborhood().sites_at(dims, site);
+            for s in dims.iter_sites() {
+                if !nb_sites.contains(&s) {
+                    prop_assert_eq!(
+                        lattice.get(s),
+                        after.get(s),
+                        "site {} outside Nb changed", s.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn execution_writes_the_target_pattern(
+        rt in reaction_strategy(3),
+        cells in prop::collection::vec(0u8..3, 36),
+        anchor in 0u32..36,
+    ) {
+        let dims = Dims::new(6, 6);
+        let mut lattice = Lattice::from_cells(dims, cells);
+        let site = Site(anchor);
+        if rt.is_enabled(&lattice, site) {
+            rt.execute_collect(&mut lattice, site);
+            for t in rt.transforms() {
+                prop_assert_eq!(
+                    lattice.get(dims.translate(site, t.offset)),
+                    t.tgt.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn changes_record_matches_lattice_diff(
+        rt in reaction_strategy(3),
+        cells in prop::collection::vec(0u8..3, 36),
+        anchor in 0u32..36,
+    ) {
+        let dims = Dims::new(6, 6);
+        let before = Lattice::from_cells(dims, cells);
+        let mut after = before.clone();
+        let site = Site(anchor);
+        if rt.is_enabled(&after, site) {
+            let changes = rt.execute_collect(&mut after, site);
+            prop_assert_eq!(changes.len(), rt.arity());
+            for (s, old, new) in changes {
+                prop_assert_eq!(before.get(s), old);
+                prop_assert_eq!(after.get(s), new);
+            }
+        }
+    }
+
+    #[test]
+    fn enabledness_is_equivalent_to_source_match(
+        rt in reaction_strategy(3),
+        cells in prop::collection::vec(0u8..3, 36),
+        anchor in 0u32..36,
+    ) {
+        let dims = Dims::new(6, 6);
+        let lattice = Lattice::from_cells(dims, cells);
+        let site = Site(anchor);
+        let matches = rt
+            .transforms()
+            .iter()
+            .all(|t| lattice.get(dims.translate(site, t.offset)) == t.src.id());
+        prop_assert_eq!(rt.is_enabled(&lattice, site), matches);
+    }
+
+    #[test]
+    fn idempotent_patterns_allow_re_execution(
+        cells in prop::collection::vec(0u8..2, 16),
+        anchor in 0u32..16,
+    ) {
+        // A reaction whose target equals its source stays enabled forever.
+        let rt = ReactionType::new(
+            "touch",
+            vec![Transform::at_origin(Species(0), Species(0))],
+            1.0,
+        );
+        let dims = Dims::new(4, 4);
+        let mut lattice = Lattice::from_cells(dims, cells);
+        let site = Site(anchor);
+        if rt.is_enabled(&lattice, site) {
+            rt.execute_collect(&mut lattice, site);
+            prop_assert!(rt.is_enabled(&lattice, site));
+        }
+    }
+}

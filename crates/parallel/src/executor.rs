@@ -1,0 +1,500 @@
+//! The threaded PNDCA executor.
+//!
+//! One PNDCA step sweeps the chunks of the partition; within a chunk every
+//! site gets one trial. Because same-chunk neighborhoods are disjoint
+//! (partition restriction, verified on construction), the chunk sweep is
+//! embarrassingly parallel: the chunk's site list is split into one slice
+//! per worker and the slices run concurrently over a [`SharedCells`] view
+//! of the lattice. A barrier (the end of the rayon scope) separates chunks,
+//! mirroring the paper's "updates in the same partition can be done
+//! simultaneously".
+//!
+//! Determinism: every `(step, chunk, slice)` triple gets its own RNG stream
+//! derived from the master seed, so results are a pure function of
+//! `(seed, partition, thread count)` regardless of OS scheduling.
+
+use rayon::prelude::*;
+
+use crate::shared::{Claim, ClaimTable, SharedCells};
+use psr_ca::partition::Partition;
+use psr_dmc::recorder::Recorder;
+use psr_dmc::rsm::RunStats;
+use psr_dmc::sim::SimState;
+use psr_lattice::Site;
+use psr_model::{Model, ReactionType};
+use psr_rng::{AliasTable, Pcg32, StreamFactory};
+
+/// Outcome of one slice sweep.
+struct SliceOutcome {
+    trials: u64,
+    executed: u64,
+    /// Net coverage change per species id.
+    deltas: Vec<i64>,
+    conflicts: u64,
+}
+
+/// Threaded PNDCA over a conflict-free partition.
+pub struct ParallelPndca<'m, 'p> {
+    model: &'m Model,
+    partition: &'p Partition,
+    pool: rayon::ThreadPool,
+    threads: usize,
+    alias: AliasTable,
+    factory: StreamFactory,
+    checked: bool,
+    claims: Option<ClaimTable>,
+    step: u64,
+    conflicts: u64,
+    shuffle_chunks: bool,
+}
+
+impl<'m, 'p> ParallelPndca<'m, 'p> {
+    /// Build an executor with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition violates the non-overlap restriction for
+    /// `model` (this is the safety precondition of the unsafe shared-memory
+    /// sweep, so it is enforced in all build profiles), if `threads == 0`,
+    /// or if the rayon pool cannot be created.
+    pub fn new(model: &'m Model, partition: &'p Partition, threads: usize, seed: u64) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        assert!(
+            partition.is_valid_for(model),
+            "partition violates the non-overlap restriction; \
+             parallel execution would race"
+        );
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build thread pool");
+        ParallelPndca {
+            model,
+            partition,
+            pool,
+            threads,
+            alias: AliasTable::new(&model.rate_weights()),
+            factory: StreamFactory::new(seed),
+            checked: false,
+            claims: None,
+            step: 0,
+            conflicts: 0,
+            shuffle_chunks: false,
+        }
+    }
+
+    /// Build an executor that *skips* the partition validation — only for
+    /// failure-injection tests of the claim table.
+    ///
+    /// # Safety
+    ///
+    /// Running an invalid partition unchecked is a data race; callers must
+    /// enable checked mode and treat the lattice as poisoned afterwards.
+    pub unsafe fn new_unvalidated(
+        model: &'m Model,
+        partition: &'p Partition,
+        threads: usize,
+        seed: u64,
+    ) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build thread pool");
+        ParallelPndca {
+            model,
+            partition,
+            pool,
+            threads,
+            alias: AliasTable::new(&model.rate_weights()),
+            factory: StreamFactory::new(seed),
+            checked: false,
+            claims: None,
+            step: 0,
+            conflicts: 0,
+            shuffle_chunks: false,
+        }
+    }
+
+    /// Enable the atomic claim table that dynamically verifies neighborhood
+    /// disjointness (slower; for tests and debugging).
+    pub fn with_conflict_checking(mut self, lattice_sites: usize) -> Self {
+        self.checked = true;
+        self.claims = Some(ClaimTable::new(lattice_sites));
+        self
+    }
+
+    /// Shuffle chunk order each step (PNDCA strategy 2) instead of sweeping
+    /// in order.
+    pub fn with_random_chunk_order(mut self, yes: bool) -> Self {
+        self.shuffle_chunks = yes;
+        self
+    }
+
+    /// Conflicts detected by the claim table so far (0 unless the partition
+    /// was invalid and validation was bypassed).
+    pub fn conflicts_detected(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Completed steps.
+    pub fn steps_done(&self) -> u64 {
+        self.step
+    }
+
+    /// Run `steps` parallel PNDCA steps.
+    pub fn run_steps(
+        &mut self,
+        state: &mut SimState,
+        steps: u64,
+        mut recorder: Option<&mut Recorder>,
+    ) -> RunStats {
+        let mut stats = RunStats::default();
+        let num_species = self.model.species().len();
+        let k_total = self.model.total_rate();
+        let n = state.num_sites();
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(state.time, &state.coverage);
+        }
+        let _ = n;
+        for _ in 0..steps {
+            let mut order: Vec<usize> = (0..self.partition.num_chunks()).collect();
+            if self.shuffle_chunks {
+                let mut rng = self.factory.stream(shuffle_stream_id(self.step));
+                psr_rng::sample::shuffle(&mut rng, &mut order);
+            }
+            for &chunk_idx in &order {
+                let outcome = self.sweep_chunk_parallel(state, chunk_idx, num_species);
+                stats.trials += outcome.trials;
+                stats.executed += outcome.executed;
+                self.conflicts += outcome.conflicts;
+                apply_coverage_deltas(&mut state.coverage, &outcome.deltas);
+                if let Some(claims) = &self.claims {
+                    claims.clear();
+                }
+            }
+            // Discretised time: one step = N trials of 1/(N·K) each = 1/K,
+            // applied once per step (no float accumulation across trials).
+            state.time += 1.0 / k_total;
+            self.step += 1;
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.record(state.time, &state.coverage);
+            }
+        }
+        stats
+    }
+
+    fn sweep_chunk_parallel(
+        &self,
+        state: &mut SimState,
+        chunk_idx: usize,
+        num_species: usize,
+    ) -> SliceOutcome {
+        let chunk = self.partition.chunk(chunk_idx);
+        let slice_len = chunk.len().div_ceil(self.threads);
+        let slices: Vec<&[Site]> = chunk.chunks(slice_len.max(1)).collect();
+        let shared = SharedCells::new(state.lattice.cells_mut(), self.partition.dims());
+        let model = self.model;
+        let alias = &self.alias;
+        let claims = self.claims.as_ref();
+        let checked = self.checked;
+        let base_stream = (self.step * self.partition.num_chunks() as u64
+            + chunk_idx as u64)
+            * self.threads as u64;
+        let factory = &self.factory;
+        let shared_ref = &shared;
+
+        let outcomes: Vec<SliceOutcome> = self.pool.install(|| {
+            slices
+                .par_iter()
+                .enumerate()
+                .map(|(slice_idx, sites)| {
+                    let mut rng = factory.stream(1 + base_stream + slice_idx as u64);
+                    sweep_slice(
+                        model,
+                        alias,
+                        shared_ref,
+                        sites,
+                        &mut rng,
+                        num_species,
+                        if checked { claims } else { None },
+                    )
+                })
+                .collect()
+        });
+
+        let mut total = SliceOutcome {
+            trials: 0,
+            executed: 0,
+            deltas: vec![0; num_species],
+            conflicts: 0,
+        };
+        for o in outcomes {
+            total.trials += o.trials;
+            total.executed += o.executed;
+            total.conflicts += o.conflicts;
+            for (d, od) in total.deltas.iter_mut().zip(&o.deltas) {
+                *d += od;
+            }
+        }
+        total
+    }
+}
+
+/// Stream id for the chunk-order shuffle of a step (the high bit keeps it
+/// disjoint from the slice streams, which grow from 1).
+fn shuffle_stream_id(step: u64) -> u64 {
+    0x8000_0000_0000_0000 | step
+}
+
+/// Apply a net coverage delta vector (summing to zero) as transitions.
+pub(crate) fn apply_coverage_deltas(coverage: &mut psr_lattice::Coverage, deltas: &[i64]) {
+    debug_assert_eq!(deltas.iter().sum::<i64>(), 0, "deltas must balance");
+    let mut gains: Vec<(u8, i64)> = Vec::new();
+    let mut losses: Vec<(u8, i64)> = Vec::new();
+    for (species, &d) in deltas.iter().enumerate() {
+        if d > 0 {
+            gains.push((species as u8, d));
+        } else if d < 0 {
+            losses.push((species as u8, -d));
+        }
+    }
+    let (mut gi, mut li) = (0, 0);
+    while gi < gains.len() && li < losses.len() {
+        let moved = gains[gi].1.min(losses[li].1);
+        for _ in 0..moved {
+            coverage.transition(losses[li].0, gains[gi].0);
+        }
+        gains[gi].1 -= moved;
+        losses[li].1 -= moved;
+        if gains[gi].1 == 0 {
+            gi += 1;
+        }
+        if losses[li].1 == 0 {
+            li += 1;
+        }
+    }
+}
+
+/// One slice sweep: one trial per site against the shared lattice.
+fn sweep_slice(
+    model: &Model,
+    alias: &AliasTable,
+    shared: &SharedCells<'_>,
+    sites: &[Site],
+    rng: &mut Pcg32,
+    num_species: usize,
+    claims: Option<&ClaimTable>,
+) -> SliceOutcome {
+    let dims = shared.dims();
+    let mut outcome = SliceOutcome {
+        trials: 0,
+        executed: 0,
+        deltas: vec![0; num_species],
+        conflicts: 0,
+    };
+    for &site in sites {
+        let reaction = alias.sample(rng);
+        let rt: &ReactionType = model.reaction(reaction);
+        outcome.trials += 1;
+
+        if let Some(table) = claims {
+            let mut ok = true;
+            for t in rt.transforms() {
+                let target = dims.translate(site, t.offset);
+                if let Claim::Conflict { .. } = table.claim(target, site) {
+                    outcome.conflicts += 1;
+                    ok = false;
+                }
+            }
+            if !ok {
+                continue;
+            }
+        }
+
+        // SAFETY: `site` belongs to the chunk being swept and no other
+        // concurrent slice holds a site whose neighborhood intersects
+        // Nb(site) — guaranteed by the partition validation in
+        // `ParallelPndca::new` (or detected by the claim table above when
+        // validation was bypassed).
+        unsafe {
+            let enabled = rt
+                .transforms()
+                .iter()
+                .all(|t| shared.get(dims.translate(site, t.offset)) == t.src.id());
+            if enabled {
+                for t in rt.transforms() {
+                    let old = shared.set(dims.translate(site, t.offset), t.tgt.id());
+                    outcome.deltas[old as usize] -= 1;
+                    outcome.deltas[t.tgt.id() as usize] += 1;
+                }
+                outcome.executed += 1;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_ca::partition_builder::{checkerboard, five_coloring};
+    use psr_lattice::{Dims, Lattice};
+    use psr_model::library::zgb::zgb_ziff;
+    use psr_model::ModelBuilder;
+
+    fn diluted_adsorption() -> Model {
+        ModelBuilder::new(&["*", "A"])
+            .reaction("ads", 1.0, |r| {
+                r.site((0, 0), "*", "A");
+            })
+            .reaction("null", 99.0, |r| {
+                r.site((0, 0), "*", "*");
+            })
+            .build()
+    }
+
+    #[test]
+    fn parallel_langmuir_matches_analytic() {
+        let model = diluted_adsorption();
+        let d = Dims::square(50);
+        let p = five_coloring(d);
+        let mut exec = ParallelPndca::new(&model, &p, 2, 42);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        // K = 100, one step = 0.01 time units; 100 steps → t = 1.
+        exec.run_steps(&mut state, 100, None);
+        let theta = state.coverage.fraction(1);
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!(
+            (theta - expected).abs() < 0.03,
+            "parallel coverage {theta} vs analytic {expected}"
+        );
+        assert!(state.coverage.matches(&state.lattice));
+        assert!((state.time - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_threads() {
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(20);
+        let p = five_coloring(d);
+        let run = |seed: u64| {
+            let mut exec = ParallelPndca::new(&model, &p, 3, seed);
+            let mut state = SimState::new(Lattice::filled(d, 0), &model);
+            exec.run_steps(&mut state, 10, None);
+            state.lattice
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn trials_count_is_n_per_step() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let p = five_coloring(d);
+        let mut exec = ParallelPndca::new(&model, &p, 4, 1);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let stats = exec.run_steps(&mut state, 5, None);
+        assert_eq!(stats.trials, 500);
+        assert_eq!(exec.steps_done(), 5);
+    }
+
+    #[test]
+    fn valid_partition_never_conflicts_under_checking() {
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(20);
+        let p = five_coloring(d);
+        let mut exec = ParallelPndca::new(&model, &p, 4, 11)
+            .with_conflict_checking(d.sites() as usize);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        exec.run_steps(&mut state, 20, None);
+        assert_eq!(exec.conflicts_detected(), 0);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn failure_injection_invalid_partition_is_caught() {
+        // The checkerboard violates the restriction for ZGB's pair
+        // reactions: adjacent anchors share pattern sites. The claim table
+        // must detect this.
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(20);
+        let p = checkerboard(d);
+        assert!(!p.is_valid_for(&model));
+        // SAFETY: checked mode skips every trial whose claims conflict, so
+        // no overlapping unsafe access actually happens.
+        let mut exec = unsafe { ParallelPndca::new_unvalidated(&model, &p, 4, 5) }
+            .with_conflict_checking(d.sites() as usize);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        exec.run_steps(&mut state, 20, None);
+        assert!(
+            exec.conflicts_detected() > 0,
+            "claim table failed to detect the injected partition violation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlap restriction")]
+    fn invalid_partition_rejected_at_construction() {
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(10);
+        let p = checkerboard(d);
+        ParallelPndca::new(&model, &p, 2, 0);
+    }
+
+    #[test]
+    fn random_chunk_order_still_consistent() {
+        let model = zgb_ziff(0.4, 2.0);
+        let d = Dims::square(15);
+        let p = five_coloring(d);
+        let mut exec =
+            ParallelPndca::new(&model, &p, 2, 3).with_random_chunk_order(true);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        exec.run_steps(&mut state, 10, None);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn single_thread_executor_works() {
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(10);
+        let p = five_coloring(d);
+        let mut exec = ParallelPndca::new(&model, &p, 1, 9);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let stats = exec.run_steps(&mut state, 3, None);
+        assert_eq!(stats.trials, 300);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn recorder_receives_step_samples() {
+        let model = diluted_adsorption();
+        let d = Dims::square(20);
+        let p = five_coloring(d);
+        let mut exec = ParallelPndca::new(&model, &p, 2, 21);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rec = psr_dmc::recorder::Recorder::new(2, 0.05);
+        exec.run_steps(&mut state, 10, Some(&mut rec));
+        // K = 100 → one step = 0.01; grid 0.05 hits every 5th step.
+        assert_eq!(rec.series(0).len(), 3); // t = 0, 0.05, 0.10
+    }
+
+    #[test]
+    fn more_threads_than_chunk_sites_is_fine() {
+        // 5x5 lattice: chunks of 5 sites, 8 threads — slices degenerate
+        // to one site each and the executor must still be correct.
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::square(5);
+        let p = five_coloring(d);
+        let mut exec = ParallelPndca::new(&model, &p, 8, 2);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let stats = exec.run_steps(&mut state, 4, None);
+        assert_eq!(stats.trials, 100);
+        assert!(state.coverage.matches(&state.lattice));
+    }
+}

@@ -1,0 +1,202 @@
+//! An analytical parallel-machine model for the Fig 7 speedup surface.
+//!
+//! The paper measured `T(1,N)/T(p,N)` on a multiprocessor with up to ~10
+//! CPUs. This repository's reference hardware has a single core, so the
+//! wall-clock surface cannot be measured directly (DESIGN.md, substitution
+//! 1). Instead we model a PNDCA step on `p` processors:
+//!
+//! ```text
+//! T(p) = Σ_chunks [ ⌈|P_i| / p⌉ · t_site  +  t_sync(p) ]
+//! t_sync(p) = α + β·p          (barrier + result merge)
+//! t_sync(1) = 0                (no synchronisation sequentially)
+//! ```
+//!
+//! `t_site` — the cost of one trial — is *calibrated* from the real
+//! sequential executor ([`MachineParams::calibrate`]), so the model's work
+//! term is grounded in measurement; only the synchronisation constants are
+//! assumptions (defaults chosen in the range of SMP barrier costs). The
+//! qualitative Fig 7 shape is robust to the constants: speedup grows with
+//! the system size `N` (work amortises the barriers) and saturates or
+//! decays with `p` once per-chunk slices become small.
+
+use psr_ca::partition_builder::five_coloring;
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::Model;
+
+/// Cost constants of the modelled machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineParams {
+    /// Seconds per site trial (work term).
+    pub t_site: f64,
+    /// Barrier base latency per chunk sweep, seconds.
+    pub sync_alpha: f64,
+    /// Barrier per-processor latency, seconds.
+    pub sync_beta: f64,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            t_site: 100e-9,
+            sync_alpha: 400e-6,
+            sync_beta: 10e-6,
+        }
+    }
+}
+
+impl MachineParams {
+    /// Measure `t_site` by timing the real parallel executor with one
+    /// thread on `dims` (keeps the default synchronisation constants).
+    pub fn calibrate(model: &Model, dims: Dims, steps: u64, seed: u64) -> Self {
+        let partition = five_coloring(dims);
+        let mut exec = crate::executor::ParallelPndca::new(model, &partition, 1, seed);
+        let mut state = SimState::new(Lattice::filled(dims, 0), model);
+        // Warm up caches and the allocator.
+        exec.run_steps(&mut state, 2, None);
+        let start = std::time::Instant::now();
+        let stats = exec.run_steps(&mut state, steps, None);
+        let elapsed = start.elapsed().as_secs_f64();
+        MachineParams {
+            t_site: (elapsed / stats.trials as f64).max(1e-12),
+            ..MachineParams::default()
+        }
+    }
+}
+
+/// The modelled machine: evaluates step times and speedups.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulatedMachine {
+    params: MachineParams,
+}
+
+impl SimulatedMachine {
+    /// A machine with the given constants.
+    pub fn new(params: MachineParams) -> Self {
+        SimulatedMachine { params }
+    }
+
+    /// The cost constants.
+    pub fn params(&self) -> MachineParams {
+        self.params
+    }
+
+    /// Modelled time of one PNDCA step on `p` processors for a lattice of
+    /// `sites` sites split into `chunks` equal chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn step_time(&self, p: usize, sites: u64, chunks: usize) -> f64 {
+        assert!(p > 0 && sites > 0 && chunks > 0, "arguments must be positive");
+        let chunk_size = sites as f64 / chunks as f64;
+        let work_per_chunk = (chunk_size / p as f64).ceil() * self.params.t_site;
+        let sync = if p == 1 {
+            0.0
+        } else {
+            self.params.sync_alpha + self.params.sync_beta * p as f64
+        };
+        chunks as f64 * (work_per_chunk + sync)
+    }
+
+    /// The Fig 7 quantity: `T(1,N) / T(p,N)`.
+    pub fn speedup(&self, p: usize, sites: u64, chunks: usize) -> f64 {
+        self.step_time(1, sites, chunks) / self.step_time(p, sites, chunks)
+    }
+
+    /// Parallel efficiency `speedup / p`.
+    pub fn efficiency(&self, p: usize, sites: u64, chunks: usize) -> f64 {
+        self.speedup(p, sites, chunks) / p as f64
+    }
+
+    /// The Fig 7 surface: speedups for side lengths `sides` and processor
+    /// counts `procs`, as rows `(side, p, speedup)`.
+    pub fn surface(&self, sides: &[u32], procs: &[usize], chunks: usize) -> Vec<(u32, usize, f64)> {
+        let mut rows = Vec::new();
+        for &n in sides {
+            for &p in procs {
+                let sites = n as u64 * n as u64;
+                rows.push((n, p, self.speedup(p, sites, chunks)));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> SimulatedMachine {
+        SimulatedMachine::new(MachineParams::default())
+    }
+
+    #[test]
+    fn speedup_is_one_on_one_processor() {
+        let m = machine();
+        assert_eq!(m.speedup(1, 100 * 100, 5), 1.0);
+    }
+
+    #[test]
+    fn speedup_grows_with_system_size() {
+        // Fig 7: larger N amortises synchronisation.
+        let m = machine();
+        let s_small = m.speedup(8, 200 * 200, 5);
+        let s_large = m.speedup(8, 1000 * 1000, 5);
+        assert!(
+            s_large > s_small,
+            "speedup must grow with N: {s_small} vs {s_large}"
+        );
+        assert!(s_large > 6.0, "large systems should approach p: {s_large}");
+    }
+
+    #[test]
+    fn speedup_saturates_with_processors_on_small_systems() {
+        // For small N the sync term dominates: speedup stops growing (or
+        // shrinks) as p rises.
+        let m = machine();
+        let s2 = m.speedup(2, 200 * 200, 5);
+        let s10 = m.speedup(10, 200 * 200, 5);
+        assert!(
+            s10 < s2 * 5.0 * 0.8,
+            "sync overhead must bend the curve: s2 = {s2}, s10 = {s10}"
+        );
+    }
+
+    #[test]
+    fn efficiency_decreases_with_p() {
+        let m = machine();
+        let e2 = m.efficiency(2, 500 * 500, 5);
+        let e10 = m.efficiency(10, 500 * 500, 5);
+        assert!(e2 > e10, "efficiency must fall with p: {e2} vs {e10}");
+        assert!(e2 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn surface_has_all_rows() {
+        let m = machine();
+        let rows = m.surface(&[200, 500, 1000], &[2, 4, 8], 5);
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|&(_, _, s)| s >= 0.9));
+    }
+
+    #[test]
+    fn speedup_never_exceeds_p() {
+        let m = machine();
+        for p in [2usize, 4, 8, 16] {
+            for side in [100u32, 500, 1000] {
+                let s = m.speedup(p, side as u64 * side as u64, 5);
+                assert!(
+                    s <= p as f64 + 1e-9,
+                    "speedup {s} exceeds p = {p} for side {side}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_processors_panics() {
+        machine().step_time(0, 100, 5);
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared mutable lattice cells with a partition-based safety contract.
+//!
+//! # Safety model
+//!
+//! [`SharedCells`] hands out raw read/write access to the lattice from
+//! multiple threads *without* synchronisation. That is sound if and only if
+//! concurrent accesses never touch the same cell — which is precisely what
+//! the paper's non-overlap restriction guarantees for sites of one chunk:
+//!
+//! > for all `s, t ∈ P_i`, `s ≠ t`: `Nb(s) ∩ Nb(t) = ∅`
+//!
+//! A trial anchored at `s` reads and writes only sites in `Nb(s)`, so two
+//! concurrent trials anchored at distinct same-chunk sites are data-race
+//! free. The executor enforces "one anchor site handled by exactly one
+//! thread, all anchors from the same chunk" structurally, and
+//! [`ClaimTable`] re-verifies the disjointness dynamically in checked mode
+//! (used by tests and failure injection).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use psr_lattice::{Dims, Site};
+
+/// An unsynchronised shared view of lattice cells.
+///
+/// All access is `unsafe`; callers must guarantee that concurrently
+/// accessed cell sets are disjoint (see module docs).
+pub struct SharedCells<'a> {
+    cells: &'a [UnsafeCell<u8>],
+    dims: Dims,
+}
+
+// SAFETY: SharedCells only exposes unsafe accessors whose contract requires
+// disjoint access; under that contract there are no data races.
+unsafe impl Sync for SharedCells<'_> {}
+unsafe impl Send for SharedCells<'_> {}
+
+impl<'a> SharedCells<'a> {
+    /// Wrap a mutably borrowed cell slice.
+    pub fn new(cells: &'a mut [u8], dims: Dims) -> Self {
+        assert_eq!(cells.len(), dims.sites() as usize, "cell count mismatch");
+        // SAFETY: &mut [u8] -> &[UnsafeCell<u8>] is the sanctioned way to
+        // opt into interior mutability for an exclusively borrowed slice
+        // (same layout, and the &mut guarantees no other aliases exist).
+        let cells = unsafe { &*(cells as *mut [u8] as *const [UnsafeCell<u8>]) };
+        SharedCells { cells, dims }
+    }
+
+    /// Lattice dimensions.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Read a cell.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be writing this cell concurrently.
+    #[inline]
+    pub unsafe fn get(&self, site: Site) -> u8 {
+        *self.cells[site.0 as usize].get()
+    }
+
+    /// Write a cell, returning the previous value.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be reading or writing this cell concurrently.
+    #[inline]
+    pub unsafe fn set(&self, site: Site, value: u8) -> u8 {
+        let ptr = self.cells[site.0 as usize].get();
+        std::mem::replace(&mut *ptr, value)
+    }
+}
+
+/// Outcome of a claimed access in checked mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Claim {
+    /// The cell was free or already owned by this anchor.
+    Granted,
+    /// Another anchor site holds the cell — the partition is violated.
+    Conflict {
+        /// The anchor already holding the cell.
+        holder: Site,
+    },
+}
+
+/// Atomic per-site claim table verifying neighborhood disjointness.
+///
+/// During a chunk sweep every trial claims all sites of its reaction
+/// neighborhood under its anchor's identity; a claim held by a *different*
+/// anchor proves two neighborhoods overlap — i.e. the partition was not
+/// conflict-free. Claims persist for the whole sweep and are cleared at the
+/// barrier.
+pub struct ClaimTable {
+    claims: Vec<AtomicU32>,
+}
+
+impl ClaimTable {
+    /// A table for `n` sites, all unclaimed.
+    pub fn new(n: usize) -> Self {
+        ClaimTable {
+            claims: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Claim `site` for `anchor`.
+    pub fn claim(&self, site: Site, anchor: Site) -> Claim {
+        let tag = anchor.0 + 1;
+        match self.claims[site.0 as usize].compare_exchange(
+            0,
+            tag,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Claim::Granted,
+            Err(existing) if existing == tag => Claim::Granted,
+            Err(existing) => Claim::Conflict {
+                holder: Site(existing - 1),
+            },
+        }
+    }
+
+    /// Release every claim (call at the chunk barrier).
+    pub fn clear(&self) {
+        for c in &self.claims {
+            c.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_cells_roundtrip() {
+        let dims = Dims::new(4, 1);
+        let mut cells = vec![0u8, 1, 2, 3];
+        {
+            let shared = SharedCells::new(&mut cells, dims);
+            // SAFETY: single-threaded test.
+            unsafe {
+                assert_eq!(shared.get(Site(2)), 2);
+                assert_eq!(shared.set(Site(2), 9), 2);
+                assert_eq!(shared.get(Site(2)), 9);
+            }
+        }
+        assert_eq!(cells, vec![0, 1, 9, 3]);
+    }
+
+    #[test]
+    fn claims_granted_and_idempotent() {
+        let table = ClaimTable::new(8);
+        assert_eq!(table.claim(Site(3), Site(0)), Claim::Granted);
+        assert_eq!(table.claim(Site(3), Site(0)), Claim::Granted);
+    }
+
+    #[test]
+    fn conflicting_claim_reports_holder() {
+        let table = ClaimTable::new(8);
+        table.claim(Site(3), Site(0));
+        assert_eq!(
+            table.claim(Site(3), Site(5)),
+            Claim::Conflict { holder: Site(0) }
+        );
+    }
+
+    #[test]
+    fn clear_releases_claims() {
+        let table = ClaimTable::new(4);
+        table.claim(Site(1), Site(0));
+        table.clear();
+        assert_eq!(table.claim(Site(1), Site(2)), Claim::Granted);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_sound() {
+        // Two threads write disjoint halves through SharedCells.
+        let dims = Dims::new(8, 1);
+        let mut cells = vec![0u8; 8];
+        {
+            let shared = SharedCells::new(&mut cells, dims);
+            std::thread::scope(|scope| {
+            let s = &shared;
+            scope.spawn(move || {
+                for i in 0..4u32 {
+                    // SAFETY: this thread owns sites 0..4 exclusively.
+                    unsafe { s.set(Site(i), 1) };
+                }
+            });
+                scope.spawn(move || {
+                    for i in 4..8u32 {
+                        // SAFETY: this thread owns sites 4..8 exclusively.
+                        unsafe { s.set(Site(i), 2) };
+                    }
+                });
+            });
+        }
+        assert_eq!(cells, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Wall-clock speedup measurement `T(1,N) / T(p,N)`.
+//!
+//! This is the *measured* counterpart of [`crate::machine`]: it times the
+//! real threaded executor. On a machine with `c` cores the measured curve
+//! saturates at `c` regardless of the thread count — on the single-core
+//! reference machine it stays flat at ≈1, which is why Fig 7 is regenerated
+//! through the calibrated machine model (DESIGN.md substitution 1). The
+//! measured rows are still reported in EXPERIMENTS.md as the honest
+//! hardware baseline.
+
+use crate::executor::ParallelPndca;
+use psr_ca::partition_builder::five_coloring;
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::Model;
+
+/// One measured speedup data point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupRow {
+    /// Lattice side length.
+    pub side: u32,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds with 1 thread.
+    pub t1: f64,
+    /// Wall-clock seconds with `threads` threads.
+    pub tp: f64,
+}
+
+impl SpeedupRow {
+    /// `T(1,N) / T(p,N)`.
+    pub fn speedup(&self) -> f64 {
+        self.t1 / self.tp
+    }
+}
+
+fn time_run(model: &Model, dims: Dims, threads: usize, steps: u64, seed: u64) -> f64 {
+    let partition = five_coloring(dims);
+    let mut exec = ParallelPndca::new(model, &partition, threads, seed);
+    let mut state = SimState::new(Lattice::filled(dims, 0), model);
+    exec.run_steps(&mut state, 1, None); // warm-up
+    let start = std::time::Instant::now();
+    exec.run_steps(&mut state, steps, None);
+    start.elapsed().as_secs_f64()
+}
+
+/// Measure `T(1,N)/T(p,N)` for each side length and thread count.
+///
+/// # Panics
+///
+/// Panics if `sides` contains a length not divisible by 5 (the 5-chunk
+/// partition is used) or `steps == 0`.
+pub fn measure_speedup(
+    model: &Model,
+    sides: &[u32],
+    thread_counts: &[usize],
+    steps: u64,
+    seed: u64,
+) -> Vec<SpeedupRow> {
+    assert!(steps > 0, "need at least one step");
+    let mut rows = Vec::new();
+    for &side in sides {
+        let dims = Dims::square(side);
+        let t1 = time_run(model, dims, 1, steps, seed);
+        for &threads in thread_counts {
+            let tp = if threads == 1 {
+                t1
+            } else {
+                time_run(model, dims, threads, steps, seed)
+            };
+            rows.push(SpeedupRow {
+                side,
+                threads,
+                t1,
+                tp,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_model::library::zgb::zgb_ziff;
+
+    #[test]
+    fn measures_positive_times() {
+        let model = zgb_ziff(0.5, 2.0);
+        let rows = measure_speedup(&model, &[20], &[1, 2], 3, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.t1 > 0.0);
+            assert!(row.tp > 0.0);
+            assert!(row.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_thread_row_has_unit_speedup() {
+        let model = zgb_ziff(0.5, 2.0);
+        let rows = measure_speedup(&model, &[20], &[1], 2, 2);
+        assert_eq!(rows[0].speedup(), 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Kinetic sampling helpers: exponential waiting times, cumulative tables,
+//! and in-place shuffles.
+
+use crate::pcg::Pcg32;
+
+/// Draw an exponentially distributed waiting time with the given `rate`.
+///
+/// This is the inter-event time of a Poisson process: the paper's RSM
+/// advances real time by a draw from `1 - exp(-N K t)`, i.e. an exponential
+/// with rate `N·K` (paper §3 step 5).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+#[inline]
+pub fn exponential(rng: &mut Pcg32, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+    // f64() is in [0,1); use 1-u in (0,1] so ln never sees 0.
+    let u = 1.0 - rng.f64();
+    -u.ln() / rate
+}
+
+/// Linear-scan cumulative table for discrete sampling.
+///
+/// The O(n)-per-draw counterpart to [`crate::AliasTable`]; faster in practice
+/// for very small `n` (the ZGB model has 3 rate groups) and used as the
+/// reference implementation in the `ablation_sampling` bench.
+#[derive(Clone, Debug)]
+pub struct CumulativeTable {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl CumulativeTable {
+    /// Build from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty, negative, non-finite or all-zero weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cumulative table needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        CumulativeTable { cumulative, total: acc }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Draw a category with probability proportional to its weight.
+    #[inline]
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let x = rng.f64() * self.total;
+        // Binary search keeps large tables fast; for tiny tables the branch
+        // predictor makes this competitive with a scan anyway.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("non-NaN cumulative"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+/// Fisher–Yates shuffle in place.
+pub fn shuffle<T>(rng: &mut Pcg32, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Sample `k` distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indices(rng: &mut Pcg32, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.index(n - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = Pcg32::new(8, 8);
+        let rate = 4.0;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}, expected 0.25");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = Pcg32::new(9, 9);
+        for _ in 0..10_000 {
+            assert!(exponential(&mut rng, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_zero_rate_panics() {
+        let mut rng = Pcg32::new(1, 1);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn cumulative_matches_alias_distribution() {
+        let w = [2.0, 0.0, 3.0, 5.0];
+        let table = CumulativeTable::new(&w);
+        let mut rng = Pcg32::new(77, 7);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!((counts[0] as f64 / draws as f64 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / draws as f64 - 0.3).abs() < 0.01);
+        assert!((counts[3] as f64 / draws as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::new(3, 3);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_moves_elements() {
+        let mut rng = Pcg32::new(4, 4);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let fixed = v.iter().enumerate().filter(|(i, &x)| *i as u32 == x).count();
+        assert!(fixed < 15, "{fixed} fixed points is suspicious");
+    }
+
+    #[test]
+    fn shuffle_is_unbiased_on_positions() {
+        // Each element should land in each position with probability 1/n.
+        let n = 5;
+        let trials = 60_000;
+        let mut rng = Pcg32::new(5, 50);
+        let mut counts = vec![vec![0usize; n]; n];
+        for _ in 0..trials {
+            let mut v: Vec<usize> = (0..n).collect();
+            shuffle(&mut rng, &mut v);
+            for (pos, &elem) in v.iter().enumerate() {
+                counts[elem][pos] += 1;
+            }
+        }
+        for row in &counts {
+            for &c in row {
+                let f = c as f64 / trials as f64;
+                assert!((f - 0.2).abs() < 0.01, "placement frequency {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Pcg32::new(6, 6);
+        let picked = sample_indices(&mut rng, 50, 20);
+        assert_eq!(picked.len(), 20);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices not distinct");
+        assert!(picked.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_indices_full_is_permutation() {
+        let mut rng = Pcg32::new(6, 7);
+        let mut picked = sample_indices(&mut rng, 10, 10);
+        picked.sort_unstable();
+        assert_eq!(picked, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_too_many_panics() {
+        let mut rng = Pcg32::new(1, 1);
+        sample_indices(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Terminal line plots.
+//!
+//! The `repro_*` binaries print coverage-vs-time curves so figure shapes can
+//! be inspected without leaving the terminal. Multiple series are drawn into
+//! one character grid, later series overwriting earlier ones.
+
+use crate::timeseries::TimeSeries;
+
+/// Render `series` (each with a one-character glyph) into a `width × height`
+/// character plot with simple axes.
+///
+/// Returns an empty string if no series contains data.
+pub fn plot(series: &[(&TimeSeries, char)], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 3, "plot must be at least 10x3");
+    let non_empty: Vec<&(&TimeSeries, char)> =
+        series.iter().filter(|(s, _)| !s.is_empty()).collect();
+    if non_empty.is_empty() {
+        return String::new();
+    }
+    let t0 = non_empty
+        .iter()
+        .map(|(s, _)| s.start().expect("non-empty"))
+        .fold(f64::INFINITY, f64::min);
+    let t1 = non_empty
+        .iter()
+        .map(|(s, _)| s.end().expect("non-empty"))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut v0 = f64::INFINITY;
+    let mut v1 = f64::NEG_INFINITY;
+    for (s, _) in &non_empty {
+        let (lo, hi) = s.value_range().expect("non-empty");
+        v0 = v0.min(lo);
+        v1 = v1.max(hi);
+    }
+    if t1 <= t0 {
+        return String::new();
+    }
+    if v1 <= v0 {
+        v1 = v0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, glyph) in &non_empty {
+        for (col, t) in (0..width)
+            .map(|c| (c, t0 + (t1 - t0) * c as f64 / (width - 1) as f64))
+        {
+            let v = s.interpolate(t);
+            let frac = (v - v0) / (v1 - v0);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = *glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{v1:8.3} |")
+        } else if i == height - 1 {
+            format!("{v0:8.3} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          {}\n          t = {t0:.2} .. {t1:.2}\n",
+        "-".repeat(width)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_glyphs_and_axes() {
+        let s = TimeSeries::from_points(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+        let p = plot(&[(&s, '*')], 40, 10);
+        assert!(p.contains('*'));
+        assert!(p.contains('|'));
+        assert!(p.contains("t = 0.00 .. 2.00"));
+        assert_eq!(p.lines().count(), 12);
+    }
+
+    #[test]
+    fn empty_series_yields_empty_plot() {
+        let s = TimeSeries::new();
+        assert!(plot(&[(&s, '*')], 40, 10).is_empty());
+    }
+
+    #[test]
+    fn two_series_both_drawn() {
+        let a = TimeSeries::from_points(vec![0.0, 1.0], vec![0.0, 0.0]);
+        let b = TimeSeries::from_points(vec![0.0, 1.0], vec![1.0, 1.0]);
+        let p = plot(&[(&a, 'a'), (&b, 'b')], 20, 5);
+        assert!(p.contains('a'));
+        assert!(p.contains('b'));
+    }
+
+    #[test]
+    fn constant_series_does_not_crash() {
+        let s = TimeSeries::from_points(vec![0.0, 1.0], vec![0.5, 0.5]);
+        let p = plot(&[(&s, 'c')], 20, 5);
+        assert!(p.contains('c'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10x3")]
+    fn tiny_plot_panics() {
+        let s = TimeSeries::from_points(vec![0.0, 1.0], vec![0.0, 1.0]);
+        plot(&[(&s, '*')], 5, 2);
+    }
+}

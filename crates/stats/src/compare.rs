@@ -1,0 +1,117 @@
+//! Deviation metrics between two kinetics curves.
+//!
+//! Figs 8–10 of the paper overlay RSM and L-PNDCA coverage curves; the
+//! quantitative statement behind "gives almost the same results" is a small
+//! deviation between the curves over the common time window. Both series are
+//! resampled onto a shared uniform grid first, since RSM (event-driven) and
+//! PNDCA (step-driven) sample at different times.
+
+use crate::timeseries::TimeSeries;
+
+fn common_grid(a: &TimeSeries, b: &TimeSeries, n: usize) -> Option<(TimeSeries, TimeSeries)> {
+    let t0 = a.start()?.max(b.start()?);
+    let t1 = a.end()?.min(b.end()?);
+    if t1 <= t0 {
+        return None;
+    }
+    Some((a.resample(t0, t1, n), b.resample(t0, t1, n)))
+}
+
+/// Root-mean-square deviation between two curves over their common time
+/// window, resampled to `n` points. Returns `None` if the windows do not
+/// overlap or a series is empty.
+pub fn rms_deviation(a: &TimeSeries, b: &TimeSeries, n: usize) -> Option<f64> {
+    let (ra, rb) = common_grid(a, b, n)?;
+    let sum: f64 = ra
+        .values()
+        .iter()
+        .zip(rb.values())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum();
+    Some((sum / n as f64).sqrt())
+}
+
+/// Maximum absolute deviation over the common window.
+pub fn linf_deviation(a: &TimeSeries, b: &TimeSeries, n: usize) -> Option<f64> {
+    let (ra, rb) = common_grid(a, b, n)?;
+    ra.values()
+        .iter()
+        .zip(rb.values())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(None, |acc, d| Some(acc.map_or(d, |m: f64| m.max(d))))
+}
+
+/// Mean absolute deviation over the common window.
+pub fn mae_deviation(a: &TimeSeries, b: &TimeSeries, n: usize) -> Option<f64> {
+    let (ra, rb) = common_grid(a, b, n)?;
+    let sum: f64 = ra
+        .values()
+        .iter()
+        .zip(rb.values())
+        .map(|(&x, &y)| (x - y).abs())
+        .sum();
+    Some(sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(offset: f64) -> TimeSeries {
+        let times: Vec<f64> = (0..101).map(|i| i as f64 * 0.1).collect();
+        let values = times.iter().map(|&t| (t).sin() + offset).collect();
+        TimeSeries::from_points(times, values)
+    }
+
+    #[test]
+    fn identical_series_deviate_zero() {
+        let a = series(0.0);
+        assert_eq!(rms_deviation(&a, &a, 100), Some(0.0));
+        assert_eq!(linf_deviation(&a, &a, 100), Some(0.0));
+        assert_eq!(mae_deviation(&a, &a, 100), Some(0.0));
+    }
+
+    #[test]
+    fn constant_offset_detected_exactly() {
+        let a = series(0.0);
+        let b = series(0.25);
+        let rms = rms_deviation(&a, &b, 200).expect("overlap");
+        let linf = linf_deviation(&a, &b, 200).expect("overlap");
+        let mae = mae_deviation(&a, &b, 200).expect("overlap");
+        assert!((rms - 0.25).abs() < 1e-9);
+        assert!((linf - 0.25).abs() < 1e-9);
+        assert!((mae - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_overlapping_windows_return_none() {
+        let a = TimeSeries::from_points(vec![0.0, 1.0], vec![0.0, 0.0]);
+        let b = TimeSeries::from_points(vec![2.0, 3.0], vec![0.0, 0.0]);
+        assert_eq!(rms_deviation(&a, &b, 10), None);
+    }
+
+    #[test]
+    fn empty_series_returns_none() {
+        let a = TimeSeries::new();
+        let b = series(0.0);
+        assert_eq!(rms_deviation(&a, &b, 10), None);
+    }
+
+    #[test]
+    fn different_sampling_grids_compare_fine() {
+        // Same underlying function sampled at different times should show
+        // only interpolation error.
+        let coarse_times: Vec<f64> = (0..26).map(|i| i as f64 * 0.4).collect();
+        let coarse = TimeSeries::from_points(
+            coarse_times.clone(),
+            coarse_times.iter().map(|&t| t * 2.0).collect(),
+        );
+        let fine_times: Vec<f64> = (0..101).map(|i| i as f64 * 0.1).collect();
+        let fine = TimeSeries::from_points(
+            fine_times.clone(),
+            fine_times.iter().map(|&t| t * 2.0).collect(),
+        );
+        let rms = rms_deviation(&coarse, &fine, 100).expect("overlap");
+        assert!(rms < 1e-9, "linear data interpolates exactly, got {rms}");
+    }
+}

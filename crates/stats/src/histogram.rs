@@ -1,0 +1,131 @@
+//! Fixed-width histograms.
+
+/// A histogram with `bins` equal-width bins over `[lo, hi)`; out-of-range
+/// observations land in saturating edge bins counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-degenerate");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let bin = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Normalised density per bin (integrates to the in-range fraction).
+    pub fn density(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let n = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / (n * w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(9.9999);
+        h.add(5.0);
+        h.add(-1.0);
+        h.add(10.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 2.0, 8);
+        for i in 0..100 {
+            h.add(i as f64 * 0.02); // all in [0, 2)
+        }
+        let w = 2.0 / 8.0;
+        let integral: f64 = h.density().iter().map(|d| d * w).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panic() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn bad_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Kolmogorov–Smirnov test against the exponential distribution.
+//!
+//! Segers' first correctness criterion (paper §6): "the waiting time for a
+//! reaction of type i has an exponential probability distribution
+//! exp(−k_i t)". `psr-dmc` records empirical waiting times; this test
+//! decides whether they are consistent with `Exp(rate)`.
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D_n = sup |F_emp − F|`.
+    pub statistic: f64,
+    /// Sample size.
+    pub n: usize,
+    /// `sqrt(n) · D_n`, the asymptotically pivotal quantity.
+    pub scaled: f64,
+}
+
+impl KsResult {
+    /// Accept the exponential hypothesis at roughly the given significance
+    /// level using the asymptotic Kolmogorov distribution critical values.
+    ///
+    /// Supported levels: 0.10 (c=1.224), 0.05 (c=1.358), 0.01 (c=1.628).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported level.
+    pub fn accepts(&self, level: f64) -> bool {
+        let critical = if (level - 0.10).abs() < 1e-9 {
+            1.224
+        } else if (level - 0.05).abs() < 1e-9 {
+            1.358
+        } else if (level - 0.01).abs() < 1e-9 {
+            1.628
+        } else {
+            panic!("unsupported significance level {level}; use 0.10, 0.05 or 0.01")
+        };
+        self.scaled <= critical
+    }
+}
+
+/// KS test of `samples` against `Exp(rate)` (CDF `1 − exp(−rate·t)`).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `rate` is not positive, or any sample is
+/// negative.
+pub fn ks_exponential(samples: &[f64], rate: f64) -> KsResult {
+    assert!(!samples.is_empty(), "KS test needs at least one sample");
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    assert!(sorted[0] >= 0.0, "waiting times must be non-negative");
+    let n = sorted.len();
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = 1.0 - (-rate * x).exp();
+        let lo = i as f64 / n as f64;
+        let hi = (i + 1) as f64 / n as f64;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    KsResult {
+        statistic: d,
+        n,
+        scaled: (n as f64).sqrt() * d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic exponential "samples" via inverse-CDF on a uniform grid
+    /// (the best-case empirical distribution).
+    fn ideal_exponential(rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                -(1.0 - u).ln() / rate
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_exponential_accepted() {
+        let samples = ideal_exponential(2.0, 1000);
+        let r = ks_exponential(&samples, 2.0);
+        assert!(r.statistic < 0.01, "statistic {}", r.statistic);
+        assert!(r.accepts(0.05));
+        assert!(r.accepts(0.01));
+    }
+
+    #[test]
+    fn wrong_rate_rejected() {
+        let samples = ideal_exponential(2.0, 1000);
+        let r = ks_exponential(&samples, 4.0);
+        assert!(!r.accepts(0.05), "scaled {}", r.scaled);
+    }
+
+    #[test]
+    fn uniform_samples_rejected() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let r = ks_exponential(&samples, 1.0);
+        assert!(!r.accepts(0.10));
+    }
+
+    #[test]
+    fn statistic_bounded_by_one() {
+        let samples = vec![1e6; 50];
+        let r = ks_exponential(&samples, 1.0);
+        assert!(r.statistic <= 1.0);
+        assert_eq!(r.n, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported significance")]
+    fn bad_level_panics() {
+        let r = ks_exponential(&[1.0], 1.0);
+        r.accepts(0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        ks_exponential(&[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sample_panics() {
+        ks_exponential(&[-0.5], 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Statistics for simulation output analysis.
+//!
+//! The paper's evaluation compares algorithms through their *kinetics*:
+//! coverage-vs-time curves (Figs 8–10), deviation between RSM and L-PNDCA,
+//! preservation of oscillations, and the Segers correctness criteria
+//! (exponential waiting times). This crate provides the measurement side:
+//!
+//! - [`TimeSeries`] — sampled observables with resampling/interpolation;
+//! - [`compare`] — L2/L∞/MAE deviation between curves on a common grid;
+//! - [`oscillation`] — peak detection, period and amplitude estimation;
+//! - [`ks`] — Kolmogorov–Smirnov test against an exponential distribution
+//!   (criterion 1 of Segers, paper §6);
+//! - [`summary`] — Welford running mean/variance;
+//! - [`histogram`] — fixed-width binning;
+//! - [`ascii_plot`] — terminal line plots for the examples.
+
+#![warn(missing_docs)]
+
+pub mod ascii_plot;
+pub mod compare;
+pub mod histogram;
+pub mod ks;
+pub mod oscillation;
+pub mod summary;
+pub mod timeseries;
+
+pub use compare::{linf_deviation, mae_deviation, rms_deviation};
+pub use histogram::Histogram;
+pub use ks::{ks_exponential, KsResult};
+pub use oscillation::{detect_peaks, OscillationSummary};
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,200 @@
+//! Oscillation detection: peaks, period and amplitude.
+//!
+//! The §6 experiments hinge on whether coverage oscillations *survive* a
+//! given algorithm/parameter combination ("for very large values of L, the
+//! oscillations disappear" — Fig 9/10 discussion). We quantify that with a
+//! robust peak detector on a moving-average-smoothed series.
+
+use crate::timeseries::TimeSeries;
+
+/// A detected oscillation pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OscillationSummary {
+    /// Times of detected maxima.
+    pub peak_times: Vec<f64>,
+    /// Mean peak-to-peak interval (`None` with fewer than 2 peaks).
+    pub period: Option<f64>,
+    /// Mean peak height minus mean trough depth (`None` without both).
+    pub amplitude: Option<f64>,
+}
+
+impl OscillationSummary {
+    /// True if the series shows at least `min_peaks` peaks with amplitude at
+    /// least `min_amplitude`.
+    pub fn is_oscillating(&self, min_peaks: usize, min_amplitude: f64) -> bool {
+        self.peak_times.len() >= min_peaks
+            && self.amplitude.is_some_and(|a| a >= min_amplitude)
+    }
+}
+
+/// Moving-average smoothing with window `2*half + 1`.
+fn smooth(values: &[f64], half: usize) -> Vec<f64> {
+    let n = values.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let sum: f64 = values[lo..hi].iter().sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Detect oscillation peaks and troughs.
+///
+/// `smoothing_half` is the half-width of the moving-average window (0 = no
+/// smoothing). `min_prominence` filters out noise: an extremum only counts
+/// when the series has moved at least this far since the previous counted
+/// extremum (a standard alternating max/min hysteresis scan).
+pub fn detect_peaks(
+    series: &TimeSeries,
+    smoothing_half: usize,
+    min_prominence: f64,
+) -> OscillationSummary {
+    assert!(
+        min_prominence >= 0.0,
+        "min_prominence must be non-negative"
+    );
+    let n = series.len();
+    if n < 3 {
+        return OscillationSummary {
+            peak_times: Vec::new(),
+            period: None,
+            amplitude: None,
+        };
+    }
+    let values = smooth(series.values(), smoothing_half);
+    let times = series.times();
+
+    // Hysteresis scan: track the running extremum; when the signal retreats
+    // from it by min_prominence, commit the extremum and switch direction.
+    let mut peaks: Vec<(f64, f64)> = Vec::new(); // (time, height)
+    let mut troughs: Vec<(f64, f64)> = Vec::new();
+    let mut looking_for_max = true;
+    let mut ext_val = values[0];
+    let mut ext_time = times[0];
+    for i in 1..n {
+        let v = values[i];
+        if looking_for_max {
+            if v > ext_val {
+                ext_val = v;
+                ext_time = times[i];
+            } else if ext_val - v >= min_prominence {
+                peaks.push((ext_time, ext_val));
+                looking_for_max = false;
+                ext_val = v;
+                ext_time = times[i];
+            }
+        } else if v < ext_val {
+            ext_val = v;
+            ext_time = times[i];
+        } else if v - ext_val >= min_prominence {
+            troughs.push((ext_time, ext_val));
+            looking_for_max = true;
+            ext_val = v;
+            ext_time = times[i];
+        }
+    }
+
+    let peak_times: Vec<f64> = peaks.iter().map(|&(t, _)| t).collect();
+    let period = if peak_times.len() >= 2 {
+        let total = peak_times.last().expect("non-empty") - peak_times[0];
+        Some(total / (peak_times.len() - 1) as f64)
+    } else {
+        None
+    };
+    let amplitude = if !peaks.is_empty() && !troughs.is_empty() {
+        let mean_peak: f64 = peaks.iter().map(|&(_, v)| v).sum::<f64>() / peaks.len() as f64;
+        let mean_trough: f64 =
+            troughs.iter().map(|&(_, v)| v).sum::<f64>() / troughs.len() as f64;
+        Some(mean_peak - mean_trough)
+    } else {
+        None
+    };
+    OscillationSummary {
+        peak_times,
+        period,
+        amplitude,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, amp: f64, n: usize, dt: f64) -> TimeSeries {
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let values = times
+            .iter()
+            .map(|&t| amp * (2.0 * std::f64::consts::PI * freq * t).sin())
+            .collect();
+        TimeSeries::from_points(times, values)
+    }
+
+    #[test]
+    fn sine_period_recovered() {
+        // freq 0.5 → period 2.0; 10 periods sampled at dt = 0.01.
+        let s = sine(0.5, 1.0, 2000, 0.01);
+        let osc = detect_peaks(&s, 0, 0.5);
+        let period = osc.period.expect("period detected");
+        assert!((period - 2.0).abs() < 0.05, "period {period}");
+        assert!(osc.is_oscillating(5, 1.5));
+    }
+
+    #[test]
+    fn amplitude_recovered() {
+        let s = sine(1.0, 0.3, 1000, 0.005);
+        let osc = detect_peaks(&s, 0, 0.1);
+        let amp = osc.amplitude.expect("amplitude detected");
+        // Peak-to-trough of a 0.3-amplitude sine is 0.6.
+        assert!((amp - 0.6).abs() < 0.05, "amplitude {amp}");
+    }
+
+    #[test]
+    fn flat_series_has_no_peaks() {
+        let times: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = TimeSeries::from_points(times, vec![0.5; 100]);
+        let osc = detect_peaks(&s, 0, 0.01);
+        assert!(osc.peak_times.is_empty());
+        assert!(!osc.is_oscillating(1, 0.0));
+    }
+
+    #[test]
+    fn noise_below_prominence_ignored() {
+        // Small jitter on a flat line should not register with a larger
+        // prominence threshold.
+        let times: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..200).map(|i| 0.5 + 0.01 * ((i % 2) as f64)).collect();
+        let s = TimeSeries::from_points(times, values);
+        let osc = detect_peaks(&s, 0, 0.1);
+        assert!(osc.peak_times.is_empty());
+    }
+
+    #[test]
+    fn smoothing_suppresses_high_frequency_noise() {
+        // Slow sine + fast small wiggle: with smoothing, only the slow
+        // peaks are detected.
+        let times: Vec<f64> = (0..4000).map(|i| i as f64 * 0.01).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| (0.5 * t).sin() + 0.05 * (40.0 * t).sin())
+            .collect();
+        let s = TimeSeries::from_points(times, values);
+        let osc = detect_peaks(&s, 20, 0.5);
+        // 40/(2π) ≈ 3 slow periods in 40 time units → ~3 peaks.
+        assert!(
+            (2..=4).contains(&osc.peak_times.len()),
+            "found {} peaks",
+            osc.peak_times.len()
+        );
+    }
+
+    #[test]
+    fn too_short_series_is_quiet() {
+        let s = TimeSeries::from_points(vec![0.0, 1.0], vec![0.0, 1.0]);
+        let osc = detect_peaks(&s, 0, 0.0);
+        assert_eq!(osc.peak_times.len(), 0);
+        assert_eq!(osc.period, None);
+        assert_eq!(osc.amplitude, None);
+    }
+}

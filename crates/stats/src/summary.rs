@@ -1,0 +1,164 @@
+//! Running mean/variance (Welford's algorithm).
+
+/// Numerically stable running summary statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (`None` with fewer than 2 observations).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> Option<f64> {
+        self.stddev().map(|s| s / (self.n as f64).sqrt())
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.mean(), Some(5.0));
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance().expect("var") - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn single_observation_has_no_variance() {
+        let mut s = Summary::new();
+        s.add(3.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.variance(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &data[..37] {
+            left.add(x);
+        }
+        for &x in &data[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean().expect("m") - whole.mean().expect("m")).abs() < 1e-10);
+        assert!(
+            (left.variance().expect("v") - whole.variance().expect("v")).abs() < 1e-10
+        );
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::new();
+        a.add(1.0);
+        a.add(2.0);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

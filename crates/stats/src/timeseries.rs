@@ -1,0 +1,226 @@
+//! Sampled time series with interpolation and resampling.
+
+/// A time series: strictly increasing sample times with one value each.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Build from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or times are not strictly increasing.
+    pub fn from_points(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        for w in times.windows(2) {
+            assert!(w[0] < w[1], "times must be strictly increasing");
+        }
+        TimeSeries { times, values }
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` does not exceed the last sample time.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(
+                time > last,
+                "sample times must be strictly increasing ({time} <= {last})"
+            );
+        }
+        self.times.push(time);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// First sample time.
+    pub fn start(&self) -> Option<f64> {
+        self.times.first().copied()
+    }
+
+    /// Last sample time.
+    pub fn end(&self) -> Option<f64> {
+        self.times.last().copied()
+    }
+
+    /// Linear interpolation at `t`, clamped to the end values outside the
+    /// sampled range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty series.
+    pub fn interpolate(&self, t: f64) -> f64 {
+        assert!(!self.is_empty(), "cannot interpolate an empty series");
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        let n = self.times.len();
+        if t >= self.times[n - 1] {
+            return self.values[n - 1];
+        }
+        // partition_point: first index with times[i] > t.
+        let hi = self.times.partition_point(|&x| x <= t);
+        let lo = hi - 1;
+        let (t0, t1) = (self.times[lo], self.times[hi]);
+        let (v0, v1) = (self.values[lo], self.values[hi]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Resample onto `n` uniform points over `[t0, t1]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty, `n < 2`, or `t1 <= t0`.
+    pub fn resample(&self, t0: f64, t1: f64, n: usize) -> TimeSeries {
+        assert!(n >= 2, "resampling needs at least 2 points");
+        assert!(t1 > t0, "resample interval must be non-degenerate");
+        let step = (t1 - t0) / (n - 1) as f64;
+        let times: Vec<f64> = (0..n).map(|i| t0 + step * i as f64).collect();
+        let values = times.iter().map(|&t| self.interpolate(t)).collect();
+        TimeSeries { times, values }
+    }
+
+    /// Minimum and maximum value.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &self.values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some((min, max))
+    }
+
+    /// Mean of the values (unweighted by spacing).
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.len() as f64)
+        }
+    }
+
+    /// The sub-series with `t >= t_min` (used to drop transients before
+    /// analysing oscillations).
+    pub fn after(&self, t_min: f64) -> TimeSeries {
+        let start = self.times.partition_point(|&t| t < t_min);
+        TimeSeries {
+            times: self.times[start..].to_vec(),
+            values: self.values[start..].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        TimeSeries::from_points(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 20.0])
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let s = ramp();
+        assert_eq!(s.interpolate(0.5), 5.0);
+        assert_eq!(s.interpolate(1.5), 15.0);
+        assert_eq!(s.interpolate(1.0), 10.0);
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_range() {
+        let s = ramp();
+        assert_eq!(s.interpolate(-1.0), 0.0);
+        assert_eq!(s.interpolate(5.0), 20.0);
+    }
+
+    #[test]
+    fn resample_uniform_grid() {
+        let s = ramp();
+        let r = s.resample(0.0, 2.0, 5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.times(), &[0.0, 0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(r.values(), &[0.0, 5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn push_appends_in_order() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0);
+        s.push(0.5, 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.end(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_out_of_order_panics() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.0);
+        s.push(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_points_unsorted_panics() {
+        TimeSeries::from_points(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn value_range_and_mean() {
+        let s = ramp();
+        assert_eq!(s.value_range(), Some((0.0, 20.0)));
+        assert_eq!(s.mean(), Some(10.0));
+        assert_eq!(TimeSeries::new().value_range(), None);
+        assert_eq!(TimeSeries::new().mean(), None);
+    }
+
+    #[test]
+    fn after_drops_transient() {
+        let s = ramp();
+        let tail = s.after(0.5);
+        assert_eq!(tail.times(), &[1.0, 2.0]);
+        let all = s.after(-1.0);
+        assert_eq!(all.len(), 3);
+        let none = s.after(10.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn interpolate_empty_panics() {
+        TimeSeries::new().interpolate(0.0);
+    }
+}

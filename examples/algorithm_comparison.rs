@@ -1,0 +1,97 @@
+//! All simulation algorithms side by side on the same ZGB workload:
+//! kinetic agreement and cost per simulated time unit.
+//!
+//! RSM, VSSM and FRM simulate the Master Equation exactly and must agree
+//! within noise; the CA family trades accuracy for parallel structure
+//! (paper §4–5) and shows visible bias where its assumptions bite.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use surface_reactions::prelude::*;
+
+fn main() {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(50);
+    let t_end = 10.0;
+
+    let algorithms: Vec<(&str, Algorithm)> = vec![
+        ("RSM (reference)", Algorithm::Rsm),
+        ("VSSM (rejection-free)", Algorithm::Vssm),
+        ("FRM (event queue)", Algorithm::Frm),
+        ("NDCA (row-major)", Algorithm::Ndca { shuffled: false }),
+        (
+            "PNDCA (5 chunks, random order)",
+            Algorithm::Pndca {
+                partition: PartitionSpec::FiveColoring,
+                selection: ChunkSelection::RandomOrder,
+            },
+        ),
+        (
+            "L-PNDCA (L = 1)",
+            Algorithm::LPndca {
+                partition: PartitionSpec::FiveColoring,
+                l: 1,
+                visit: ChunkVisit::SizeWeighted,
+            },
+        ),
+        (
+            "L-PNDCA (L = 500)",
+            Algorithm::LPndca {
+                partition: PartitionSpec::FiveColoring,
+                l: 500,
+                visit: ChunkVisit::SizeWeighted,
+            },
+        ),
+        ("T-PNDCA (2 chunks)", Algorithm::TPndca),
+        (
+            "Parallel PNDCA (2 threads)",
+            Algorithm::Parallel {
+                partition: PartitionSpec::FiveColoring,
+                threads: 2,
+            },
+        ),
+    ];
+
+    // Reference curve for deviation measurement.
+    let reference = Simulator::new(model.clone())
+        .dims(dims)
+        .seed(999)
+        .algorithm(Algorithm::Rsm)
+        .sample_dt(0.2)
+        .run_until(t_end);
+    let ref_co = reference.series(ZGB_SPECIES.co.id());
+
+    println!("ZGB y = 0.45, {0}x{0}, t = {t_end}; deviations vs an independent RSM run\n", 50);
+    println!(
+        "{:<32} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "algorithm", "CO", "O", "rms dev", "trials", "ms"
+    );
+    for (name, algorithm) in algorithms {
+        let start = std::time::Instant::now();
+        let out = Simulator::new(model.clone())
+            .dims(dims)
+            .seed(5)
+            .algorithm(algorithm)
+            .sample_dt(0.2)
+            .run_until(t_end);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let dev = rms_deviation(ref_co, out.series(ZGB_SPECIES.co.id()), 50)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:<32} {:>9.4} {:>9.4} {:>9.4} {:>11} {:>9.1}",
+            out.final_fraction(ZGB_SPECIES.co.id()),
+            out.final_fraction(ZGB_SPECIES.o.id()),
+            dev,
+            out.stats().trials,
+            elapsed
+        );
+    }
+    println!(
+        "\nRSM/VSSM/FRM agree within stochastic noise (and the rejection-free\n\
+         methods finish in a fraction of RSM's time); the CA rows show the\n\
+         accuracy-for-parallelism trade the paper studies — T-PNDCA's\n\
+         whole-chunk bursts deviate the most."
+    );
+}

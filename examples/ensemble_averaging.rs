@@ -1,0 +1,65 @@
+//! The paper's "third way" of parallelism (§1): instead of parallelising
+//! one big simulation, run many small independent replicas concurrently
+//! and average — embarrassingly parallel and kinetically exact.
+//!
+//! ```text
+//! cargo run --release --example ensemble_averaging
+//! ```
+
+use surface_reactions::crates::parallel::run_ensemble;
+use surface_reactions::prelude::*;
+
+fn main() {
+    let y = 0.5;
+    let t_end = 10.0;
+    let replicas = 24;
+    println!(
+        "ZGB y = {y}: {replicas} independent 30x30 replicas, averaged\n\
+         (replica-level parallelism — the paper's \"third way\")\n"
+    );
+
+    let run_replica = |seed: u64| {
+        let out = Simulator::new(zgb_ziff(y, 10.0))
+            .dims(Dims::square(30))
+            .seed(7000 + seed)
+            .algorithm(Algorithm::Rsm)
+            .sample_dt(0.25)
+            .run_until(t_end);
+        out.series(ZGB_SPECIES.o.id()).clone()
+    };
+
+    let start = std::time::Instant::now();
+    let ensemble = run_ensemble(replicas, 4, run_replica);
+    let elapsed = start.elapsed();
+
+    let mean = ensemble.mean();
+    let stderr = ensemble.std_error();
+    println!("O coverage, ensemble mean (m) with ±2·SE band (.):\n");
+    let mut upper = TimeSeries::new();
+    let mut lower = TimeSeries::new();
+    for i in 0..mean.len() {
+        let t = mean.times()[i];
+        upper.push(t, mean.values()[i] + 2.0 * stderr.values()[i]);
+        lower.push(t, (mean.values()[i] - 2.0 * stderr.values()[i]).max(0.0));
+    }
+    print!(
+        "{}",
+        psr_stats::ascii_plot::plot(&[(&upper, '.'), (&lower, '.'), (&mean, 'm')], 72, 16)
+    );
+
+    // Compare against one big lattice of the same total site count.
+    let big = Simulator::new(zgb_ziff(y, 10.0))
+        .dims(Dims::square(150)) // 22500 ≈ 24 × 900 sites
+        .seed(99)
+        .algorithm(Algorithm::Rsm)
+        .sample_dt(0.25)
+        .run_until(t_end);
+    let dev = rms_deviation(&mean, big.series(ZGB_SPECIES.o.id()), 40).expect("overlap");
+    println!(
+        "\n{replicas} replicas in {elapsed:.2?}; ensemble mean vs one 150x150 run: RMS {dev:.4}"
+    );
+    println!(
+        "small-lattice ensembles match the large lattice away from phase\n\
+         transitions — and every replica is trivially parallel."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: simulate ZGB CO oxidation with the paper's RSM and print the
+//! coverage kinetics plus a surface snapshot.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use surface_reactions::prelude::*;
+
+fn main() {
+    // The ZGB model (paper §2, Table I): CO adsorption with probability
+    // y, dissociative O2 adsorption with 1−y, fast CO+O → CO2.
+    let y = 0.45;
+    let model = zgb_ziff(y, 10.0);
+    println!(
+        "ZGB model: {} species, {} reaction types, K = {:.3}",
+        model.species().len(),
+        model.num_reactions(),
+        model.total_rate()
+    );
+
+    let out = Simulator::new(model.clone())
+        .dims(Dims::square(100))
+        .seed(2003)
+        .algorithm(Algorithm::Rsm)
+        .sample_dt(0.25)
+        .run_until(25.0);
+
+    let vacant = out.series(ZGB_SPECIES.vacant.id());
+    let co = out.series(ZGB_SPECIES.co.id());
+    let o = out.series(ZGB_SPECIES.o.id());
+
+    println!("\nCoverage vs time  (C = CO, O = O, * = vacant):\n");
+    print!(
+        "{}",
+        psr_stats::ascii_plot::plot(&[(vacant, '*'), (co, 'C'), (o, 'O')], 72, 18)
+    );
+
+    println!(
+        "\nfinal coverages: vacant {:.3}, CO {:.3}, O {:.3}  ({} trials, {} reactions)",
+        out.final_fraction(ZGB_SPECIES.vacant.id()),
+        out.final_fraction(ZGB_SPECIES.co.id()),
+        out.final_fraction(ZGB_SPECIES.o.id()),
+        out.stats().trials,
+        out.stats().executed,
+    );
+
+    println!("\nSurface snapshot (every 2nd site):");
+    let glyphs = model.species().glyphs();
+    print!(
+        "{}",
+        psr_lattice::render::render_downsampled(&out.state().lattice, &glyphs, 2)
+    );
+
+    // Island statistics: the O and CO phases form growing islands near the
+    // poisoning transitions.
+    let clusters = psr_lattice::Clusters::find(&out.state().lattice);
+    let co_stats = clusters.stats_for(ZGB_SPECIES.co.id());
+    let o_stats = clusters.stats_for(ZGB_SPECIES.o.id());
+    println!(
+        "\nislands: CO {} (largest {}), O {} (largest {})",
+        co_stats.count, co_stats.largest, o_stats.count, o_stats.largest
+    );
+}

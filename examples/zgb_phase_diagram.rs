@@ -1,0 +1,67 @@
+//! The classic ZGB phase diagram: steady-state coverages and CO₂ turnover
+//! frequency against the CO gas fraction `y`.
+//!
+//! The ZGB model (the paper's running example, §2) has two kinetic phase
+//! transitions: below `y₁` the surface poisons with O, above `y₂` it
+//! poisons with CO, and in between a reactive steady state produces CO₂.
+//! The turnover frequency (CO₂ events per site per time) vanishes in both
+//! poisoned phases and peaks inside the reactive window. (With a finite
+//! surface reaction rate the transition points shift slightly from the
+//! classic instantaneous-reaction values y₁ ≈ 0.39, y₂ ≈ 0.525.)
+//!
+//! ```text
+//! cargo run --release --example zgb_phase_diagram
+//! ```
+
+use surface_reactions::prelude::*;
+
+fn main() {
+    let side = 60u32;
+    let t_end = 60.0;
+    println!("ZGB phase diagram on a {side}x{side} lattice, t = {t_end}\n");
+    println!("  y     vacant     CO        O       CO2 rate   phase");
+    println!("-----------------------------------------------------------");
+    for i in 0..=20 {
+        let y = 0.20 + 0.025 * i as f64;
+        let model = zgb_ziff(y, 10.0);
+        let dims = Dims::square(side);
+
+        // Drive VSSM directly so the RateMeter hook can watch CO2 events.
+        let co2_group: Vec<usize> = (0..model.num_reactions())
+            .filter(|&ri| model.reaction(ri).name().starts_with("RtCO+O"))
+            .collect();
+        let mut meter = RateMeter::new(
+            model.num_reactions(),
+            dims.sites() as usize,
+            5.0,
+            &[&co2_group],
+        );
+        let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+        let mut vssm = Vssm::new(&model, &state.lattice);
+        let mut rng = rng_from_seed(42);
+        vssm.run_until(&mut state, &mut rng, t_end, None, &mut meter);
+
+        let vacant = state.coverage.fraction(ZGB_SPECIES.vacant.id());
+        let co = state.coverage.fraction(ZGB_SPECIES.co.id());
+        let o = state.coverage.fraction(ZGB_SPECIES.o.id());
+        // Steady-state TOF: average over the second half of the run.
+        let rate_series = meter.rate_series(0);
+        let tof = rate_series.after(t_end / 2.0).mean().unwrap_or(0.0);
+        let phase = if o > 0.95 {
+            "O-poisoned"
+        } else if co > 0.95 {
+            "CO-poisoned"
+        } else {
+            "reactive"
+        };
+        let bar_len = (tof * 200.0).round() as usize;
+        println!(
+            "{y:.3}  {vacant:.4}   {co:.4}   {o:.4}   {tof:.4}     {phase:<12} {}",
+            "#".repeat(bar_len.min(40))
+        );
+    }
+    println!(
+        "\nThe reactive window between the O- and CO-poisoned phases is where\n\
+         CO2 production peaks — the regime the paper's simulations target."
+    );
+}

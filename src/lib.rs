@@ -1,0 +1,22 @@
+//! Umbrella crate for the PSR workspace.
+//!
+//! Re-exports [`psr_core`]'s public API so that examples and integration
+//! tests (and downstream users who want a single dependency) can write
+//! `use surface_reactions::prelude::*;`.
+//!
+//! See the individual crates for the layered architecture:
+//! `psr-lattice` → `psr-model` → (`psr-dmc`, `psr-ca`) → `psr-parallel`
+//! → `psr-core`.
+
+pub use psr_core::*;
+
+/// Direct access to the layered crates for advanced use.
+pub mod crates {
+    pub use psr_ca as ca;
+    pub use psr_dmc as dmc;
+    pub use psr_lattice as lattice;
+    pub use psr_model as model;
+    pub use psr_parallel as parallel;
+    pub use psr_rng as rng;
+    pub use psr_stats as stats;
+}

@@ -1,0 +1,141 @@
+//! Demonstrations of the CA biases the paper warns about (§4): the NDCA
+//! "gives degenerate results for some systems (Ising models, Single-File
+//! models)". For single-file diffusion the degeneracy is quantitative:
+//! a particle that hops onto a not-yet-visited site is visited *again*
+//! within the same CA step, so hops cascade and the per-step mean squared
+//! displacement doubles relative to the Master-Equation value.
+
+use surface_reactions::crates::ca::ndca::{Ndca, SweepOrder};
+use surface_reactions::crates::dmc::events::NoHook;
+use surface_reactions::crates::model::library::diffusion::single_file_model;
+use surface_reactions::prelude::*;
+
+const WIDTH: i64 = 101;
+
+fn particle_position(lattice: &Lattice) -> i64 {
+    for (site, state) in lattice.iter() {
+        if state == 1 {
+            return lattice.dims().coord(site).x;
+        }
+    }
+    panic!("particle lost");
+}
+
+fn unwrap_delta(new: i64, old: i64) -> i64 {
+    let mut delta = new - old;
+    if delta > WIDTH / 2 {
+        delta -= WIDTH;
+    } else if delta < -(WIDTH / 2) {
+        delta += WIDTH;
+    }
+    delta
+}
+
+/// (net displacement, summed squared per-step displacement) of a single
+/// tracer over `steps` steps of the given stepper.
+fn tracer_stats(
+    mut step_fn: impl FnMut(&mut SimState, &mut SimRng),
+    seed: u64,
+    steps: u64,
+) -> (i64, f64) {
+    let model = single_file_model(1.0);
+    let dims = Dims::new(WIDTH as u32, 1);
+    let mut lattice = Lattice::filled(dims, 0);
+    lattice.set(dims.site_at(WIDTH / 2, 0), 1);
+    let mut state = SimState::new(lattice, &model);
+    let mut rng = rng_from_seed(seed);
+    let mut pos = WIDTH / 2;
+    let mut drift = 0i64;
+    let mut msd = 0.0;
+    for _ in 0..steps {
+        step_fn(&mut state, &mut rng);
+        let new_pos = particle_position(&state.lattice);
+        let delta = unwrap_delta(new_pos, pos);
+        drift += delta;
+        msd += (delta * delta) as f64;
+        pos = new_pos;
+    }
+    (drift, msd)
+}
+
+fn ndca_stats(order: SweepOrder, seed: u64, steps: u64) -> (i64, f64) {
+    let model = single_file_model(1.0);
+    let ndca = Ndca::new(&model).with_order(order);
+    tracer_stats(
+        move |state, rng| {
+            ndca.run_steps(state, rng, 1, None, &mut NoHook);
+        },
+        seed,
+        steps,
+    )
+}
+
+fn rsm_stats(seed: u64, steps: u64) -> (i64, f64) {
+    let model = single_file_model(1.0);
+    let rsm = Rsm::new(&model);
+    tracer_stats(
+        move |state, rng| {
+            rsm.run_mc_steps(state, rng, 1, None, &mut NoHook);
+        },
+        seed,
+        steps,
+    )
+}
+
+#[test]
+fn ndca_doubles_single_file_diffusion() {
+    // Per CA step the tracer's squared displacement satisfies
+    // E[X²] = 1 + E[X²]/2 → 2 (each hop has probability 1/2 of cascading
+    // onto a not-yet-visited site), while one RSM MC step gives E[X²] = 1.
+    let runs = 25;
+    let steps = 400;
+    let mut ndca_msd = 0.0;
+    let mut rsm_msd = 0.0;
+    for seed in 0..runs {
+        ndca_msd += ndca_stats(SweepOrder::RowMajor, seed, steps).1;
+        rsm_msd += rsm_stats(seed, steps).1;
+    }
+    let total_steps = (runs * steps) as f64;
+    let ndca_per_step = ndca_msd / total_steps;
+    let rsm_per_step = rsm_msd / total_steps;
+    assert!(
+        (rsm_per_step - 1.0).abs() < 0.15,
+        "RSM per-step MSD should be ≈1, got {rsm_per_step}"
+    );
+    assert!(
+        (ndca_per_step - 2.0).abs() < 0.3,
+        "NDCA per-step MSD should be ≈2 (cascade degeneracy), got {ndca_per_step}"
+    );
+    assert!(
+        ndca_per_step / rsm_per_step > 1.5,
+        "NDCA must visibly inflate diffusion: {ndca_per_step} vs {rsm_per_step}"
+    );
+}
+
+#[test]
+fn ndca_has_no_systematic_drift_despite_cascades() {
+    // The cascade is direction-symmetric, so the *mean* displacement stays
+    // zero for both sweep orders — the bias hides in the second moment.
+    for order in [SweepOrder::RowMajor, SweepOrder::Shuffled] {
+        let mut total = 0i64;
+        let runs = 20;
+        let steps = 300;
+        for seed in 0..runs {
+            total += ndca_stats(order, seed + 100, steps).0;
+        }
+        // Per-step variance 2 → stdev of the total ≈ sqrt(20·300·2) ≈ 110.
+        assert!(
+            total.abs() < 550,
+            "{order:?}: drift {total} exceeds 5 sigma"
+        );
+    }
+}
+
+#[test]
+fn rsm_tracer_is_unbiased() {
+    let mut total = 0i64;
+    for seed in 0..20 {
+        total += rsm_stats(seed + 300, 300).0;
+    }
+    assert!(total.abs() < 400, "RSM drift {total} exceeds 5 sigma");
+}

@@ -1,0 +1,235 @@
+//! Cross-crate kinetic equivalence tests.
+//!
+//! The paper's central quantitative claims, as executable assertions:
+//!
+//! - RSM, VSSM and FRM all simulate the Master Equation — their kinetics
+//!   agree with each other and, on tiny lattices, with the *exact* ME
+//!   integration;
+//! - L-PNDCA with the limit parameters (`m = 1, L = N` and `m = N, L = 1`)
+//!   reproduces RSM (Fig 8);
+//! - L-PNDCA with `L = 1` on the five-chunk partition stays close to RSM,
+//!   while large `L` deviates more (Fig 9 a/b).
+
+use surface_reactions::prelude::*;
+
+fn zgb_sim(algorithm: Algorithm, seed: u64) -> SimOutput {
+    Simulator::new(zgb_ziff(0.45, 5.0))
+        .dims(Dims::square(40))
+        .seed(seed)
+        .algorithm(algorithm)
+        .sample_dt(0.2)
+        .run_until(6.0)
+}
+
+/// RMS deviation of CO coverage between two runs.
+fn co_dev(a: &SimOutput, b: &SimOutput) -> f64 {
+    rms_deviation(a.series(1), b.series(1), 60).expect("series overlap")
+}
+
+#[test]
+fn dmc_algorithms_agree_pairwise() {
+    let rsm = zgb_sim(Algorithm::Rsm, 1);
+    let vssm = zgb_sim(Algorithm::Vssm, 2);
+    let frm = zgb_sim(Algorithm::Frm, 3);
+    // Independent seeds: deviation is pure stochastic noise, O(1/√N-ish).
+    assert!(co_dev(&rsm, &vssm) < 0.06, "RSM vs VSSM: {}", co_dev(&rsm, &vssm));
+    assert!(co_dev(&rsm, &frm) < 0.06, "RSM vs FRM: {}", co_dev(&rsm, &frm));
+    assert!(co_dev(&vssm, &frm) < 0.06, "VSSM vs FRM: {}", co_dev(&vssm, &frm));
+}
+
+#[test]
+fn rsm_matches_exact_master_equation_on_tiny_lattice() {
+    // 3x3 ZGB-like model is too big to enumerate (3^9 ≈ 20k states is fine
+    // actually); use 2x2 for speed and average many RSM replicas.
+    let model = zgb_ziff(0.5, 2.0);
+    let dims = Dims::square(2);
+    let initial = Lattice::filled(dims, 0);
+
+    let mut me = MasterEquation::new(&model, &initial);
+    let exact = me.integrate(1.0, 0.005, 0.25, ZGB_SPECIES.co.id());
+
+    // Average 400 independent RSM runs.
+    let replicas = 400;
+    let mut mean_at_end = 0.0;
+    for seed in 0..replicas {
+        let out = Simulator::new(model.clone())
+            .dims(dims)
+            .seed(seed)
+            .algorithm(Algorithm::Rsm)
+            .sample_dt(0.25)
+            .run_until(1.0);
+        mean_at_end += *out.series(ZGB_SPECIES.co.id()).values().last().expect("samples");
+    }
+    mean_at_end /= replicas as f64;
+    let exact_at_end = *exact.values().last().expect("samples");
+    // Standard error of the replica mean is ~0.01; allow 3 sigma.
+    assert!(
+        (mean_at_end - exact_at_end).abs() < 0.03,
+        "RSM ensemble {mean_at_end} vs exact ME {exact_at_end}"
+    );
+}
+
+#[test]
+fn vssm_matches_exact_master_equation_on_tiny_lattice() {
+    let model = zgb_ziff(0.5, 2.0);
+    let dims = Dims::square(2);
+    let initial = Lattice::filled(dims, 0);
+    let mut me = MasterEquation::new(&model, &initial);
+    let exact = me.integrate(1.0, 0.005, 0.5, ZGB_SPECIES.o.id());
+
+    let replicas = 400;
+    let mut mean_at_end = 0.0;
+    for seed in 0..replicas {
+        let out = Simulator::new(model.clone())
+            .dims(dims)
+            .seed(seed + 10_000)
+            .algorithm(Algorithm::Vssm)
+            .sample_dt(0.5)
+            .run_until(1.0);
+        mean_at_end += *out.series(ZGB_SPECIES.o.id()).values().last().expect("samples");
+    }
+    mean_at_end /= replicas as f64;
+    let exact_at_end = *exact.values().last().expect("samples");
+    assert!(
+        (mean_at_end - exact_at_end).abs() < 0.03,
+        "VSSM ensemble {mean_at_end} vs exact ME {exact_at_end}"
+    );
+}
+
+#[test]
+fn lpndca_limit_parameters_match_rsm() {
+    // Fig 8: m = 1 (L = N) and m = N (L = 1) are both exactly RSM.
+    let rsm = zgb_sim(Algorithm::Rsm, 11);
+    let single = zgb_sim(
+        Algorithm::LPndca {
+            partition: PartitionSpec::SingleChunk,
+            l: 40 * 40,
+            visit: ChunkVisit::SizeWeighted,
+        },
+        12,
+    );
+    let singleton = zgb_sim(
+        Algorithm::LPndca {
+            partition: PartitionSpec::Singletons,
+            l: 1,
+            visit: ChunkVisit::SizeWeighted,
+        },
+        13,
+    );
+    assert!(co_dev(&rsm, &single) < 0.06, "m=1: {}", co_dev(&rsm, &single));
+    assert!(
+        co_dev(&rsm, &singleton) < 0.06,
+        "m=N: {}",
+        co_dev(&rsm, &singleton)
+    );
+}
+
+#[test]
+fn lpndca_l1_close_and_large_l_further() {
+    // Fig 9: with 5 chunks, L = 1 tracks RSM; L = N deviates more. Average
+    // deviation over a few seeds to tame noise.
+    let mut dev_l1 = 0.0;
+    let mut dev_big = 0.0;
+    let seeds = 4;
+    for s in 0..seeds {
+        let rsm = zgb_sim(Algorithm::Rsm, 100 + s);
+        let l1 = zgb_sim(
+            Algorithm::LPndca {
+                partition: PartitionSpec::FiveColoring,
+                l: 1,
+                visit: ChunkVisit::SizeWeighted,
+            },
+            200 + s,
+        );
+        let big = zgb_sim(
+            Algorithm::LPndca {
+                partition: PartitionSpec::FiveColoring,
+                l: 1600,
+                visit: ChunkVisit::SizeWeighted,
+            },
+            300 + s,
+        );
+        dev_l1 += co_dev(&rsm, &l1);
+        dev_big += co_dev(&rsm, &big);
+    }
+    dev_l1 /= seeds as f64;
+    dev_big /= seeds as f64;
+    assert!(dev_l1 < 0.06, "L=1 deviation {dev_l1}");
+    assert!(
+        dev_big > dev_l1 * 0.8,
+        "large L should not be much closer than L=1: {dev_big} vs {dev_l1}"
+    );
+}
+
+#[test]
+fn parallel_executor_matches_sequential_pndca_kinetics() {
+    let seq = zgb_sim(
+        Algorithm::Pndca {
+            partition: PartitionSpec::FiveColoring,
+            selection: ChunkSelection::InOrder,
+        },
+        21,
+    );
+    let par = zgb_sim(
+        Algorithm::Parallel {
+            partition: PartitionSpec::FiveColoring,
+            threads: 2,
+        },
+        22,
+    );
+    assert!(co_dev(&seq, &par) < 0.06, "seq vs par: {}", co_dev(&seq, &par));
+}
+
+#[test]
+fn tpndca_rates_correct_in_expectation() {
+    // The Ω×T algorithm executes a selected reaction type at EVERY enabled
+    // site of a chunk, so single-run kinetics are bursty; but the marginal
+    // execution rate of each type matches the ME. On a linear model
+    // (independent sites) the ensemble mean must therefore match Langmuir:
+    // θ(1) = 1 − e^(−1) with k_ads/K diluted so bursts are rare-but-large.
+    let model = ModelBuilder::new(&["*", "A"])
+        .reaction("ads", 1.0, |r| {
+            r.site((0, 0), "*", "A");
+        })
+        .reaction("null", 99.0, |r| {
+            r.site((0, 0), "*", "*");
+        })
+        .build();
+    let replicas = 60;
+    let mut mean = 0.0;
+    for seed in 0..replicas {
+        let out = Simulator::new(model.clone())
+            .dims(Dims::square(30))
+            .seed(seed)
+            .algorithm(Algorithm::TPndca)
+            .sample_dt(0.5)
+            .run_until(1.0);
+        mean += out.final_fraction(1);
+    }
+    mean /= replicas as f64;
+    let expected = 1.0 - (-1.0f64).exp();
+    assert!(
+        (mean - expected).abs() < 0.05,
+        "T-PNDCA ensemble mean {mean} vs Langmuir {expected}"
+    );
+}
+
+#[test]
+fn tpndca_on_zgb_shows_the_accuracy_trade() {
+    // On the strongly nonlinear ZGB model the whole-chunk bursts interact
+    // with the pair-adsorption kinetics: T-PNDCA visibly deviates from RSM
+    // — the accuracy-for-parallelism trade the paper's §6 discusses. We
+    // assert the run is self-consistent and that the deviation is real
+    // (so regressions that silently change the algorithm get caught).
+    let rsm = zgb_sim(Algorithm::Rsm, 31);
+    let tp = zgb_sim(Algorithm::TPndca, 32);
+    assert!(
+        tp.state().coverage.matches(&tp.state().lattice),
+        "coverage diverged"
+    );
+    let dev = co_dev(&rsm, &tp);
+    assert!(
+        dev > 0.02,
+        "expected visible T-PNDCA bias on ZGB, measured {dev}"
+    );
+}

@@ -1,0 +1,83 @@
+//! The Kuzovkov Pt(100) model must oscillate — the property all of the
+//! paper's §6 experiments (Figs 8–10) are built on. Kept at a modest
+//! lattice/time so it stays affordable in debug builds.
+
+use surface_reactions::prelude::*;
+
+fn co_series(algorithm: Algorithm, seed: u64, side: u32, t_end: f64) -> TimeSeries {
+    let out = Simulator::new(kuzovkov_model(KuzovkovParams::default()))
+        .dims(Dims::square(side))
+        .seed(seed)
+        .algorithm(algorithm)
+        .sample_dt(0.5)
+        .run_until(t_end);
+    out.combined_series(&[
+        KUZOVKOV_SPECIES.hex_co.id(),
+        KUZOVKOV_SPECIES.sq_co.id(),
+    ])
+}
+
+#[test]
+fn default_parameters_oscillate_under_rsm() {
+    let t_end = 150.0;
+    let co = co_series(Algorithm::Rsm, 7, 40, t_end);
+    let osc = detect_peaks(&co.after(t_end * 0.25), 5, 0.04);
+    assert!(
+        osc.is_oscillating(2, 0.04),
+        "no oscillation: {} peaks, amplitude {:?}",
+        osc.peak_times.len(),
+        osc.amplitude
+    );
+    let period = osc.period.expect("at least two peaks");
+    assert!(
+        (10.0..80.0).contains(&period),
+        "period {period} outside the calibrated range"
+    );
+}
+
+#[test]
+fn lpndca_l1_preserves_the_oscillation() {
+    // Fig 9a as a test: L = 1 on the five-chunk partition must keep
+    // oscillating like RSM does.
+    let t_end = 120.0;
+    let co = co_series(
+        Algorithm::LPndca {
+            partition: PartitionSpec::FiveColoring,
+            l: 1,
+            visit: ChunkVisit::SizeWeighted,
+        },
+        8,
+        35,
+        t_end,
+    );
+    let osc = detect_peaks(&co.after(t_end * 0.25), 5, 0.04);
+    assert!(
+        osc.is_oscillating(2, 0.04),
+        "L-PNDCA (L=1) lost the oscillation: {} peaks",
+        osc.peak_times.len()
+    );
+}
+
+#[test]
+fn random_once_preserves_the_oscillation_at_maximal_l() {
+    // Fig 10 as a test: all chunks once per step in random order with
+    // L = N/m keeps the oscillation alive.
+    let t_end = 120.0;
+    let side = 35u32;
+    let co = co_series(
+        Algorithm::LPndca {
+            partition: PartitionSpec::FiveColoring,
+            l: (side * side / 5) as usize,
+            visit: ChunkVisit::RandomOnce,
+        },
+        9,
+        side,
+        t_end,
+    );
+    let osc = detect_peaks(&co.after(t_end * 0.25), 5, 0.04);
+    assert!(
+        osc.is_oscillating(2, 0.04),
+        "random-once L-PNDCA lost the oscillation: {} peaks",
+        osc.peak_times.len()
+    );
+}

@@ -1,0 +1,159 @@
+//! Structural facts from the paper, as tests: Table I, Table II, Fig 3,
+//! Fig 4/5/6 and the §6 correctness criteria.
+
+use surface_reactions::crates::ca::bca::{BlockCa, ZeroSpreadsRule};
+use surface_reactions::crates::dmc::correctness::{
+    always_enabled_model, TypeFrequencyCounter, WaitingTimeSampler,
+};
+use surface_reactions::prelude::*;
+
+#[test]
+fn table1_zgb_has_exactly_the_seven_reaction_types() {
+    let model = zgb_ziff(0.5, 1.0);
+    assert_eq!(model.num_reactions(), 7);
+    // 1 single-site CO adsorption.
+    let co_ads: Vec<_> = model
+        .reactions()
+        .iter()
+        .filter(|r| r.arity() == 1)
+        .collect();
+    assert_eq!(co_ads.len(), 1);
+    assert_eq!(co_ads[0].name(), "RtCO");
+    // 2 O2 orientations + 4 CO+O orientations, all pair patterns.
+    assert_eq!(
+        model.reactions().iter().filter(|r| r.arity() == 2).count(),
+        6
+    );
+}
+
+#[test]
+fn table2_type_partition_splits_by_orientation() {
+    let model = zgb_ziff(0.5, 1.0);
+    let tp = axis_type_partition(&model, Dims::square(10));
+    // T0: horizontal CO+O versions (0 and 2), horizontal O2, and RtCO.
+    // T1: vertical CO+O versions (1 and 3) and vertical O2.
+    assert_eq!(tp.subsets[0].len(), 4);
+    assert_eq!(tp.subsets[1].len(), 3);
+    assert!(tp.validate(&model).is_ok());
+}
+
+#[test]
+fn fig3_bca_trace_matches_paper() {
+    // Initial row (Fig 3): 0 1 1 1 1 1 0 1 1; after the first 3-block
+    // step: 0 0 1 1 1 1 0 0 1.
+    let dims = Dims::new(9, 1);
+    let mut lattice = Lattice::from_cells(dims, vec![0, 1, 1, 1, 1, 1, 0, 1, 1]);
+    let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
+    bca.step(&mut lattice);
+    assert_eq!(lattice.cells(), &[0, 0, 1, 1, 1, 1, 0, 0, 1]);
+}
+
+#[test]
+fn fig4_five_coloring_structure() {
+    // A 5×5 tile has each chunk exactly once per row and per column.
+    let dims = Dims::square(5);
+    let p = five_coloring(dims);
+    for y in 0..5 {
+        let mut seen = [false; 5];
+        for x in 0..5 {
+            seen[p.chunk_of(dims.site_at(x, y))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "row {y} misses a chunk");
+    }
+    for x in 0..5 {
+        let mut seen = [false; 5];
+        for y in 0..5 {
+            seen[p.chunk_of(dims.site_at(x, y))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "column {x} misses a chunk");
+    }
+}
+
+#[test]
+fn fig5_site_participates_in_four_pair_patterns() {
+    // The CO+O patterns at a site s overlap it in four orientations.
+    let model = zgb_ziff(0.5, 1.0);
+    let pair_orientations: Vec<Offset> = model
+        .reactions()
+        .iter()
+        .filter(|r| r.name().starts_with("RtCO+O"))
+        .flat_map(|r| r.transforms().iter().map(|t| t.offset))
+        .filter(|o| *o != Offset::ZERO)
+        .collect();
+    assert_eq!(pair_orientations.len(), 4);
+}
+
+#[test]
+fn fig6_checkerboard_is_the_two_chunk_partition() {
+    let dims = Dims::new(6, 4);
+    let p = checkerboard(dims);
+    assert_eq!(p.num_chunks(), 2);
+    // Paper's P0 = {0, 2, 4, 7, 9, 11, …} on a 6-wide lattice.
+    assert_eq!(p.chunk_of(Site(0)), p.chunk_of(Site(2)));
+    assert_eq!(p.chunk_of(Site(0)), p.chunk_of(Site(7)));
+    assert_ne!(p.chunk_of(Site(0)), p.chunk_of(Site(1)));
+    assert_ne!(p.chunk_of(Site(0)), p.chunk_of(Site(6)));
+}
+
+#[test]
+fn segers_criterion_1_exponential_waiting_times_for_vssm() {
+    // VSSM must satisfy criterion 1 just like RSM: in the always-enabled
+    // model the waiting time of type i at a site is Exp(k_i).
+    let model = always_enabled_model(&[1.5]);
+    let dims = Dims::square(3);
+    let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+    let mut vssm = Vssm::new(&model, &state.lattice);
+    let mut rng = rng_from_seed(5);
+    let mut probe = WaitingTimeSampler::new(Site(4), 0);
+    vssm.run_until(&mut state, &mut rng, 2000.0, None, &mut probe);
+    assert!(probe.samples.len() > 1000);
+    let ks = probe.ks_against(1.5);
+    assert!(ks.accepts(0.01), "KS scaled statistic {}", ks.scaled);
+}
+
+#[test]
+fn segers_criterion_2_rate_ratios_for_pndca() {
+    // PNDCA also selects reaction types with k_i/K per trial, so in the
+    // always-enabled model criterion 2 holds for it as well.
+    let model = always_enabled_model(&[1.0, 3.0]);
+    let dims = Dims::square(10);
+    let partition = five_coloring(dims);
+    let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+    let mut rng = rng_from_seed(6);
+    let mut counter = TypeFrequencyCounter::new(model.num_reactions());
+    surface_reactions::crates::ca::pndca::Pndca::new(&model, &partition).run_steps(
+        &mut state,
+        &mut rng,
+        100,
+        None,
+        &mut counter,
+    );
+    let dev = counter.max_deviation_from(&model);
+    assert!(dev < 0.01, "type frequency deviation {dev}");
+}
+
+#[test]
+fn ndca_violates_criterion_1_waiting_time_shape() {
+    // The paper (§4): NDCA site selection "introduces biases". In the
+    // always-enabled single-type model, NDCA fires a site exactly once per
+    // step — deterministic waiting times, maximally non-exponential.
+    let model = always_enabled_model(&[2.0]);
+    let dims = Dims::square(4);
+    let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+    let mut rng = rng_from_seed(7);
+    let mut probe = WaitingTimeSampler::new(Site(3), 0);
+    surface_reactions::crates::ca::ndca::Ndca::new(&model).run_steps(
+        &mut state,
+        &mut rng,
+        400,
+        None,
+        &mut probe,
+    );
+    assert!(probe.samples.len() > 300);
+    let ks = probe.ks_against(2.0);
+    assert!(
+        !ks.accepts(0.01),
+        "NDCA waiting times must NOT look exponential (KS scaled {})",
+        ks.scaled
+    );
+}
