@@ -22,7 +22,7 @@ fn bench_selection(c: &mut Criterion) {
     ];
     for (name, selection) in strategies {
         group.bench_function(name, |b| {
-            let pndca = Pndca::new(&model, &partition).with_selection(selection);
+            let mut pndca = Pndca::new(&model, &partition).with_selection(selection);
             let mut state = SimState::new(Lattice::filled(dims, 0), &model);
             let mut rng = rng_from_seed(7);
             pndca.run_steps(&mut state, &mut rng, 2, None, &mut NoHook); // thermalise

@@ -46,7 +46,7 @@ fn bench_trial_methods(c: &mut Criterion) {
     group.bench_function("pndca_5chunks", |b| {
         let mut state = prepared_state(&model);
         let mut rng = rng_from_seed(4);
-        let pndca = Pndca::new(&model, &partition);
+        let mut pndca = Pndca::new(&model, &partition);
         b.iter(|| pndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
     });
     group.bench_function("lpndca_l1", |b| {
@@ -64,7 +64,7 @@ fn bench_trial_methods(c: &mut Criterion) {
     group.bench_function("tpndca", |b| {
         let mut state = prepared_state(&model);
         let mut rng = rng_from_seed(7);
-        let tp = TPndca::new(&model, axis_type_partition(&model, Dims::square(SIDE)));
+        let mut tp = TPndca::new(&model, axis_type_partition(&model, Dims::square(SIDE)));
         b.iter(|| tp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
     });
     group.finish();

@@ -13,7 +13,9 @@ use psr_core::prelude::*;
 
 fn main() {
     let (side, t_end) = fig_args(60, 150.0);
-    println!("L-PNDCA oscillation robustness vs L — Kuzovkov {side}x{side}, t = {t_end}, 5 chunks\n");
+    println!(
+        "L-PNDCA oscillation robustness vs L — Kuzovkov {side}x{side}, t = {t_end}, 5 chunks\n"
+    );
     let sample_dt = 0.5;
 
     let (rsm_a, _) = kuzovkov_curves(Algorithm::Rsm, side, t_end, 1, sample_dt);
@@ -47,8 +49,12 @@ fn main() {
         println!(
             "{l:>6}    {:>3}   {:>6}   {:>7}    {dev:.4}      {:.2}",
             osc.peak_times.len(),
-            osc.period.map(|p| format!("{p:.1}")).unwrap_or_else(|| "-".into()),
-            osc.amplitude.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+            osc.period
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            osc.amplitude
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
             dev / noise_floor
         );
         rows.push(vec![

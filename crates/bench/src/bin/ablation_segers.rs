@@ -38,13 +38,25 @@ fn main() {
     print!(
         "{}",
         text_table(
-            &["lattice", "decomposition", "boundary", "latency µs", "speedup"],
+            &[
+                "lattice",
+                "decomposition",
+                "boundary",
+                "latency µs",
+                "speedup"
+            ],
             &rows
         )
     );
     write_csv(
         &results_dir().join("ablation_segers.csv"),
-        &["lattice", "decomposition", "boundary_fraction", "latency_us", "speedup"],
+        &[
+            "lattice",
+            "decomposition",
+            "boundary_fraction",
+            "latency_us",
+            "speedup",
+        ],
         &rows,
     );
 

@@ -1,0 +1,116 @@
+//! Benchmark: incremental propensity cache vs per-draw chunk rescans for
+//! weighted PNDCA chunk selection (§5 strategy 4).
+//!
+//! Both paths compute each chunk weight as `Σ_Rt count·k_Rt` in reaction
+//! order, so they draw identical chunk sequences from identical seeds — the
+//! bench first asserts that, then times steps/sec on the ZGB model at
+//! L ∈ {64, 128, 256} and writes `BENCH_propensity.json` at the repo root.
+//!
+//! Usage: `bench_propensity [min_sample_secs]` (default 0.3).
+
+use psr_ca::partition_builder::greedy_coloring;
+use psr_ca::pndca::{ChunkSelection, Pndca};
+use psr_core::prelude::*;
+use psr_dmc::events::NoHook;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SIDES: [u32; 3] = [64, 128, 256];
+
+/// Thermalised ZGB state: a few in-order PNDCA steps from the empty
+/// surface so the enabled-reaction structure is realistic.
+fn prepared_state(model: &Model, dims: Dims) -> SimState {
+    let partition = greedy_coloring(dims, model);
+    let mut state = SimState::new(Lattice::filled(dims, 0), model);
+    let mut rng = rng_from_seed(11);
+    let mut pndca = Pndca::new(model, &partition);
+    pndca.run_steps(&mut state, &mut rng, 5, None, &mut NoHook);
+    state
+}
+
+/// Weighted steps/sec: run whole steps until `min_secs` of wall clock.
+fn steps_per_sec(pndca: &mut Pndca, state: &SimState, seed: u64, min_secs: f64) -> (f64, u64) {
+    let mut state = state.clone();
+    let mut rng = rng_from_seed(seed);
+    // Warm-up absorbs the one-off cache build (or first scan).
+    pndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook);
+    let start = Instant::now();
+    let mut steps = 0u64;
+    loop {
+        pndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook);
+        steps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return (steps as f64 / elapsed, steps);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let min_secs: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("min_sample_secs must be a number"))
+        .unwrap_or(0.3);
+    let model = zgb_ziff(0.45, 10.0);
+    println!("Weighted PNDCA chunk selection: per-draw rescan vs incremental cache");
+    println!("ZGB y_CO = 0.45, diluted 10x; min sample {min_secs} s per timing\n");
+    println!("  side  chunks   scan steps/s   cache steps/s   speedup   identical");
+
+    let mut entries = Vec::new();
+    for side in SIDES {
+        let dims = Dims::square(side);
+        let partition = greedy_coloring(dims, &model);
+        let state = prepared_state(&model, dims);
+
+        // The cache-vs-scan switch must not change trajectories: same seed,
+        // same steps, bit-identical lattices.
+        let trajectory = |scan: bool| {
+            let mut p = Pndca::new(&model, &partition)
+                .with_selection(ChunkSelection::WeightedByRates)
+                .with_scanned_weights(scan);
+            let mut s = state.clone();
+            let mut rng = rng_from_seed(23);
+            p.run_steps(&mut s, &mut rng, 3, None, &mut NoHook);
+            s.lattice
+        };
+        let identical = trajectory(true) == trajectory(false);
+        assert!(
+            identical,
+            "scan and cache weighted selection diverged at side {side}"
+        );
+
+        let mut scan_pndca = Pndca::new(&model, &partition)
+            .with_selection(ChunkSelection::WeightedByRates)
+            .with_scanned_weights(true);
+        let (scan_sps, scan_steps) = steps_per_sec(&mut scan_pndca, &state, 42, min_secs);
+        let mut cache_pndca =
+            Pndca::new(&model, &partition).with_selection(ChunkSelection::WeightedByRates);
+        let (cache_sps, cache_steps) = steps_per_sec(&mut cache_pndca, &state, 42, min_secs);
+        let speedup = cache_sps / scan_sps;
+        println!(
+            "  {side:>4}  {:>6}   {scan_sps:>12.2}   {cache_sps:>13.2}   {speedup:>6.1}x   {identical}",
+            partition.num_chunks()
+        );
+        entries.push(format!(
+            "    {{\"side\": {side}, \"chunks\": {}, \"scan_steps_per_sec\": {scan_sps:.3}, \
+             \"scan_steps_timed\": {scan_steps}, \"cache_steps_per_sec\": {cache_sps:.3}, \
+             \"cache_steps_timed\": {cache_steps}, \"speedup\": {speedup:.2}, \
+             \"trajectories_identical\": {identical}}}",
+            partition.num_chunks()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"weighted PNDCA chunk selection: scan vs incremental propensity cache\",\n  \
+         \"model\": \"zgb_ziff(0.45, 10.0)\",\n  \"selection\": \"WeightedByRates\",\n  \
+         \"min_sample_secs\": {min_secs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = repo_root().join("BENCH_propensity.json");
+    std::fs::write(&path, json).expect("cannot write BENCH_propensity.json");
+    println!("\nwrote {}", path.display());
+}

@@ -16,10 +16,7 @@ fn run_case(p: KuzovkovParams, side: u32, t_end: f64, seed: u64) -> (f64, usize,
         .algorithm(Algorithm::Rsm)
         .sample_dt(0.5)
         .run_until(t_end);
-    let co = out.combined_series(&[
-        KUZOVKOV_SPECIES.hex_co.id(),
-        KUZOVKOV_SPECIES.sq_co.id(),
-    ]);
+    let co = out.combined_series(&[KUZOVKOV_SPECIES.hex_co.id(), KUZOVKOV_SPECIES.sq_co.id()]);
     // Drop the transient before measuring oscillations.
     let tail = co.after(t_end * 0.3);
     let osc = detect_peaks(&tail, 5, 0.05);
@@ -36,7 +33,10 @@ fn run_case(p: KuzovkovParams, side: u32, t_end: f64, seed: u64) -> (f64, usize,
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let side: u32 = args.get(1).map(|s| s.parse().expect("side")).unwrap_or(60);
-    let t_end: f64 = args.get(2).map(|s| s.parse().expect("t_end")).unwrap_or(300.0);
+    let t_end: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("t_end"))
+        .unwrap_or(300.0);
 
     println!("side={side} t_end={t_end}");
     println!("y_co  k_o2  k_des k_react k_lift k_relax k_diff |  amp   peaks period  co_f   o_f");

@@ -74,7 +74,9 @@ fn main() {
     }
     let dev_once = rms_deviation(&rsm_co, &once_co, 200).expect("overlap");
     let dev_weighted = rms_deviation(&rsm_co, &weighted_co, 200).expect("overlap");
-    println!("\nRMS deviation from RSM: random-once {dev_once:.4}, size-weighted {dev_weighted:.4}");
+    println!(
+        "\nRMS deviation from RSM: random-once {dev_once:.4}, size-weighted {dev_weighted:.4}"
+    );
     println!(
         "\nvisiting every chunk exactly once per step keeps all regions in\n\
          lock-step and preserves the oscillations even at maximal L (Fig 10)."

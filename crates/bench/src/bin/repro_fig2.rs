@@ -17,7 +17,10 @@ fn main() {
     let hop_right = model.reaction_index("hop[0]").expect("exists");
     let hop_left = model.reaction_index("hop[2]").expect("exists");
     let mut det = ConflictDetector::new(dims);
-    let batch = [(dims.site_at(1, 0), hop_right), (dims.site_at(3, 0), hop_left)];
+    let batch = [
+        (dims.site_at(1, 0), hop_right),
+        (dims.site_at(3, 0), hop_left),
+    ];
     match det.check_batch(&model, &batch) {
         Some((a, b)) => println!(
             "synchronous update of both hops: CONFLICT between batch entries {a} and {b}\n\

@@ -26,13 +26,16 @@ fn main() {
             .current_blocks(dims)
             .iter()
             .map(|b| {
-                let sites: Vec<String> =
-                    b.sites(dims).iter().map(|s| s.0.to_string()).collect();
+                let sites: Vec<String> = b.sites(dims).iter().map(|s| s.0.to_string()).collect();
                 format!("{{{}}}", sites.join(","))
             })
             .collect();
         bca.step(&mut lattice);
-        println!("t={step}:    {}   blocks used: {}", row_string(&lattice), blocks.join(" "));
+        println!(
+            "t={step}:    {}   blocks used: {}",
+            row_string(&lattice),
+            blocks.join(" ")
+        );
     }
     println!(
         "\nthe zero regions spread across block boundaries only because the\n\

@@ -32,7 +32,10 @@ fn main() {
     }
     print!(
         "{}",
-        text_table(&["N (side)", "threads", "T(1) s", "T(p) s", "speedup"], &printed)
+        text_table(
+            &["N (side)", "threads", "T(1) s", "T(p) s", "speedup"],
+            &printed
+        )
     );
     write_csv(
         &results_dir().join("fig7_measured.csv"),

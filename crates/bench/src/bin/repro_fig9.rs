@@ -62,7 +62,11 @@ fn main() {
 
     series_csv(
         &results_dir().join("fig9.csv"),
-        &[("rsm_co", &rsm_co), ("l1_co", &l1_co), ("l100_co", &l100_co)],
+        &[
+            ("rsm_co", &rsm_co),
+            ("l1_co", &l1_co),
+            ("l100_co", &l100_co),
+        ],
     );
     println!("wrote {}", results_dir().join("fig9.csv").display());
 }

@@ -33,7 +33,10 @@ fn main() {
             format!("{:.3}", rt.rate()),
         ]);
     }
-    print!("{}", text_table(&["reaction type", "transformations", "rate"], &rows));
+    print!(
+        "{}",
+        text_table(&["reaction type", "transformations", "rate"], &rows)
+    );
     println!(
         "\n{} reaction types: RtCO+O has four orientation versions, RtO2 two,\n\
          RtCO one — matching Table I (whose fourth CO+O row misprints the O\n\

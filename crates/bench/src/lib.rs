@@ -45,10 +45,7 @@ pub fn kuzovkov_curves(
         .algorithm(algorithm)
         .sample_dt(sample_dt)
         .run_until(t_end);
-    let co = out.combined_series(&[
-        KUZOVKOV_SPECIES.hex_co.id(),
-        KUZOVKOV_SPECIES.sq_co.id(),
-    ]);
+    let co = out.combined_series(&[KUZOVKOV_SPECIES.hex_co.id(), KUZOVKOV_SPECIES.sq_co.id()]);
     let o = out.series(KUZOVKOV_SPECIES.sq_o.id()).clone();
     (co, o)
 }

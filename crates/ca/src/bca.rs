@@ -131,8 +131,7 @@ mod tests {
     fn fig3_first_step() {
         let dims = Dims::new(9, 1);
         // Fig 3 initial row: 0 1 1 1 1 1 0 1 1  (sites 0..8).
-        let mut lattice =
-            Lattice::from_cells(dims, vec![0, 1, 1, 1, 1, 1, 0, 1, 1]);
+        let mut lattice = Lattice::from_cells(dims, vec![0, 1, 1, 1, 1, 1, 0, 1, 1]);
         let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 0, 0);
         bca.step(&mut lattice);
         // Blocks {0,1,2},{3,4,5},{6,7,8}: zero at 0 clears 1; zero at 6
@@ -144,13 +143,12 @@ mod tests {
     #[test]
     fn fig3_shifted_second_step() {
         let dims = Dims::new(9, 1);
-        let mut lattice =
-            Lattice::from_cells(dims, vec![0, 0, 1, 1, 1, 1, 0, 0, 1]);
+        let mut lattice = Lattice::from_cells(dims, vec![0, 0, 1, 1, 1, 1, 0, 0, 1]);
         // Second step uses the shifted blocks Q = {{1,2,3},{4,5,6},{7,8,0}}.
         let mut bca = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
         bca.run(&mut lattice, 0); // no-op sanity
-        // Manually advance to the shifted phase: construct with step so the
-        // first step already uses offset 1.
+                                  // Manually advance to the shifted phase: construct with step so the
+                                  // first step already uses offset 1.
         let mut shifted = BlockCa::new(ZeroSpreadsRule, 3, 1, 1, 0);
         shifted.step = 1;
         shifted.step(&mut lattice);

@@ -35,7 +35,11 @@ impl ConflictDetector {
     /// Check a batch of `(anchor site, reaction index)` pairs. Returns the
     /// first conflicting pair of batch indices, or `None` if all
     /// neighborhoods are pairwise disjoint. Resets itself afterwards.
-    pub fn check_batch(&mut self, model: &Model, batch: &[(Site, usize)]) -> Option<(usize, usize)> {
+    pub fn check_batch(
+        &mut self,
+        model: &Model,
+        batch: &[(Site, usize)],
+    ) -> Option<(usize, usize)> {
         let mut conflict = None;
         'outer: for (bi, &(site, ri)) in batch.iter().enumerate() {
             for t in model.reaction(ri).transforms() {
@@ -113,8 +117,7 @@ mod tests {
         let mut det = ConflictDetector::new(d);
         for chunk in 0..p.num_chunks() {
             for ri in 0..model.num_reactions() {
-                let batch: Vec<(Site, usize)> =
-                    p.chunk(chunk).iter().map(|&s| (s, ri)).collect();
+                let batch: Vec<(Site, usize)> = p.chunk(chunk).iter().map(|&s| (s, ri)).collect();
                 assert_eq!(
                     det.check_batch(&model, &batch),
                     None,

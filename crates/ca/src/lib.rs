@@ -17,6 +17,9 @@
 //!   checkerboards, and the degenerate `m = 1` / `m = N` partitions;
 //! - [`pndca`] — the Partitioned NDCA with the four chunk-selection
 //!   strategies of §5;
+//! - [`propensity`] — the incremental per-chunk propensity cache that makes
+//!   the weighted chunk selection O(affected) per event instead of
+//!   O(N·|T|) per draw;
 //! - [`lpndca`] — L-PNDCA: the general structure with a per-chunk trial
 //!   budget `L` interpolating between PNDCA and RSM;
 //! - [`tpndca`] — the Ω×T approach: partitioning the *reaction types* too,
@@ -34,6 +37,7 @@ pub mod ndca;
 pub mod partition;
 pub mod partition_builder;
 pub mod pndca;
+pub mod propensity;
 pub mod tpndca;
 
 pub use conflict::ConflictDetector;
@@ -41,8 +45,9 @@ pub use lpndca::{ChunkVisit, LPndca};
 pub use ndca::Ndca;
 pub use partition::Partition;
 pub use partition_builder::{
-    checkerboard, five_coloring, five_coloring_alt, greedy_coloring, seven_coloring,
-    single_chunk, singleton_chunks,
+    checkerboard, five_coloring, five_coloring_alt, greedy_coloring, seven_coloring, single_chunk,
+    singleton_chunks,
 };
 pub use pndca::{run_alternating, ChunkSelection, Pndca};
+pub use propensity::ChunkPropensityCache;
 pub use tpndca::{axis_type_partition, TPndca, TypePartition};

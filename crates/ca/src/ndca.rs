@@ -217,8 +217,7 @@ mod tests {
                     r.site((0, 0), "*", "*");
                 })
                 .build();
-            let mut state =
-                SimState::new(Lattice::filled(Dims::new(64, 64), 0), &model);
+            let mut state = SimState::new(Lattice::filled(Dims::new(64, 64), 0), &model);
             let mut rng = rng_from_seed(3);
             Ndca::new(&model).run_until(&mut state, &mut rng, 1.0, None, &mut NoHook);
             errors.push((state.coverage.fraction(1) - expected).abs());

@@ -168,9 +168,7 @@ mod tests {
     fn row_partition(dims: Dims) -> Partition {
         // One chunk per row — NOT conflict-free for pair reactions within a
         // row, but a valid cover.
-        let labels: Vec<u32> = (0..dims.sites())
-            .map(|i| i / dims.width())
-            .collect();
+        let labels: Vec<u32> = (0..dims.sites()).map(|i| i / dims.width()).collect();
         Partition::from_labels(dims, &labels)
     }
 

@@ -234,7 +234,10 @@ mod tests {
         let d = Dims::new(35, 35); // divisible by 5 and 7
         let seven = seven_coloring(d);
         assert_eq!(seven.num_chunks(), 7);
-        assert!(seven.is_valid_for(&model), "7-coloring must be conflict-free");
+        assert!(
+            seven.is_valid_for(&model),
+            "7-coloring must be conflict-free"
+        );
         let five = five_coloring(d);
         assert!(
             !five.is_valid_for(&model),

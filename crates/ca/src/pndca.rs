@@ -22,6 +22,7 @@
 //! 4. weighted selection by the summed rates of enabled reactions per chunk.
 
 use crate::partition::Partition;
+use crate::propensity::ChunkPropensityCache;
 use psr_dmc::events::{Event, EventHook};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::{RunStats, TimeMode};
@@ -39,8 +40,10 @@ pub enum ChunkSelection {
     RandomOrder,
     /// `|P|` independent uniform draws per step (chunks may repeat/skip).
     RandomWithReplacement,
-    /// `|P|` draws weighted by each chunk's summed enabled-reaction rate
-    /// (recomputed by scanning the chunk; O(N·|T|) per step).
+    /// `|P|` draws weighted by each chunk's summed enabled-reaction rate,
+    /// served from the incremental [`ChunkPropensityCache`] (O(|P|) per
+    /// draw, O(affected) per executed event). See
+    /// [`Pndca::with_scanned_weights`] for the scanning baseline.
     WeightedByRates,
 }
 
@@ -52,6 +55,11 @@ pub struct Pndca<'m, 'p> {
     alias: AliasTable,
     time_mode: TimeMode,
     selection: ChunkSelection,
+    /// Incremental chunk weights, built lazily on the first weighted step.
+    cache: Option<ChunkPropensityCache>,
+    /// Recompute weights by chunk scans instead of the cache (the
+    /// O(N·|T|)-per-draw baseline; kept for benchmarking the cache).
+    scan_weights: bool,
 }
 
 impl<'m, 'p> Pndca<'m, 'p> {
@@ -69,12 +77,26 @@ impl<'m, 'p> Pndca<'m, 'p> {
             alias: AliasTable::new(&model.rate_weights()),
             time_mode: TimeMode::Discretized,
             selection: ChunkSelection::InOrder,
+            cache: None,
+            scan_weights: false,
         }
     }
 
     /// Select the chunk-selection strategy.
     pub fn with_selection(mut self, selection: ChunkSelection) -> Self {
         self.selection = selection;
+        self
+    }
+
+    /// Force [`ChunkSelection::WeightedByRates`] to rescan every chunk for
+    /// every draw instead of using the incremental cache.
+    ///
+    /// Both paths compute each weight as `Σ_Rt count·k_Rt` in reaction
+    /// order, so they consume identical random numbers and sweep identical
+    /// chunk sequences — this switch trades speed only, never trajectories,
+    /// which is what makes it a meaningful benchmark baseline.
+    pub fn with_scanned_weights(mut self, yes: bool) -> Self {
+        self.scan_weights = yes;
         self
     }
 
@@ -99,6 +121,11 @@ impl<'m, 'p> Pndca<'m, 'p> {
     }
 
     /// Simulate one chunk: one trial per site, sweeping the chunk.
+    ///
+    /// When a propensity cache is passed, every executed reaction's changes
+    /// are folded into it, keeping the chunk weights exact as the sweep
+    /// proceeds.
+    #[allow(clippy::too_many_arguments)]
     fn sweep_chunk(
         &self,
         chunk: usize,
@@ -107,9 +134,10 @@ impl<'m, 'p> Pndca<'m, 'p> {
         changes: &mut Vec<(Site, u8, u8)>,
         stats: &mut RunStats,
         hook: &mut impl EventHook,
+        mut cache: Option<&mut ChunkPropensityCache>,
     ) {
-        for idx in 0..self.partition.chunk(chunk).len() {
-            let site = self.partition.chunk(chunk)[idx];
+        let sites = self.partition.chunk(chunk);
+        for &site in sites {
             let reaction = self.alias.sample(rng);
             changes.clear();
             let executed =
@@ -118,6 +146,10 @@ impl<'m, 'p> Pndca<'m, 'p> {
                     .try_execute(&mut state.lattice, site, changes);
             if executed {
                 state.apply_changes(changes);
+                if let Some(c) = cache.as_deref_mut() {
+                    c.apply_changes(self.model, self.partition, &state.lattice, changes);
+                    c.note_epoch(state.mutation_epoch());
+                }
             }
             self.advance(state, rng);
             stats.trials += 1;
@@ -131,22 +163,38 @@ impl<'m, 'p> Pndca<'m, 'p> {
         }
     }
 
-    /// Summed rate of enabled reactions within one chunk (strategy 4).
+    /// Summed rate of enabled reactions within one chunk (strategy 4),
+    /// recomputed by scanning the chunk. Counts enabled sites per reaction
+    /// and sums `count·k` in reaction order — the exact formula the cache
+    /// uses, so scan and cache weights agree bit-for-bit.
     fn chunk_propensity(&self, chunk: usize, state: &SimState) -> f64 {
-        let mut total = 0.0;
-        for &site in self.partition.chunk(chunk) {
-            for rt in self.model.reactions() {
-                if rt.is_enabled(&state.lattice, site) {
-                    total += rt.rate();
-                }
-            }
-        }
-        total
+        ChunkPropensityCache::scan_chunk_weight_all(
+            self.model,
+            self.partition,
+            &state.lattice,
+            chunk,
+        )
+    }
+
+    /// Build (or refresh) the propensity cache for the current lattice.
+    fn take_fresh_cache(&mut self, state: &SimState) -> ChunkPropensityCache {
+        let mut cache = self.cache.take().unwrap_or_else(|| {
+            let mut c = ChunkPropensityCache::new(self.model, self.partition, &state.lattice);
+            c.note_epoch(state.mutation_epoch());
+            c
+        });
+        cache.ensure_fresh(
+            self.model,
+            self.partition,
+            &state.lattice,
+            state.mutation_epoch(),
+        );
+        cache
     }
 
     /// Run one PNDCA step (each strategy performs `|P|` chunk sweeps).
     pub fn step(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         hook: &mut impl EventHook,
@@ -157,43 +205,49 @@ impl<'m, 'p> Pndca<'m, 'p> {
         match self.selection {
             ChunkSelection::InOrder => {
                 for c in 0..m {
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
                 }
             }
             ChunkSelection::RandomOrder => {
                 let mut order: Vec<usize> = (0..m).collect();
                 shuffle(rng, &mut order);
                 for &c in &order {
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
                 }
             }
             ChunkSelection::RandomWithReplacement => {
                 for _ in 0..m {
                     let c = rng.index(m);
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
                 }
             }
-            ChunkSelection::WeightedByRates => {
+            ChunkSelection::WeightedByRates if self.scan_weights => {
                 for _ in 0..m {
                     let weights: Vec<f64> =
                         (0..m).map(|c| self.chunk_propensity(c, state)).collect();
-                    let total: f64 = weights.iter().sum();
-                    let c = if total <= 0.0 {
-                        rng.index(m)
-                    } else {
-                        let mut x = rng.f64() * total;
-                        let mut chosen = m - 1;
-                        for (i, &w) in weights.iter().enumerate() {
-                            if x < w {
-                                chosen = i;
-                                break;
-                            }
-                            x -= w;
-                        }
-                        chosen
-                    };
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook);
+                    let c = crate::propensity::draw_weighted(rng, &weights);
+                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
                 }
+            }
+            ChunkSelection::WeightedByRates => {
+                let mut cache = self.take_fresh_cache(state);
+                let mut weights = Vec::with_capacity(m);
+                for _ in 0..m {
+                    cache.weights_into(&mut weights);
+                    let c = crate::propensity::draw_weighted(rng, &weights);
+                    self.sweep_chunk(
+                        c,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        Some(&mut cache),
+                    );
+                }
+                #[cfg(debug_assertions)]
+                cache.assert_matches_scan(self.model, self.partition, &state.lattice);
+                self.cache = Some(cache);
             }
         }
         stats
@@ -201,7 +255,7 @@ impl<'m, 'p> Pndca<'m, 'p> {
 
     /// Run `steps` PNDCA steps with optional coverage recording.
     pub fn run_steps(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         steps: u64,
@@ -225,7 +279,7 @@ impl<'m, 'p> Pndca<'m, 'p> {
 
     /// Run whole steps until the clock reaches `t_end`.
     pub fn run_until(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         t_end: f64,
@@ -260,7 +314,7 @@ impl<'m, 'p> Pndca<'m, 'p> {
 ///
 /// Panics if `pndcas` is empty.
 pub fn run_alternating(
-    pndcas: &[Pndca<'_, '_>],
+    pndcas: &mut [Pndca<'_, '_>],
     state: &mut SimState,
     rng: &mut SimRng,
     steps: u64,
@@ -308,7 +362,7 @@ mod tests {
         let partition = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(1);
-        let pndca = Pndca::new(&model, &partition);
+        let mut pndca = Pndca::new(&model, &partition);
         let mut visits = vec![0u32; 100];
         pndca.step(&mut state, &mut rng, &mut |e: Event| {
             visits[e.site.0 as usize] += 1;
@@ -323,7 +377,7 @@ mod tests {
         let partition = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(2);
-        let pndca = Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomOrder);
+        let mut pndca = Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomOrder);
         let mut visits = vec![0u32; 100];
         pndca.step(&mut state, &mut rng, &mut |e: Event| {
             visits[e.site.0 as usize] += 1;
@@ -338,7 +392,7 @@ mod tests {
         let partition = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(3);
-        let pndca =
+        let mut pndca =
             Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomWithReplacement);
         let stats = pndca.step(&mut state, &mut rng, &mut NoHook);
         assert_eq!(stats.trials, 100, "5 draws × 20-site chunks");
@@ -351,7 +405,7 @@ mod tests {
         let partition = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(4);
-        let pndca =
+        let mut pndca =
             Pndca::new(&model, &partition).with_selection(ChunkSelection::WeightedByRates);
         let stats = pndca.run_steps(&mut state, &mut rng, 3, None, &mut NoHook);
         assert_eq!(stats.trials, 300);
@@ -375,7 +429,7 @@ mod tests {
         let partition = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(5);
-        let pndca = Pndca::new(&model, &partition);
+        let mut pndca = Pndca::new(&model, &partition);
         pndca.run_until(&mut state, &mut rng, 1.0, None, &mut NoHook);
         let theta = state.coverage.fraction(1);
         let expected = 1.0 - (-1.0f64).exp();
@@ -403,7 +457,7 @@ mod tests {
         let partition = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(7);
-        let pndca = Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomOrder);
+        let mut pndca = Pndca::new(&model, &partition).with_selection(ChunkSelection::RandomOrder);
         pndca.run_steps(&mut state, &mut rng, 20, None, &mut NoHook);
         assert!(state.coverage.matches(&state.lattice));
     }
@@ -414,10 +468,10 @@ mod tests {
         let d = Dims::square(10);
         let p1 = five_coloring(d);
         let p2 = crate::partition_builder::five_coloring_alt(d);
-        let pndcas = [Pndca::new(&model, &p1), Pndca::new(&model, &p2)];
+        let mut pndcas = [Pndca::new(&model, &p1), Pndca::new(&model, &p2)];
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(8);
-        let stats = run_alternating(&pndcas, &mut state, &mut rng, 4, None, &mut NoHook);
+        let stats = run_alternating(&mut pndcas, &mut state, &mut rng, 4, None, &mut NoHook);
         assert_eq!(stats.trials, 400);
         assert!(state.coverage.matches(&state.lattice));
     }

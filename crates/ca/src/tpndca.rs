@@ -21,6 +21,7 @@
 
 use crate::partition::Partition;
 use crate::partition_builder::checkerboard;
+use crate::propensity::{draw_weighted, ChunkPropensityCache};
 use psr_dmc::events::{Event, EventHook};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::{RunStats, TimeMode};
@@ -136,6 +137,14 @@ pub struct TPndca<'m> {
     /// Per-subset alias over its member types.
     member_alias: Vec<AliasTable>,
     time_mode: TimeMode,
+    /// Draw the chunk weighted by the swept type's enabled propensity
+    /// instead of uniformly (the Ω×T analogue of
+    /// [`ChunkSelection::WeightedByRates`](crate::pndca::ChunkSelection)).
+    weighted_chunks: bool,
+    /// Per-subset incremental propensity caches, built lazily on the first
+    /// weighted step. All subsets' caches are updated on every executed
+    /// reaction so none goes stale mid-step.
+    caches: Option<Vec<ChunkPropensityCache>>,
 }
 
 impl<'m> TPndca<'m> {
@@ -169,12 +178,24 @@ impl<'m> TPndca<'m> {
             member_alias,
             types,
             time_mode: TimeMode::Discretized,
+            weighted_chunks: false,
+            caches: None,
         }
     }
 
     /// Select the time-advance mode.
     pub fn with_time_mode(mut self, mode: TimeMode) -> Self {
         self.time_mode = mode;
+        self
+    }
+
+    /// Draw each swept chunk weighted by `count·k` of the selected reaction
+    /// type (served from per-subset [`ChunkPropensityCache`]s) instead of
+    /// uniformly. Subset and member-type draws are unchanged; only the
+    /// chunk draw gains the weighting, concentrating sweeps where the
+    /// chosen type is actually enabled.
+    pub fn with_weighted_chunks(mut self, yes: bool) -> Self {
+        self.weighted_chunks = yes;
         self
     }
 
@@ -192,29 +213,81 @@ impl<'m> TPndca<'m> {
         };
     }
 
+    /// Build (or refresh) the per-subset propensity caches.
+    fn take_fresh_caches(&mut self, state: &SimState) -> Vec<ChunkPropensityCache> {
+        let mut caches = self.caches.take().unwrap_or_else(|| {
+            (0..self.types.num_subsets())
+                .map(|j| {
+                    let mut c = ChunkPropensityCache::for_reactions(
+                        self.model,
+                        &self.types.subsets[j],
+                        &self.types.partitions[j],
+                        &state.lattice,
+                    );
+                    c.note_epoch(state.mutation_epoch());
+                    c
+                })
+                .collect()
+        });
+        for (j, c) in caches.iter_mut().enumerate() {
+            c.ensure_fresh(
+                self.model,
+                &self.types.partitions[j],
+                &state.lattice,
+                state.mutation_epoch(),
+            );
+        }
+        caches
+    }
+
     /// One step: `|T|` subset draws, each sweeping one chunk with one
     /// reaction type.
     pub fn step(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         hook: &mut impl EventHook,
     ) -> RunStats {
         let mut stats = RunStats::default();
         let mut changes: Vec<(Site, u8, u8)> = Vec::with_capacity(4);
+        let mut caches = if self.weighted_chunks {
+            Some(self.take_fresh_caches(state))
+        } else {
+            None
+        };
+        let mut weights: Vec<f64> = Vec::new();
         for _ in 0..self.types.num_subsets() {
             let j = self.subset_alias.sample(rng);
             let member = self.member_alias[j].sample(rng);
             let ri = self.types.subsets[j][member];
             let rt = self.model.reaction(ri);
             let partition = &self.types.partitions[j];
-            let chunk = rng.index(partition.num_chunks());
+            let chunk = match caches.as_ref() {
+                Some(cs) => {
+                    cs[j].member_weights_into(member, &mut weights);
+                    draw_weighted(rng, &weights)
+                }
+                None => rng.index(partition.num_chunks()),
+            };
             for idx in 0..partition.chunk(chunk).len() {
                 let site = partition.chunk(chunk)[idx];
                 changes.clear();
                 let executed = rt.try_execute(&mut state.lattice, site, &mut changes);
                 if executed {
                     state.apply_changes(&changes);
+                    if let Some(cs) = caches.as_mut() {
+                        // A change can flip enabledness of types in every
+                        // subset, so all caches absorb it.
+                        for (jj, c) in cs.iter_mut().enumerate() {
+                            c.apply_changes(
+                                self.model,
+                                &self.types.partitions[jj],
+                                &state.lattice,
+                                &changes,
+                            );
+                            c.note_epoch(state.mutation_epoch());
+                        }
+                    }
                 }
                 self.advance(state, rng);
                 stats.trials += 1;
@@ -227,12 +300,19 @@ impl<'m> TPndca<'m> {
                 });
             }
         }
+        if let Some(cs) = caches {
+            #[cfg(debug_assertions)]
+            for (j, c) in cs.iter().enumerate() {
+                c.assert_matches_scan(self.model, &self.types.partitions[j], &state.lattice);
+            }
+            self.caches = Some(cs);
+        }
         stats
     }
 
     /// Run `steps` steps with optional recording.
     pub fn run_steps(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         steps: u64,
@@ -256,7 +336,7 @@ impl<'m> TPndca<'m> {
 
     /// Run whole steps until `t_end`.
     pub fn run_until(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         t_end: f64,
@@ -339,7 +419,7 @@ mod tests {
         let tp = axis_type_partition(&model, d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(1);
-        let sim = TPndca::new(&model, tp);
+        let mut sim = TPndca::new(&model, tp);
         let stats = sim.step(&mut state, &mut rng, &mut NoHook);
         // 2 subset draws × one 50-site chunk each = 100 trials = N.
         assert_eq!(stats.trials, 100);
@@ -352,8 +432,25 @@ mod tests {
         let tp = axis_type_partition(&model, d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(2);
-        let sim = TPndca::new(&model, tp);
+        let mut sim = TPndca::new(&model, tp);
         sim.run_steps(&mut state, &mut rng, 30, None, &mut NoHook);
+        assert!(state.coverage.matches(&state.lattice));
+        let occupied = 1.0 - state.coverage.fraction(0);
+        assert!(occupied > 0.1, "surface stayed empty");
+    }
+
+    #[test]
+    fn weighted_chunks_reach_mixed_coverage_with_exact_caches() {
+        // Exercises the per-subset caches (and, in debug builds, the
+        // assert_matches_scan consistency check after every step).
+        let model = zgb_ziff(0.5, 5.0);
+        let d = Dims::square(20);
+        let tp = axis_type_partition(&model, d);
+        let mut state = SimState::new(Lattice::filled(d, 0), &model);
+        let mut rng = rng_from_seed(3);
+        let mut sim = TPndca::new(&model, tp).with_weighted_chunks(true);
+        let stats = sim.run_steps(&mut state, &mut rng, 30, None, &mut NoHook);
+        assert!(stats.executed > 0);
         assert!(state.coverage.matches(&state.lattice));
         let occupied = 1.0 - state.coverage.fraction(0);
         assert!(occupied > 0.1, "surface stayed empty");
@@ -382,11 +479,17 @@ mod tests {
             subsets: vec![vec![0, 1]],
             partitions: vec![board.clone()],
         };
-        assert!(missing.validate(&model).unwrap_err().contains("not assigned"));
+        assert!(missing
+            .validate(&model)
+            .unwrap_err()
+            .contains("not assigned"));
         let duplicate = TypePartition {
             subsets: vec![vec![0, 0, 1, 2, 3, 4, 5, 6]],
             partitions: vec![board],
         };
-        assert!(duplicate.validate(&model).unwrap_err().contains("two subsets"));
+        assert!(duplicate
+            .validate(&model)
+            .unwrap_err()
+            .contains("two subsets"));
     }
 }

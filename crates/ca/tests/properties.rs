@@ -4,9 +4,12 @@ use proptest::prelude::*;
 use psr_ca::partition::Partition;
 use psr_ca::partition_builder::{five_coloring, greedy_coloring, singleton_chunks};
 use psr_ca::pndca::{ChunkSelection, Pndca};
+use psr_ca::propensity::ChunkPropensityCache;
 use psr_dmc::events::{Event, EventHook};
 use psr_dmc::sim::SimState;
-use psr_lattice::{Dims, Lattice};
+use psr_lattice::{Dims, Lattice, Site};
+use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams};
+use psr_model::library::zgb::zgb_ziff;
 use psr_model::{Model, ModelBuilder};
 use psr_rng::rng_from_seed;
 
@@ -17,12 +20,21 @@ impl EventHook for CountVisits {
     }
 }
 
+/// Records the trial-site sequence — identical sequences imply identical
+/// chunk-draw sequences.
+struct RecordSites(Vec<Site>);
+impl EventHook for RecordSites {
+    fn on_event(&mut self, event: Event) {
+        self.0.push(event.site);
+    }
+}
+
 /// A random model whose patterns are single sites or von Neumann pairs.
 fn model_strategy() -> impl Strategy<Value = Model> {
     prop::collection::vec(
         (
-            prop::bool::ANY,            // pair?
-            0u32..4,                    // orientation
+            prop::bool::ANY,                  // pair?
+            0u32..4,                          // orientation
             (0u8..3, 0u8..3, 0u8..3, 0u8..3), // src/tgt for both sites
             0.01f64..5.0,
         ),
@@ -104,7 +116,7 @@ proptest! {
     ) {
         let dims = Dims::square(10);
         let p = five_coloring(dims);
-        let pndca = Pndca::new(&model, &p).with_selection(ChunkSelection::RandomOrder);
+        let mut pndca = Pndca::new(&model, &p).with_selection(ChunkSelection::RandomOrder);
         let mut state = SimState::new(Lattice::filled(dims, 0), &model);
         let mut rng = rng_from_seed(seed);
         let mut visits = CountVisits(vec![0; 100]);
@@ -121,10 +133,91 @@ proptest! {
     ) {
         let dims = Dims::square(10);
         let p = five_coloring(dims);
-        let pndca = Pndca::new(&model, &p);
+        let mut pndca = Pndca::new(&model, &p);
         let mut state = SimState::new(Lattice::filled(dims, 0), &model);
         let mut rng = rng_from_seed(seed);
         pndca.run_steps(&mut state, &mut rng, steps, None, &mut psr_dmc::events::NoHook);
         prop_assert!(state.coverage.matches(&state.lattice));
+    }
+}
+
+/// Execute `n` randomly drawn reactions at randomly drawn sites directly on
+/// the lattice, mirroring every successful one into the cache.
+fn random_executions(
+    model: &Model,
+    partition: &Partition,
+    lattice: &mut Lattice,
+    cache: &mut ChunkPropensityCache,
+    seed: u64,
+    n: usize,
+) {
+    let mut rng = rng_from_seed(seed);
+    let mut changes = Vec::new();
+    let sites = partition.dims().sites();
+    for _ in 0..n {
+        let ri = rng.index(model.num_reactions());
+        let site = Site(rng.index(sites as usize) as u32);
+        changes.clear();
+        if model.reaction(ri).try_execute(lattice, site, &mut changes) {
+            cache.apply_changes(model, partition, lattice, &changes);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn propensity_cache_matches_scan_on_zgb(seed in 0u64..1000) {
+        let model = zgb_ziff(0.45, 5.0);
+        let dims = Dims::square(10);
+        let p = five_coloring(dims);
+        let mut lattice = Lattice::filled(dims, 0);
+        let mut cache = ChunkPropensityCache::new(&model, &p, &lattice);
+        random_executions(&model, &p, &mut lattice, &mut cache, seed, 300);
+        prop_assert!(cache.matches_scan(&model, &p, &lattice));
+        cache.assert_matches_scan(&model, &p, &lattice);
+    }
+
+    #[test]
+    fn propensity_cache_matches_scan_on_kuzovkov(seed in 0u64..1000) {
+        // Kuzovkov has phase-transformation reactions with larger
+        // neighborhoods than ZGB — a harder stencil test.
+        let model = kuzovkov_model(KuzovkovParams::default());
+        let dims = Dims::new(9, 7);
+        let p = greedy_coloring(dims, &model);
+        let mut lattice = Lattice::filled(dims, 0);
+        let mut cache = ChunkPropensityCache::new(&model, &p, &lattice);
+        random_executions(&model, &p, &mut lattice, &mut cache, seed, 300);
+        prop_assert!(cache.matches_scan(&model, &p, &lattice));
+        cache.assert_matches_scan(&model, &p, &lattice);
+    }
+
+    #[test]
+    fn weighted_selection_identical_with_and_without_cache(
+        seed in 0u64..1000,
+        steps in 1u64..4,
+    ) {
+        // The cache is a speed switch only: the cached and scanning
+        // weighted selections must consume identical random numbers, sweep
+        // identical chunk (hence site) sequences, and land on identical
+        // lattices.
+        let model = zgb_ziff(0.45, 5.0);
+        let dims = Dims::square(10);
+        let p = five_coloring(dims);
+        let run = |scan: bool| {
+            let mut pndca = Pndca::new(&model, &p)
+                .with_selection(ChunkSelection::WeightedByRates)
+                .with_scanned_weights(scan);
+            let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+            let mut rng = rng_from_seed(seed);
+            let mut trace = RecordSites(Vec::new());
+            pndca.run_steps(&mut state, &mut rng, steps, None, &mut trace);
+            (state.lattice, trace.0)
+        };
+        let (lattice_scan, sites_scan) = run(true);
+        let (lattice_cache, sites_cache) = run(false);
+        prop_assert_eq!(sites_scan, sites_cache);
+        prop_assert_eq!(lattice_scan, lattice_cache);
     }
 }

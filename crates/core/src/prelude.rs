@@ -26,6 +26,4 @@ pub use psr_model::library::zgb::{zgb_model, zgb_ziff, ZgbRates, ZGB_SPECIES};
 pub use psr_model::{Model, ModelBuilder, ReactionType, Species, SpeciesSet, Transform};
 pub use psr_parallel::{MachineParams, ParallelPndca, SegersDecomposition, SimulatedMachine};
 pub use psr_rng::{rng_from_seed, SimRng, StreamFactory};
-pub use psr_stats::{
-    detect_peaks, linf_deviation, rms_deviation, OscillationSummary, TimeSeries,
-};
+pub use psr_stats::{detect_peaks, linf_deviation, rms_deviation, OscillationSummary, TimeSeries};

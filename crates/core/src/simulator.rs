@@ -183,18 +183,42 @@ impl Simulator {
             ),
             Algorithm::RsmDiscretized => Rsm::new(&self.model)
                 .with_time_mode(TimeMode::Discretized)
-                .run_until(&mut state, &mut rng, t_end, Some(&mut recorder), &mut NoHook),
+                .run_until(
+                    &mut state,
+                    &mut rng,
+                    t_end,
+                    Some(&mut recorder),
+                    &mut NoHook,
+                ),
             Algorithm::Vssm => {
                 let mut vssm = Vssm::new(&self.model, &state.lattice);
-                vssm.run_until(&mut state, &mut rng, t_end, Some(&mut recorder), &mut NoHook)
+                vssm.run_until(
+                    &mut state,
+                    &mut rng,
+                    t_end,
+                    Some(&mut recorder),
+                    &mut NoHook,
+                )
             }
             Algorithm::VssmTree => {
                 let mut vssm = psr_dmc::VssmTree::new(&self.model, &state.lattice);
-                vssm.run_until(&mut state, &mut rng, t_end, Some(&mut recorder), &mut NoHook)
+                vssm.run_until(
+                    &mut state,
+                    &mut rng,
+                    t_end,
+                    Some(&mut recorder),
+                    &mut NoHook,
+                )
             }
             Algorithm::Frm => {
                 let mut frm = Frm::new(&self.model, &state.lattice, 0.0, &mut rng);
-                frm.run_until(&mut state, &mut rng, t_end, Some(&mut recorder), &mut NoHook)
+                frm.run_until(
+                    &mut state,
+                    &mut rng,
+                    t_end,
+                    Some(&mut recorder),
+                    &mut NoHook,
+                )
             }
             Algorithm::Ndca { shuffled } => {
                 let order = if *shuffled {
@@ -215,13 +239,15 @@ impl Simulator {
                 selection,
             } => {
                 let p = partition.build(self.dims, &self.model);
-                Pndca::new(&self.model, &p).with_selection(*selection).run_until(
-                    &mut state,
-                    &mut rng,
-                    t_end,
-                    Some(&mut recorder),
-                    &mut NoHook,
-                )
+                Pndca::new(&self.model, &p)
+                    .with_selection(*selection)
+                    .run_until(
+                        &mut state,
+                        &mut rng,
+                        t_end,
+                        Some(&mut recorder),
+                        &mut NoHook,
+                    )
             }
             Algorithm::LPndca {
                 partition,
@@ -229,13 +255,15 @@ impl Simulator {
                 visit,
             } => {
                 let p = partition.build(self.dims, &self.model);
-                LPndca::new(&self.model, &p, *l).with_visit(*visit).run_until(
-                    &mut state,
-                    &mut rng,
-                    t_end,
-                    Some(&mut recorder),
-                    &mut NoHook,
-                )
+                LPndca::new(&self.model, &p, *l)
+                    .with_visit(*visit)
+                    .run_until(
+                        &mut state,
+                        &mut rng,
+                        t_end,
+                        Some(&mut recorder),
+                        &mut NoHook,
+                    )
             }
             Algorithm::TPndca => {
                 let tp = axis_type_partition(&self.model, self.dims);

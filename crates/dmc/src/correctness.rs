@@ -148,7 +148,11 @@ mod tests {
         let rsm = Rsm::new(&model);
         let mut probe = WaitingTimeSampler::new(Site(5), 0);
         rsm.run_until(&mut state, &mut rng, 2000.0, None, &mut probe);
-        assert!(probe.samples.len() > 1000, "only {} fires", probe.samples.len());
+        assert!(
+            probe.samples.len() > 1000,
+            "only {} fires",
+            probe.samples.len()
+        );
         let ks = probe.ks_against(2.0);
         assert!(
             ks.accepts(0.01),
@@ -176,10 +180,7 @@ mod tests {
 
     #[test]
     fn pair_hook_feeds_both() {
-        let mut hook = PairHook(
-            TypeFrequencyCounter::new(1),
-            TypeFrequencyCounter::new(1),
-        );
+        let mut hook = PairHook(TypeFrequencyCounter::new(1), TypeFrequencyCounter::new(1));
         hook.on_event(Event {
             time: 1.0,
             site: Site(0),

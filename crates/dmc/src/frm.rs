@@ -78,12 +78,7 @@ impl<'m> Frm<'m> {
             anchor_offsets: model
                 .reactions()
                 .iter()
-                .map(|rt| {
-                    rt.transforms()
-                        .iter()
-                        .map(|t| t.offset.negated())
-                        .collect()
-                })
+                .map(|rt| rt.transforms().iter().map(|t| t.offset.negated()).collect())
                 .collect(),
         };
         for site in lattice.dims().iter_sites() {
@@ -301,7 +296,10 @@ mod tests {
         let mut frm = Frm::new(&model, &state.lattice, 0.0, &mut rng);
         let mut changes = Vec::new();
         for _ in 0..300 {
-            if frm.step_until(&mut state, &mut rng, &mut changes, f64::INFINITY).is_none() {
+            if frm
+                .step_until(&mut state, &mut rng, &mut changes, f64::INFINITY)
+                .is_none()
+            {
                 break;
             }
         }

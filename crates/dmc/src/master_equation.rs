@@ -141,13 +141,7 @@ impl MasterEquation {
 
     /// Integrate to `t_end` with steps of at most `dt`, sampling the
     /// expected coverage of `species` every `sample_dt` into a time series.
-    pub fn integrate(
-        &mut self,
-        t_end: f64,
-        dt: f64,
-        sample_dt: f64,
-        species: u8,
-    ) -> TimeSeries {
+    pub fn integrate(&mut self, t_end: f64, dt: f64, sample_dt: f64, species: u8) -> TimeSeries {
         assert!(dt > 0.0 && sample_dt > 0.0, "steps must be positive");
         let mut series = TimeSeries::new();
         let mut next_sample = self.time;

@@ -35,7 +35,10 @@ impl RateMeter {
     /// Panics if `window <= 0`, `num_sites == 0` or a reaction index
     /// appears in two groups.
     pub fn new(num_reactions: usize, num_sites: usize, window: f64, groups: &[&[usize]]) -> Self {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
         assert!(num_sites > 0, "need at least one site");
         let mut group_of = vec![usize::MAX; num_reactions];
         for (gi, group) in groups.iter().enumerate() {

@@ -23,7 +23,10 @@ impl Recorder {
     ///
     /// Panics unless `sample_dt > 0` and `num_states > 0`.
     pub fn new(num_states: usize, sample_dt: f64) -> Self {
-        assert!(sample_dt > 0.0 && sample_dt.is_finite(), "sample_dt must be positive");
+        assert!(
+            sample_dt > 0.0 && sample_dt.is_finite(),
+            "sample_dt must be positive"
+        );
         assert!(num_states > 0, "need at least one state");
         Recorder {
             sample_dt,

@@ -281,13 +281,7 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let rsm = Rsm::new(&model);
         let mut count = 0u64;
-        let stats = rsm.run_mc_steps(
-            &mut state,
-            &mut rng,
-            3,
-            None,
-            &mut |_e: Event| count += 1,
-        );
+        let stats = rsm.run_mc_steps(&mut state, &mut rng, 3, None, &mut |_e: Event| count += 1);
         assert_eq!(count, stats.trials);
         assert_eq!(count, 3 * 16);
     }

@@ -14,6 +14,14 @@ pub struct SimState {
     pub coverage: Coverage,
     /// Simulated (real) time.
     pub time: f64,
+    /// Monotone mutation epoch: bumped whenever the lattice is changed
+    /// through this state's tracked entry points ([`apply_changes`]
+    /// (Self::apply_changes), [`randomize`](Self::randomize), or an explicit
+    /// [`bump_mutations`](Self::bump_mutations) after direct lattice
+    /// writes). Incremental caches (the per-chunk propensity cache in
+    /// `psr-ca`) compare this against their last-seen epoch to detect that
+    /// the lattice changed behind their back and a rescan is needed.
+    mutations: u64,
 }
 
 impl SimState {
@@ -24,6 +32,7 @@ impl SimState {
             lattice,
             coverage,
             time: 0.0,
+            mutations: 0,
         }
     }
 
@@ -32,12 +41,24 @@ impl SimState {
         self.lattice.len()
     }
 
+    /// The current mutation epoch (see the `mutations` field).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Record that the lattice was mutated outside the tracked entry
+    /// points, invalidating any epoch-checked incremental caches.
+    pub fn bump_mutations(&mut self) {
+        self.mutations += 1;
+    }
+
     /// Apply recorded changes to the coverage tracker.
     #[inline]
     pub fn apply_changes(&mut self, changes: &[(Site, u8, u8)]) {
         for &(_, old, new) in changes {
             self.coverage.transition(old, new);
         }
+        self.mutations += changes.len() as u64;
     }
 
     /// Randomise the lattice: each site takes a uniformly random state from
@@ -51,6 +72,7 @@ impl SimState {
             let old = self.lattice.set(site, s);
             self.coverage.transition(old, s);
         }
+        self.mutations += 1;
     }
 }
 

@@ -93,12 +93,7 @@ impl<'m> Vssm<'m> {
         let anchor_offsets = model
             .reactions()
             .iter()
-            .map(|rt| {
-                rt.transforms()
-                    .iter()
-                    .map(|t| t.offset.negated())
-                    .collect()
-            })
+            .map(|rt| rt.transforms().iter().map(|t| t.offset.negated()).collect())
             .collect();
         Vssm {
             model,

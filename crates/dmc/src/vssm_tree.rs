@@ -45,12 +45,7 @@ impl<'m> VssmTree<'m> {
             anchor_offsets: model
                 .reactions()
                 .iter()
-                .map(|rt| {
-                    rt.transforms()
-                        .iter()
-                        .map(|t| t.offset.negated())
-                        .collect()
-                })
+                .map(|rt| rt.transforms().iter().map(|t| t.offset.negated()).collect())
                 .collect(),
         }
     }

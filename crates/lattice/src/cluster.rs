@@ -92,7 +92,11 @@ impl Clusters {
             labels[i as usize] = label;
             sizes[label as usize] += 1;
         }
-        Clusters { labels, sizes, states }
+        Clusters {
+            labels,
+            sizes,
+            states,
+        }
     }
 
     /// Component label of a site.
@@ -175,9 +179,7 @@ mod tests {
         // On an even-sized torus, a checkerboard has no same-state
         // 4-neighbors, so every site is its own cluster.
         let d = Dims::new(4, 4);
-        let cells: Vec<u8> = (0..16)
-            .map(|i| (((i % 4) + (i / 4)) % 2) as u8)
-            .collect();
+        let cells: Vec<u8> = (0..16).map(|i| (((i % 4) + (i / 4)) % 2) as u8).collect();
         let l = Lattice::from_cells(d, cells);
         let c = Clusters::find(&l);
         assert_eq!(c.count(), 16);

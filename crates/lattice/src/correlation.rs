@@ -63,9 +63,7 @@ mod tests {
             z ^ (z >> 31)
         }
         let d = Dims::new(64, 64);
-        let cells: Vec<u8> = (0..d.sites())
-            .map(|i| (mix(i as u64) & 1) as u8)
-            .collect();
+        let cells: Vec<u8> = (0..d.sites()).map(|i| (mix(i as u64) & 1) as u8).collect();
         let l = Lattice::from_cells(d, cells);
         let g = pair_correlation(&l, 1, 1, 1).expect("both states present");
         assert!((g - 1.0).abs() < 0.1, "g(1) = {g} should be ≈ 1");
@@ -76,7 +74,9 @@ mod tests {
         // Vertical stripes of width 1: same-state pairs at r = 2 along x
         // and every r along y.
         let d = Dims::new(8, 8);
-        let cells: Vec<u8> = (0..d.sites()).map(|i| ((i % d.width()) % 2) as u8).collect();
+        let cells: Vec<u8> = (0..d.sites())
+            .map(|i| ((i % d.width()) % 2) as u8)
+            .collect();
         let l = Lattice::from_cells(d, cells);
         // θ = 0.5. Along x at r=1 same-state never matches; along y always.
         // Average joint = (0 + 0.5·1)/2 … g = (0.25)/(0.25) = 1? Work it
@@ -91,7 +91,9 @@ mod tests {
     #[test]
     fn cross_correlation_of_stripes_alternates() {
         let d = Dims::new(8, 8);
-        let cells: Vec<u8> = (0..d.sites()).map(|i| ((i % d.width()) % 2) as u8).collect();
+        let cells: Vec<u8> = (0..d.sites())
+            .map(|i| ((i % d.width()) % 2) as u8)
+            .collect();
         let l = Lattice::from_cells(d, cells);
         // Opposite states sit at odd x-distances.
         let g1 = pair_correlation(&l, 0, 1, 1).expect("present");

@@ -85,7 +85,10 @@ impl Dims {
     ///
     /// Panics if either dimension is zero or the site count overflows `u32`.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "lattice dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "lattice dimensions must be positive"
+        );
         assert!(
             (width as u64) * (height as u64) <= u32::MAX as u64,
             "lattice of {width}x{height} sites exceeds u32 indexing"

@@ -26,11 +26,7 @@ pub fn to_text(lattice: &Lattice) -> String {
     let _ = writeln!(out, "{} {}", dims.width(), dims.height());
     for y in 0..dims.height() {
         let row: Vec<String> = (0..dims.width())
-            .map(|x| {
-                lattice
-                    .get(dims.site_at(x as i64, y as i64))
-                    .to_string()
-            })
+            .map(|x| lattice.get(dims.site_at(x as i64, y as i64)).to_string())
             .collect();
         let _ = writeln!(out, "{}", row.join(" "));
     }
@@ -66,9 +62,7 @@ pub fn from_text(text: &str) -> Result<Lattice, String> {
     let dims = Dims::new(width, height);
     let mut cells = Vec::with_capacity((width * height) as usize);
     for y in 0..height {
-        let row = lines
-            .next()
-            .ok_or_else(|| format!("missing row {y}"))?;
+        let row = lines.next().ok_or_else(|| format!("missing row {y}"))?;
         let mut count = 0u32;
         for token in row.split_whitespace() {
             let v: u8 = token

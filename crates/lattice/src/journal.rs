@@ -1,0 +1,222 @@
+//! Change journal: a record of mutated sites for incremental bookkeeping.
+//!
+//! Incremental data structures (the VSSM enabled-site index, the per-chunk
+//! propensity cache in `psr-ca`) need to know *which* sites changed between
+//! two points in time, and which *anchor* sites may have had their
+//! enabledness altered by those changes. A [`ChangeJournal`] collects
+//! `(site, old, new)` records as the lattice is mutated; the
+//! [`affected_sites`] helper expands a changed site into the set of sites
+//! whose reaction neighborhood can see it.
+//!
+//! Invariant: replaying a journal's entries (`set(site, new)` in order)
+//! against a lattice in the journal's starting configuration reproduces the
+//! final configuration; replaying `(site, old)` in *reverse* order undoes
+//! it. Entries with `old == new` are permitted (the lattice was written but
+//! not changed) and harmless to consumers that re-derive state from the
+//! lattice.
+
+use crate::geometry::{Dims, Site};
+use crate::lattice::{Lattice, State};
+use crate::neighborhood::Neighborhood;
+
+/// A `(site, old_state, new_state)` mutation record.
+pub type Change = (Site, State, State);
+
+/// An append-only log of lattice mutations.
+///
+/// The journal is deliberately dumb: it does not deduplicate sites (a site
+/// written twice appears twice, preserving replay order) and does not touch
+/// the lattice itself. Use [`Lattice::set_journaled`] to mutate and record
+/// in one call, or [`record`](ChangeJournal::record) when the mutation
+/// already happened elsewhere.
+#[derive(Clone, Debug, Default)]
+pub struct ChangeJournal {
+    entries: Vec<Change>,
+}
+
+impl ChangeJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        ChangeJournal::default()
+    }
+
+    /// An empty journal with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ChangeJournal {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one mutation record.
+    #[inline]
+    pub fn record(&mut self, site: Site, old: State, new: State) {
+        self.entries.push((site, old, new));
+    }
+
+    /// Append every record from a change slice (the `(site, old, new)`
+    /// triples produced by `ReactionType::execute`).
+    pub fn record_all(&mut self, changes: &[Change]) {
+        self.entries.extend_from_slice(changes);
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[Change] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forget all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Move all entries out, leaving the journal empty.
+    pub fn take(&mut self) -> Vec<Change> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Distinct sites whose reaction enabledness may have changed, i.e. the
+    /// union of [`affected_sites`] over every journaled change, deduplicated
+    /// and sorted.
+    ///
+    /// `radius` is the maximum L1 pattern extent of the model (see
+    /// `Model::max_pattern_extent` in `psr-model`): a site `s` can only be
+    /// affected by a change at `x` if `‖s − x‖₁ ≤ radius`.
+    pub fn affected_sites(&self, dims: Dims, radius: u32) -> Vec<Site> {
+        let ball = Neighborhood::l1_ball(radius);
+        let mut sites: Vec<Site> = self
+            .entries
+            .iter()
+            .flat_map(|&(site, _, _)| ball.sites_at(dims, site))
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    }
+}
+
+/// Sites whose anchor enabledness may depend on the state of `change`: the
+/// L1 ball of `radius` around the changed site, materialised on the torus.
+///
+/// This over-approximates the exact update stencil (the negated transform
+/// offsets of the model's reactions) but is correct for any model whose
+/// pattern extent is at most `radius`, because a pattern anchored at `s`
+/// only reads sites within `radius` of `s`.
+pub fn affected_sites(dims: Dims, change: Site, radius: u32) -> Vec<Site> {
+    Neighborhood::l1_ball(radius).sites_at(dims, change)
+}
+
+impl Lattice {
+    /// Set the state of a site, recording the mutation in `journal`.
+    ///
+    /// Returns the previous state, exactly like [`Lattice::set`].
+    #[inline]
+    pub fn set_journaled(
+        &mut self,
+        site: Site,
+        state: State,
+        journal: &mut ChangeJournal,
+    ) -> State {
+        let old = self.set(site, state);
+        journal.record(site, old, state);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dims;
+
+    #[test]
+    fn journaled_set_records_old_and_new() {
+        let mut lattice = Lattice::filled(Dims::new(3, 3), 0);
+        let mut journal = ChangeJournal::new();
+        lattice.set_journaled(Site(4), 2, &mut journal);
+        lattice.set_journaled(Site(4), 1, &mut journal);
+        assert_eq!(journal.entries(), &[(Site(4), 0, 2), (Site(4), 2, 1)]);
+        assert_eq!(journal.len(), 2);
+    }
+
+    #[test]
+    fn replay_reproduces_and_reverse_undoes() {
+        let dims = Dims::new(4, 4);
+        let start = Lattice::filled(dims, 0);
+        let mut lattice = start.clone();
+        let mut journal = ChangeJournal::new();
+        for (i, s) in [(0u32, 3u8), (5, 1), (0, 2), (9, 1)] {
+            lattice.set_journaled(Site(i), s, &mut journal);
+        }
+        // Forward replay from the start configuration matches.
+        let mut replay = start.clone();
+        for &(site, _, new) in journal.entries() {
+            replay.set(site, new);
+        }
+        assert_eq!(replay, lattice);
+        // Reverse replay of old states undoes everything.
+        for &(site, old, _) in journal.entries().iter().rev() {
+            lattice.set(site, old);
+        }
+        assert_eq!(lattice, start);
+    }
+
+    #[test]
+    fn affected_sites_is_l1_ball() {
+        let dims = Dims::new(5, 5);
+        let center = dims.site_at(2, 2);
+        let ball = affected_sites(dims, center, 1);
+        assert_eq!(ball.len(), 5);
+        assert!(ball.contains(&center));
+        assert!(ball.contains(&dims.site_at(1, 2)));
+        assert!(ball.contains(&dims.site_at(2, 3)));
+        // Radius 0: only the site itself.
+        assert_eq!(affected_sites(dims, center, 0), vec![center]);
+    }
+
+    #[test]
+    fn affected_sites_wrap_on_torus() {
+        let dims = Dims::new(4, 4);
+        let corner = dims.site_at(0, 0);
+        let ball = affected_sites(dims, corner, 1);
+        assert!(ball.contains(&dims.site_at(3, 0)));
+        assert!(ball.contains(&dims.site_at(0, 3)));
+    }
+
+    #[test]
+    fn journal_affected_sites_dedups_across_entries() {
+        let dims = Dims::new(6, 6);
+        let mut lattice = Lattice::filled(dims, 0);
+        let mut journal = ChangeJournal::new();
+        // Two adjacent changes: their radius-1 balls share two sites.
+        lattice.set_journaled(dims.site_at(2, 2), 1, &mut journal);
+        lattice.set_journaled(dims.site_at(3, 2), 1, &mut journal);
+        let affected = journal.affected_sites(dims, 1);
+        // 5 + 5 - 2 shared = 8 distinct sites.
+        assert_eq!(affected.len(), 8);
+        let mut sorted = affected.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, affected, "result must be sorted and deduped");
+    }
+
+    #[test]
+    fn clear_and_take_empty_the_journal() {
+        let mut journal = ChangeJournal::with_capacity(4);
+        journal.record(Site(0), 0, 1);
+        journal.record_all(&[(Site(1), 0, 2)]);
+        assert_eq!(journal.take(), vec![(Site(0), 0, 1), (Site(1), 0, 2)]);
+        assert!(journal.is_empty());
+        journal.record(Site(2), 1, 0);
+        journal.clear();
+        assert!(journal.is_empty());
+    }
+}

@@ -12,6 +12,8 @@
 //! - [`neighborhood`] — von Neumann / Moore / custom offset stencils;
 //! - [`coverage`] — incremental per-state occupation counting (the observable
 //!   every figure in the paper plots);
+//! - [`journal`] — change journal recording mutated sites plus the
+//!   affected-neighborhood expansion used by incremental propensity caches;
 //! - [`cluster`] — connected-component analysis of same-state islands;
 //! - [`region`] — rectangular blocks for block partitions and domain
 //!   decomposition;
@@ -24,6 +26,7 @@ pub mod correlation;
 pub mod coverage;
 pub mod geometry;
 pub mod io;
+pub mod journal;
 pub mod lattice;
 pub mod neighborhood;
 pub mod region;
@@ -33,6 +36,7 @@ pub use cluster::{ClusterStats, Clusters};
 pub use correlation::{correlation_profile, pair_correlation};
 pub use coverage::Coverage;
 pub use geometry::{Coord, Dims, Offset, Site};
+pub use journal::{affected_sites, Change, ChangeJournal};
 pub use lattice::{Lattice, State};
 pub use neighborhood::Neighborhood;
 pub use region::Region;

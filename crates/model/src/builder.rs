@@ -103,8 +103,7 @@ impl ModelBuilder {
         };
         configure(&mut rb);
         for q in 0..rotations {
-            let rotated: Vec<Transform> =
-                rb.transforms.iter().map(|t| t.rotated(q)).collect();
+            let rotated: Vec<Transform> = rb.transforms.iter().map(|t| t.rotated(q)).collect();
             self.reactions
                 .push(ReactionType::new(format!("{name}[{q}]"), rotated, rate));
         }

@@ -80,7 +80,10 @@ mod tests {
         l.set(d.site_at(0, 0), A);
         l.set(d.site_at(1, 0), A);
         let rt = m.reaction(m.reaction_index("A+B annihilate[0]").expect("exists"));
-        assert!(!rt.is_enabled(&l, d.site_at(0, 0)), "A next to A must not react");
+        assert!(
+            !rt.is_enabled(&l, d.site_at(0, 0)),
+            "A next to A must not react"
+        );
         l.set(d.site_at(1, 0), B);
         assert!(rt.is_enabled(&l, d.site_at(0, 0)));
         rt.execute_collect(&mut l, d.site_at(0, 0));

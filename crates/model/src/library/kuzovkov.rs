@@ -147,29 +147,18 @@ pub fn kuzovkov_model(p: KuzovkovParams) -> Model {
     // the transformation is catalysed by an adjacent site already in the
     // target phase, so phase domains grow as fronts.
     if p.k_lift_front > 0.0 {
-        for (suffix, nb_src, nb_tgt) in
-            [("sq", "sq", "sq"), ("COs", "COs", "COs"), ("O", "O", "O")]
+        for (suffix, nb_src, nb_tgt) in [("sq", "sq", "sq"), ("COs", "COs", "COs"), ("O", "O", "O")]
         {
-            b = b.reaction_rotations(
-                &format!("lift front {suffix}"),
-                p.k_lift_front,
-                4,
-                |r| {
-                    r.site((0, 0), "COh", "COs").site((1, 0), nb_src, nb_tgt);
-                },
-            );
+            b = b.reaction_rotations(&format!("lift front {suffix}"), p.k_lift_front, 4, |r| {
+                r.site((0, 0), "COh", "COs").site((1, 0), nb_src, nb_tgt);
+            });
         }
     }
     if p.k_relax_front > 0.0 {
         for (suffix, nb_src, nb_tgt) in [("hex", "*", "*"), ("COh", "COh", "COh")] {
-            b = b.reaction_rotations(
-                &format!("relax front {suffix}"),
-                p.k_relax_front,
-                4,
-                |r| {
-                    r.site((0, 0), "sq", "*").site((1, 0), nb_src, nb_tgt);
-                },
-            );
+            b = b.reaction_rotations(&format!("relax front {suffix}"), p.k_relax_front, 4, |r| {
+                r.site((0, 0), "sq", "*").site((1, 0), nb_src, nb_tgt);
+            });
         }
     }
     // CO diffusion: hop to an adjacent vacant site; each site keeps its

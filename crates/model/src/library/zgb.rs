@@ -72,7 +72,10 @@ pub fn zgb_model(rates: ZgbRates) -> Model {
 ///
 /// Panics unless `0 < y < 1`.
 pub fn zgb_ziff(y: f64, k_react: f64) -> Model {
-    assert!(y > 0.0 && y < 1.0, "CO fraction y must be in (0, 1), got {y}");
+    assert!(
+        y > 0.0 && y < 1.0,
+        "CO fraction y must be in (0, 1), got {y}"
+    );
     zgb_model(ZgbRates {
         k_co: y,
         k_o2: (1.0 - y) / 2.0,

@@ -101,12 +101,7 @@ impl ReactionType {
     /// [`is_enabled`](Self::is_enabled) first; in debug builds this is
     /// asserted.
     #[inline]
-    pub fn execute(
-        &self,
-        lattice: &mut Lattice,
-        site: Site,
-        changes: &mut Vec<(Site, u8, u8)>,
-    ) {
+    pub fn execute(&self, lattice: &mut Lattice, site: Site, changes: &mut Vec<(Site, u8, u8)>) {
         debug_assert!(
             self.is_enabled(lattice, site),
             "executing disabled reaction {:?} at site {}",

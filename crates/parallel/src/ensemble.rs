@@ -84,12 +84,8 @@ where
         .num_threads(threads)
         .build()
         .expect("failed to build thread pool");
-    let series: Vec<TimeSeries> = pool.install(|| {
-        (0..replicas)
-            .into_par_iter()
-            .map(&run)
-            .collect()
-    });
+    let series: Vec<TimeSeries> =
+        pool.install(|| (0..replicas).into_par_iter().map(&run).collect());
     EnsembleSeries::from_series(&series)
 }
 

@@ -17,10 +17,12 @@ use rayon::prelude::*;
 
 use crate::shared::{Claim, ClaimTable, SharedCells};
 use psr_ca::partition::Partition;
+use psr_ca::pndca::ChunkSelection;
+use psr_ca::propensity::{draw_weighted, ChunkPropensityCache};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::RunStats;
 use psr_dmc::sim::SimState;
-use psr_lattice::Site;
+use psr_lattice::{Change, Site};
 use psr_model::{Model, ReactionType};
 use psr_rng::{AliasTable, Pcg32, StreamFactory};
 
@@ -31,6 +33,10 @@ struct SliceOutcome {
     /// Net coverage change per species id.
     deltas: Vec<i64>,
     conflicts: u64,
+    /// Journal of `(site, old, new)` writes, recorded only when the step
+    /// needs them (weighted selection feeds them to the propensity cache at
+    /// the chunk barrier); empty otherwise.
+    changes: Vec<Change>,
 }
 
 /// Threaded PNDCA over a conflict-free partition.
@@ -45,7 +51,9 @@ pub struct ParallelPndca<'m, 'p> {
     claims: Option<ClaimTable>,
     step: u64,
     conflicts: u64,
-    shuffle_chunks: bool,
+    selection: ChunkSelection,
+    /// Incremental chunk weights for `WeightedByRates`, built lazily.
+    cache: Option<ChunkPropensityCache>,
 }
 
 impl<'m, 'p> ParallelPndca<'m, 'p> {
@@ -79,7 +87,8 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
             claims: None,
             step: 0,
             conflicts: 0,
-            shuffle_chunks: false,
+            selection: ChunkSelection::InOrder,
+            cache: None,
         }
     }
 
@@ -111,7 +120,8 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
             claims: None,
             step: 0,
             conflicts: 0,
-            shuffle_chunks: false,
+            selection: ChunkSelection::InOrder,
+            cache: None,
         }
     }
 
@@ -124,9 +134,25 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
     }
 
     /// Shuffle chunk order each step (PNDCA strategy 2) instead of sweeping
-    /// in order.
+    /// in order. Shorthand for
+    /// [`with_selection`](Self::with_selection)`(ChunkSelection::RandomOrder)`.
     pub fn with_random_chunk_order(mut self, yes: bool) -> Self {
-        self.shuffle_chunks = yes;
+        self.selection = if yes {
+            ChunkSelection::RandomOrder
+        } else {
+            ChunkSelection::InOrder
+        };
+        self
+    }
+
+    /// Select any of the four §5 chunk-selection strategies. Every strategy
+    /// keeps the executor deterministic: the chunk sequence is driven by
+    /// dedicated per-step RNG streams and the slice streams are keyed by
+    /// sweep *position*, so results remain a pure function of
+    /// `(seed, partition, thread count)` even when weighted selection
+    /// repeats a chunk within one step.
+    pub fn with_selection(mut self, selection: ChunkSelection) -> Self {
+        self.selection = selection;
         self
     }
 
@@ -146,6 +172,22 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
         self.step
     }
 
+    /// Build (or refresh) the propensity cache for the current lattice.
+    fn take_fresh_cache(&mut self, state: &SimState) -> ChunkPropensityCache {
+        let mut cache = self.cache.take().unwrap_or_else(|| {
+            let mut c = ChunkPropensityCache::new(self.model, self.partition, &state.lattice);
+            c.note_epoch(state.mutation_epoch());
+            c
+        });
+        cache.ensure_fresh(
+            self.model,
+            self.partition,
+            &state.lattice,
+            state.mutation_epoch(),
+        );
+        cache
+    }
+
     /// Run `steps` parallel PNDCA steps.
     pub fn run_steps(
         &mut self,
@@ -156,25 +198,83 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
         let mut stats = RunStats::default();
         let num_species = self.model.species().len();
         let k_total = self.model.total_rate();
-        let n = state.num_sites();
         if let Some(rec) = recorder.as_deref_mut() {
             rec.record(state.time, &state.coverage);
         }
-        let _ = n;
         for _ in 0..steps {
-            let mut order: Vec<usize> = (0..self.partition.num_chunks()).collect();
-            if self.shuffle_chunks {
-                let mut rng = self.factory.stream(shuffle_stream_id(self.step));
-                psr_rng::sample::shuffle(&mut rng, &mut order);
-            }
-            for &chunk_idx in &order {
-                let outcome = self.sweep_chunk_parallel(state, chunk_idx, num_species);
-                stats.trials += outcome.trials;
-                stats.executed += outcome.executed;
-                self.conflicts += outcome.conflicts;
-                apply_coverage_deltas(&mut state.coverage, &outcome.deltas);
-                if let Some(claims) = &self.claims {
-                    claims.clear();
+            let m = self.partition.num_chunks();
+            match self.selection {
+                ChunkSelection::InOrder
+                | ChunkSelection::RandomOrder
+                | ChunkSelection::RandomWithReplacement => {
+                    let order: Vec<usize> = match self.selection {
+                        ChunkSelection::InOrder => (0..m).collect(),
+                        ChunkSelection::RandomOrder => {
+                            let mut order: Vec<usize> = (0..m).collect();
+                            let mut rng = self.factory.stream(shuffle_stream_id(self.step));
+                            psr_rng::sample::shuffle(&mut rng, &mut order);
+                            order
+                        }
+                        _ => {
+                            let mut rng = self.factory.stream(draw_stream_id(self.step));
+                            (0..m).map(|_| rng.index(m)).collect()
+                        }
+                    };
+                    for (position, &chunk_idx) in order.iter().enumerate() {
+                        let outcome = self.sweep_chunk_parallel(
+                            state,
+                            chunk_idx,
+                            position,
+                            num_species,
+                            false,
+                        );
+                        stats.trials += outcome.trials;
+                        stats.executed += outcome.executed;
+                        self.conflicts += outcome.conflicts;
+                        apply_coverage_deltas(&mut state.coverage, &outcome.deltas);
+                        if let Some(claims) = &self.claims {
+                            claims.clear();
+                        }
+                    }
+                }
+                ChunkSelection::WeightedByRates => {
+                    // The next draw depends on the weights after the
+                    // previous sweep, so draws interleave with the chunk
+                    // barriers: draw → threaded sweep → merge the slices'
+                    // change journals into the cache against the quiescent
+                    // lattice → next draw.
+                    let mut cache = self.take_fresh_cache(state);
+                    let mut draw_rng = self.factory.stream(draw_stream_id(self.step));
+                    let mut weights = Vec::with_capacity(m);
+                    for position in 0..m {
+                        cache.weights_into(&mut weights);
+                        let chunk_idx = draw_weighted(&mut draw_rng, &weights);
+                        let outcome = self.sweep_chunk_parallel(
+                            state,
+                            chunk_idx,
+                            position,
+                            num_species,
+                            true,
+                        );
+                        stats.trials += outcome.trials;
+                        stats.executed += outcome.executed;
+                        self.conflicts += outcome.conflicts;
+                        apply_coverage_deltas(&mut state.coverage, &outcome.deltas);
+                        cache.apply_changes(
+                            self.model,
+                            self.partition,
+                            &state.lattice,
+                            &outcome.changes,
+                        );
+                        state.bump_mutations();
+                        cache.note_epoch(state.mutation_epoch());
+                        if let Some(claims) = &self.claims {
+                            claims.clear();
+                        }
+                    }
+                    #[cfg(debug_assertions)]
+                    cache.assert_matches_scan(self.model, self.partition, &state.lattice);
+                    self.cache = Some(cache);
                 }
             }
             // Discretised time: one step = N trials of 1/(N·K) each = 1/K,
@@ -192,7 +292,9 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
         &self,
         state: &mut SimState,
         chunk_idx: usize,
+        position: usize,
         num_species: usize,
+        journal: bool,
     ) -> SliceOutcome {
         let chunk = self.partition.chunk(chunk_idx);
         let slice_len = chunk.len().div_ceil(self.threads);
@@ -202,8 +304,10 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
         let alias = &self.alias;
         let claims = self.claims.as_ref();
         let checked = self.checked;
-        let base_stream = (self.step * self.partition.num_chunks() as u64
-            + chunk_idx as u64)
+        // Keyed by sweep *position*, not chunk id: weighted selection and
+        // with-replacement draws can sweep the same chunk twice in a step,
+        // and each sweep must consume fresh streams.
+        let base_stream = (self.step * self.partition.num_chunks() as u64 + position as u64)
             * self.threads as u64;
         let factory = &self.factory;
         let shared_ref = &shared;
@@ -222,6 +326,7 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
                         &mut rng,
                         num_species,
                         if checked { claims } else { None },
+                        journal,
                     )
                 })
                 .collect()
@@ -232,6 +337,7 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
             executed: 0,
             deltas: vec![0; num_species],
             conflicts: 0,
+            changes: Vec::new(),
         };
         for o in outcomes {
             total.trials += o.trials;
@@ -240,6 +346,7 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
             for (d, od) in total.deltas.iter_mut().zip(&o.deltas) {
                 *d += od;
             }
+            total.changes.extend(o.changes);
         }
         total
     }
@@ -249,6 +356,12 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
 /// disjoint from the slice streams, which grow from 1).
 fn shuffle_stream_id(step: u64) -> u64 {
     0x8000_0000_0000_0000 | step
+}
+
+/// Stream id for the per-step chunk draws (weighted or with-replacement);
+/// bits 63..62 keep it disjoint from both the shuffle and slice streams.
+fn draw_stream_id(step: u64) -> u64 {
+    0xC000_0000_0000_0000 | step
 }
 
 /// Apply a net coverage delta vector (summing to zero) as transitions.
@@ -281,6 +394,7 @@ pub(crate) fn apply_coverage_deltas(coverage: &mut psr_lattice::Coverage, deltas
 }
 
 /// One slice sweep: one trial per site against the shared lattice.
+#[allow(clippy::too_many_arguments)]
 fn sweep_slice(
     model: &Model,
     alias: &AliasTable,
@@ -289,6 +403,7 @@ fn sweep_slice(
     rng: &mut Pcg32,
     num_species: usize,
     claims: Option<&ClaimTable>,
+    journal: bool,
 ) -> SliceOutcome {
     let dims = shared.dims();
     let mut outcome = SliceOutcome {
@@ -296,6 +411,7 @@ fn sweep_slice(
         executed: 0,
         deltas: vec![0; num_species],
         conflicts: 0,
+        changes: Vec::new(),
     };
     for &site in sites {
         let reaction = alias.sample(rng);
@@ -328,9 +444,13 @@ fn sweep_slice(
                 .all(|t| shared.get(dims.translate(site, t.offset)) == t.src.id());
             if enabled {
                 for t in rt.transforms() {
-                    let old = shared.set(dims.translate(site, t.offset), t.tgt.id());
+                    let target = dims.translate(site, t.offset);
+                    let old = shared.set(target, t.tgt.id());
                     outcome.deltas[old as usize] -= 1;
                     outcome.deltas[t.tgt.id() as usize] += 1;
+                    if journal {
+                        outcome.changes.push((target, old, t.tgt.id()));
+                    }
                 }
                 outcome.executed += 1;
             }
@@ -409,8 +529,8 @@ mod tests {
         let model = zgb_ziff(0.5, 3.0);
         let d = Dims::square(20);
         let p = five_coloring(d);
-        let mut exec = ParallelPndca::new(&model, &p, 4, 11)
-            .with_conflict_checking(d.sites() as usize);
+        let mut exec =
+            ParallelPndca::new(&model, &p, 4, 11).with_conflict_checking(d.sites() as usize);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         exec.run_steps(&mut state, 20, None);
         assert_eq!(exec.conflicts_detected(), 0);
@@ -452,11 +572,48 @@ mod tests {
         let model = zgb_ziff(0.4, 2.0);
         let d = Dims::square(15);
         let p = five_coloring(d);
-        let mut exec =
-            ParallelPndca::new(&model, &p, 2, 3).with_random_chunk_order(true);
+        let mut exec = ParallelPndca::new(&model, &p, 2, 3).with_random_chunk_order(true);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         exec.run_steps(&mut state, 10, None);
         assert!(state.coverage.matches(&state.lattice));
+    }
+
+    #[test]
+    fn weighted_selection_deterministic_and_consistent() {
+        // WeightedByRates results must stay a pure function of
+        // (seed, partition, threads); the debug-build assert_matches_scan
+        // inside run_steps verifies the barrier-merged cache as well.
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(20);
+        let p = five_coloring(d);
+        let run = |seed: u64| {
+            let mut exec = ParallelPndca::new(&model, &p, 3, seed)
+                .with_selection(ChunkSelection::WeightedByRates);
+            let mut state = SimState::new(Lattice::filled(d, 0), &model);
+            let stats = exec.run_steps(&mut state, 10, None);
+            // |P| = 5 weighted sweeps of one 80-site chunk per step.
+            assert_eq!(stats.trials, 10 * 400);
+            assert!(state.coverage.matches(&state.lattice));
+            state.lattice
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn weighted_selection_thread_count_changes_streams_not_safety() {
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(20);
+        let p = five_coloring(d);
+        for threads in [1, 2, 4] {
+            let mut exec = ParallelPndca::new(&model, &p, threads, 5)
+                .with_selection(ChunkSelection::WeightedByRates)
+                .with_conflict_checking(d.sites() as usize);
+            let mut state = SimState::new(Lattice::filled(d, 0), &model);
+            exec.run_steps(&mut state, 8, None);
+            assert_eq!(exec.conflicts_detected(), 0);
+            assert!(state.coverage.matches(&state.lattice));
+        }
     }
 
     #[test]

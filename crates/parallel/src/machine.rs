@@ -88,7 +88,10 @@ impl SimulatedMachine {
     ///
     /// Panics if any argument is zero.
     pub fn step_time(&self, p: usize, sites: u64, chunks: usize) -> f64 {
-        assert!(p > 0 && sites > 0 && chunks > 0, "arguments must be positive");
+        assert!(
+            p > 0 && sites > 0 && chunks > 0,
+            "arguments must be positive"
+        );
         let chunk_size = sites as f64 / chunks as f64;
         let work_per_chunk = (chunk_size / p as f64).ceil() * self.params.t_site;
         let sync = if p == 1 {

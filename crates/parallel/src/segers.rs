@@ -211,7 +211,10 @@ mod tests {
         let fast_net = seg.modeled_speedup(&comm, 10, t_site, 10e-9);
         let slow_net = seg.modeled_speedup(&comm, 10, t_site, 100e-6);
         assert!(fast_net > 2.0, "fast network speedup {fast_net}");
-        assert!(slow_net < 1.0, "slow network must be a slowdown: {slow_net}");
+        assert!(
+            slow_net < 1.0,
+            "slow network must be a slowdown: {slow_net}"
+        );
     }
 
     #[test]
@@ -219,9 +222,7 @@ mod tests {
         let model = zgb_ziff(0.5, 1.0);
         let small_blocks = SegersDecomposition::new(&model, Dims::new(40, 40), 8, 8);
         let large_blocks = SegersDecomposition::new(&model, Dims::new(40, 40), 2, 2);
-        assert!(
-            large_blocks.static_boundary_fraction() < small_blocks.static_boundary_fraction()
-        );
+        assert!(large_blocks.static_boundary_fraction() < small_blocks.static_boundary_fraction());
     }
 
     #[test]

@@ -182,13 +182,13 @@ mod tests {
         {
             let shared = SharedCells::new(&mut cells, dims);
             std::thread::scope(|scope| {
-            let s = &shared;
-            scope.spawn(move || {
-                for i in 0..4u32 {
-                    // SAFETY: this thread owns sites 0..4 exclusively.
-                    unsafe { s.set(Site(i), 1) };
-                }
-            });
+                let s = &shared;
+                scope.spawn(move || {
+                    for i in 0..4u32 {
+                        // SAFETY: this thread owns sites 0..4 exclusively.
+                        unsafe { s.set(Site(i), 1) };
+                    }
+                });
                 scope.spawn(move || {
                     for i in 4..8u32 {
                         // SAFETY: this thread owns sites 4..8 exclusively.

@@ -112,8 +112,7 @@ impl<'m> ParallelTPndca<'m> {
 
                 let slice_len = chunk.len().div_ceil(self.threads).max(1);
                 let slices: Vec<&[Site]> = chunk.chunks(slice_len).collect();
-                let shared =
-                    SharedCells::new(state.lattice.cells_mut(), partition.dims());
+                let shared = SharedCells::new(state.lattice.cells_mut(), partition.dims());
                 let rt = self.model.reaction(ri);
                 let dims = partition.dims();
                 let shared_ref = &shared;
@@ -131,15 +130,12 @@ impl<'m> ParallelTPndca<'m> {
                                 // concurrent access sets are disjoint.
                                 unsafe {
                                     let enabled = rt.transforms().iter().all(|t| {
-                                        shared_ref.get(dims.translate(site, t.offset))
-                                            == t.src.id()
+                                        shared_ref.get(dims.translate(site, t.offset)) == t.src.id()
                                     });
                                     if enabled {
                                         for t in rt.transforms() {
-                                            let old = shared_ref.set(
-                                                dims.translate(site, t.offset),
-                                                t.tgt.id(),
-                                            );
+                                            let old = shared_ref
+                                                .set(dims.translate(site, t.offset), t.tgt.id());
                                             deltas[old as usize] -= 1;
                                             deltas[t.tgt.id() as usize] += 1;
                                         }

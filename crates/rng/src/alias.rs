@@ -28,7 +28,10 @@ impl AliasTable {
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "alias table needs at least one weight");
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and >= 0, got {w}"
+            );
         }
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");

@@ -42,10 +42,7 @@ impl Pcg32 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(MULTIPLIER)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
     }
 
     /// Produce the next 32-bit output.

@@ -14,7 +14,10 @@ use crate::pcg::Pcg32;
 /// Panics if `rate` is not strictly positive and finite.
 #[inline]
 pub fn exponential(rng: &mut Pcg32, rate: f64) -> f64 {
-    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "rate must be positive, got {rate}"
+    );
     // f64() is in [0,1); use 1-u in (0,1] so ln never sees 0.
     let u = 1.0 - rng.f64();
     -u.ln() / rate
@@ -38,16 +41,25 @@ impl CumulativeTable {
     ///
     /// Panics on empty, negative, non-finite or all-zero weights.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "cumulative table needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "cumulative table needs at least one weight"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0, got {w}");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and >= 0, got {w}"
+            );
             acc += w;
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "weights must not all be zero");
-        CumulativeTable { cumulative, total: acc }
+        CumulativeTable {
+            cumulative,
+            total: acc,
+        }
     }
 
     /// Number of categories.
@@ -164,7 +176,11 @@ mod tests {
         let mut rng = Pcg32::new(4, 4);
         let mut v: Vec<u32> = (0..100).collect();
         shuffle(&mut rng, &mut v);
-        let fixed = v.iter().enumerate().filter(|(i, &x)| *i as u32 == x).count();
+        let fixed = v
+            .iter()
+            .enumerate()
+            .filter(|(i, &x)| *i as u32 == x)
+            .count();
         assert!(fixed < 15, "{fixed} fixed points is suspicious");
     }
 

@@ -41,9 +41,7 @@ pub fn plot(series: &[(&TimeSeries, char)], width: usize, height: usize) -> Stri
 
     let mut grid = vec![vec![' '; width]; height];
     for (s, glyph) in &non_empty {
-        for (col, t) in (0..width)
-            .map(|c| (c, t0 + (t1 - t0) * c as f64 / (width - 1) as f64))
-        {
+        for (col, t) in (0..width).map(|c| (c, t0 + (t1 - t0) * c as f64 / (width - 1) as f64)) {
             let v = s.interpolate(t);
             let frac = (v - v0) / (v1 - v0);
             let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;

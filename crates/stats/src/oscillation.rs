@@ -22,8 +22,7 @@ impl OscillationSummary {
     /// True if the series shows at least `min_peaks` peaks with amplitude at
     /// least `min_amplitude`.
     pub fn is_oscillating(&self, min_peaks: usize, min_amplitude: f64) -> bool {
-        self.peak_times.len() >= min_peaks
-            && self.amplitude.is_some_and(|a| a >= min_amplitude)
+        self.peak_times.len() >= min_peaks && self.amplitude.is_some_and(|a| a >= min_amplitude)
     }
 }
 
@@ -51,10 +50,7 @@ pub fn detect_peaks(
     smoothing_half: usize,
     min_prominence: f64,
 ) -> OscillationSummary {
-    assert!(
-        min_prominence >= 0.0,
-        "min_prominence must be non-negative"
-    );
+    assert!(min_prominence >= 0.0, "min_prominence must be non-negative");
     let n = series.len();
     if n < 3 {
         return OscillationSummary {
@@ -105,8 +101,7 @@ pub fn detect_peaks(
     };
     let amplitude = if !peaks.is_empty() && !troughs.is_empty() {
         let mean_peak: f64 = peaks.iter().map(|&(_, v)| v).sum::<f64>() / peaks.len() as f64;
-        let mean_trough: f64 =
-            troughs.iter().map(|&(_, v)| v).sum::<f64>() / troughs.len() as f64;
+        let mean_trough: f64 = troughs.iter().map(|&(_, v)| v).sum::<f64>() / troughs.len() as f64;
         Some(mean_peak - mean_trough)
     } else {
         None

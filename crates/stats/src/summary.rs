@@ -79,9 +79,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -142,9 +140,7 @@ mod tests {
         left.merge(&right);
         assert_eq!(left.count(), whole.count());
         assert!((left.mean().expect("m") - whole.mean().expect("m")).abs() < 1e-10);
-        assert!(
-            (left.variance().expect("v") - whole.variance().expect("v")).abs() < 1e-10
-        );
+        assert!((left.variance().expect("v") - whole.variance().expect("v")).abs() < 1e-10);
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
     }

@@ -63,7 +63,10 @@ fn main() {
         .run_until(t_end);
     let ref_co = reference.series(ZGB_SPECIES.co.id());
 
-    println!("ZGB y = 0.45, {0}x{0}, t = {t_end}; deviations vs an independent RSM run\n", 50);
+    println!(
+        "ZGB y = 0.45, {0}x{0}, t = {t_end}; deviations vs an independent RSM run\n",
+        50
+    );
     println!(
         "{:<32} {:>9} {:>9} {:>9} {:>11} {:>9}",
         "algorithm", "CO", "O", "rms dev", "trials", "ms"
@@ -77,8 +80,7 @@ fn main() {
             .sample_dt(0.2)
             .run_until(t_end);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        let dev = rms_deviation(ref_co, out.series(ZGB_SPECIES.co.id()), 50)
-            .unwrap_or(f64::NAN);
+        let dev = rms_deviation(ref_co, out.series(ZGB_SPECIES.co.id()), 50).unwrap_or(f64::NAN);
         println!(
             "{name:<32} {:>9.4} {:>9.4} {:>9.4} {:>11} {:>9.1}",
             out.final_fraction(ZGB_SPECIES.co.id()),

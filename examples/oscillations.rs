@@ -34,10 +34,7 @@ fn main() {
         .sample_dt(0.5)
         .run_until(t_end);
 
-    let co = out.combined_series(&[
-        KUZOVKOV_SPECIES.hex_co.id(),
-        KUZOVKOV_SPECIES.sq_co.id(),
-    ]);
+    let co = out.combined_series(&[KUZOVKOV_SPECIES.hex_co.id(), KUZOVKOV_SPECIES.sq_co.id()]);
     let o = out.series(KUZOVKOV_SPECIES.sq_o.id()).clone();
     let sq = out.combined_series(&[
         KUZOVKOV_SPECIES.sq_vacant.id(),

@@ -41,7 +41,11 @@ fn main() {
     // Fig 6: two chunks suffice once the reaction types are partitioned.
     let d6 = Dims::new(6, 4);
     let board = checkerboard(d6);
-    print_partition("Fig 6 — checkerboard, valid per single axis-pair type:", &board, d6);
+    print_partition(
+        "Fig 6 — checkerboard, valid per single axis-pair type:",
+        &board,
+        d6,
+    );
     let tp = axis_type_partition(&zgb, d6);
     println!(
         "  type subsets: T0 = {:?}\n                T1 = {:?}\n",

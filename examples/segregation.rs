@@ -39,7 +39,10 @@ fn main() {
     let a = out.series(A);
     let b = out.series(B);
     println!("densities over time (A = a-curve, B = b-curve):\n");
-    print!("{}", psr_stats::ascii_plot::plot(&[(a, 'a'), (b, 'b')], 72, 14));
+    print!(
+        "{}",
+        psr_stats::ascii_plot::plot(&[(a, 'a'), (b, 'b')], 72, 14)
+    );
 
     // Mean-field would predict ρ(t) ≈ ρ0/(1 + c·t); segregation slows the
     // decay. Report the decay and the domain structure.
@@ -59,14 +62,9 @@ fn main() {
     println!("\nsurface (every 2nd site):");
     print!(
         "{}",
-        psr_lattice::render::render_downsampled(
-            &out.state().lattice,
-            &model.species().glyphs(),
-            2
-        )
+        psr_lattice::render::render_downsampled(&out.state().lattice, &model.species().glyphs(), 2)
     );
-    let final_diff =
-        out.state().coverage.count(A) as i64 - out.state().coverage.count(B) as i64;
+    let final_diff = out.state().coverage.count(A) as i64 - out.state().coverage.count(B) as i64;
     println!(
         "\n(N_A - N_B) is conserved by every reaction: {final_diff} vs initial {initial_diff}"
     );

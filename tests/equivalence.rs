@@ -32,9 +32,21 @@ fn dmc_algorithms_agree_pairwise() {
     let vssm = zgb_sim(Algorithm::Vssm, 2);
     let frm = zgb_sim(Algorithm::Frm, 3);
     // Independent seeds: deviation is pure stochastic noise, O(1/√N-ish).
-    assert!(co_dev(&rsm, &vssm) < 0.06, "RSM vs VSSM: {}", co_dev(&rsm, &vssm));
-    assert!(co_dev(&rsm, &frm) < 0.06, "RSM vs FRM: {}", co_dev(&rsm, &frm));
-    assert!(co_dev(&vssm, &frm) < 0.06, "VSSM vs FRM: {}", co_dev(&vssm, &frm));
+    assert!(
+        co_dev(&rsm, &vssm) < 0.06,
+        "RSM vs VSSM: {}",
+        co_dev(&rsm, &vssm)
+    );
+    assert!(
+        co_dev(&rsm, &frm) < 0.06,
+        "RSM vs FRM: {}",
+        co_dev(&rsm, &frm)
+    );
+    assert!(
+        co_dev(&vssm, &frm) < 0.06,
+        "VSSM vs FRM: {}",
+        co_dev(&vssm, &frm)
+    );
 }
 
 #[test]
@@ -58,7 +70,11 @@ fn rsm_matches_exact_master_equation_on_tiny_lattice() {
             .algorithm(Algorithm::Rsm)
             .sample_dt(0.25)
             .run_until(1.0);
-        mean_at_end += *out.series(ZGB_SPECIES.co.id()).values().last().expect("samples");
+        mean_at_end += *out
+            .series(ZGB_SPECIES.co.id())
+            .values()
+            .last()
+            .expect("samples");
     }
     mean_at_end /= replicas as f64;
     let exact_at_end = *exact.values().last().expect("samples");
@@ -86,7 +102,11 @@ fn vssm_matches_exact_master_equation_on_tiny_lattice() {
             .algorithm(Algorithm::Vssm)
             .sample_dt(0.5)
             .run_until(1.0);
-        mean_at_end += *out.series(ZGB_SPECIES.o.id()).values().last().expect("samples");
+        mean_at_end += *out
+            .series(ZGB_SPECIES.o.id())
+            .values()
+            .last()
+            .expect("samples");
     }
     mean_at_end /= replicas as f64;
     let exact_at_end = *exact.values().last().expect("samples");
@@ -116,7 +136,11 @@ fn lpndca_limit_parameters_match_rsm() {
         },
         13,
     );
-    assert!(co_dev(&rsm, &single) < 0.06, "m=1: {}", co_dev(&rsm, &single));
+    assert!(
+        co_dev(&rsm, &single) < 0.06,
+        "m=1: {}",
+        co_dev(&rsm, &single)
+    );
     assert!(
         co_dev(&rsm, &singleton) < 0.06,
         "m=N: {}",
@@ -177,7 +201,11 @@ fn parallel_executor_matches_sequential_pndca_kinetics() {
         },
         22,
     );
-    assert!(co_dev(&seq, &par) < 0.06, "seq vs par: {}", co_dev(&seq, &par));
+    assert!(
+        co_dev(&seq, &par) < 0.06,
+        "seq vs par: {}",
+        co_dev(&seq, &par)
+    );
 }
 
 #[test]

@@ -11,10 +11,7 @@ fn co_series(algorithm: Algorithm, seed: u64, side: u32, t_end: f64) -> TimeSeri
         .algorithm(algorithm)
         .sample_dt(0.5)
         .run_until(t_end);
-    out.combined_series(&[
-        KUZOVKOV_SPECIES.hex_co.id(),
-        KUZOVKOV_SPECIES.sq_co.id(),
-    ])
+    out.combined_series(&[KUZOVKOV_SPECIES.hex_co.id(), KUZOVKOV_SPECIES.sq_co.id()])
 }
 
 #[test]

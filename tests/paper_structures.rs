@@ -142,13 +142,8 @@ fn ndca_violates_criterion_1_waiting_time_shape() {
     let mut state = SimState::new(Lattice::filled(dims, 0), &model);
     let mut rng = rng_from_seed(7);
     let mut probe = WaitingTimeSampler::new(Site(3), 0);
-    surface_reactions::crates::ca::ndca::Ndca::new(&model).run_steps(
-        &mut state,
-        &mut rng,
-        400,
-        None,
-        &mut probe,
-    );
+    surface_reactions::crates::ca::ndca::Ndca::new(&model)
+        .run_steps(&mut state, &mut rng, 400, None, &mut probe);
     assert!(probe.samples.len() > 300);
     let ks = probe.ks_against(2.0);
     assert!(

@@ -43,10 +43,7 @@ fn resumed_simulation_continues_from_checkpoint() {
     let expected = restored.fraction(1);
     assert!((co_at_start - expected).abs() < 1e-12);
     assert!(phase2.stats().trials > 0);
-    assert!(phase2
-        .state()
-        .coverage
-        .matches(&phase2.state().lattice));
+    assert!(phase2.state().coverage.matches(&phase2.state().lattice));
 }
 
 #[test]

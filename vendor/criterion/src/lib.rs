@@ -1,0 +1,286 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides a minimal statistics-light benchmark harness with the API the
+//! workspace's benches use: [`Criterion`], `benchmark_group`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! `Bencher::iter` / `iter_batched`, [`BatchSize`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Measurement model: after a short warm-up, each benchmark runs
+//! `sample_size` samples; each sample times a batch of iterations sized so
+//! one sample takes at least ~2 ms. The median per-iteration time is
+//! printed. No plotting, no statistical regression tests — numbers only.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How much a batched setup product costs to hold in memory; only affects
+/// batch sizing in real criterion, ignored here (batch size is always 1 for
+/// `iter_batched`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup product.
+    SmallInput,
+    /// Large setup product.
+    LargeInput,
+    /// Setup product per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last measurement.
+    last_median: Option<Duration>,
+}
+
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+const WARM_UP_TIME: Duration = Duration::from_millis(50);
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and calibrate how many iterations one sample needs.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME {
+                break;
+            }
+            if warm_start.elapsed() >= WARM_UP_TIME {
+                // Too slow to double further; scale up directly.
+                let scale = (MIN_SAMPLE_TIME.as_nanos() / elapsed.as_nanos().max(1)) + 1;
+                iters_per_sample = iters_per_sample.saturating_mul(scale as u64).max(1);
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        self.last_median = Some(samples[samples.len() / 2]);
+    }
+
+    /// Measure `routine` on fresh values from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up run, then one timed routine call per sample.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        samples.sort_unstable();
+        self.last_median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn print_result(group: &str, name: &str, median: Option<Duration>) {
+    match median {
+        Some(m) => println!("{group}/{name}: median {m:?} per iteration"),
+        None => println!("{group}/{name}: no measurement recorded"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            last_median: None,
+        };
+        f(&mut bencher);
+        print_result(&self.name, &id.to_string(), bencher.last_median);
+        self
+    }
+
+    /// Run one benchmark closure with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            last_median: None,
+        };
+        f(&mut bencher, input);
+        print_result(&self.name, &id.to_string(), bencher.last_median);
+        self
+    }
+
+    /// Finish the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Define a benchmark group: plain `criterion_group!(name, target, ...)` or
+/// the config form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("iter", |b| b.iter(|| black_box(21u64) * 2));
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &x| {
+            b.iter_batched(
+                || vec![x; 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

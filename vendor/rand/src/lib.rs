@@ -1,0 +1,205 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides exactly the trait surface the workspace uses: [`RngCore`],
+//! [`SeedableRng`], [`Error`], and the [`Rng`] extension trait with
+//! `gen::<T>()` for the primitive types the tests draw. The workspace's own
+//! PCG generator (`psr-rng`) implements these traits; no generator is
+//! provided here.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Create an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: the `rand` 0.8 `RngCore` trait.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fill `dest` with random bytes, reporting failure (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build a generator from a `u64` (splat into the seed bytes).
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, matching rand's default behavior of
+        // deriving the seed bytes from the u64.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sealed {
+    /// Primitive types `Rng::gen` can produce.
+    pub trait Sample {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Sample for u32 {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Sample for u64 {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Sample for u8 {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 24) as u8
+        }
+    }
+
+    impl Sample for u16 {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 16) as u16
+        }
+    }
+
+    impl Sample for bool {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Sample for f64 {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 random mantissa bits in [0, 1), rand's Standard convention.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Sample for f32 {
+        fn sample<R: crate::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+/// Convenience extension trait mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a uniformly random value of a supported primitive type.
+    fn gen<T: sealed::Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_produces_unit_interval_floats() {
+        let mut rng = Counter(7);
+        for _ in 0..100 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn try_fill_is_infallible() {
+        let mut rng = Counter(1);
+        let mut buf = [0u8; 13];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct S([u8; 16]);
+        impl SeedableRng for S {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Self {
+                S(seed)
+            }
+        }
+        assert_eq!(S::seed_from_u64(5).0, S::seed_from_u64(5).0);
+        assert_ne!(S::seed_from_u64(5).0, S::seed_from_u64(6).0);
+    }
+}

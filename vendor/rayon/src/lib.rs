@@ -1,0 +1,382 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! reimplements the slice of rayon the workspace actually uses:
+//!
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`],
+//! - `par_iter()` on slices and `Vec`s, `into_par_iter()` on integer ranges,
+//! - the `enumerate` / `map` adaptors and ordered `collect` into a `Vec`.
+//!
+//! Parallelism is real: the terminal `collect` splits the items into one
+//! contiguous batch per worker and runs the batches on scoped OS threads
+//! (`std::thread::scope`), so order is preserved and worker panics
+//! propagate, exactly as with rayon. The executing thread count is taken
+//! from the innermost enclosing [`ThreadPool::install`] (default: 1, i.e.
+//! sequential outside any pool). Unlike rayon there is no work stealing and
+//! threads are spawned per `collect` call — acceptable for the chunk-sweep
+//! granularity this workspace uses.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker count of the innermost `install` on this thread (0 = none).
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Error building a thread pool (never produced by this implementation).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical thread pool: a worker count scoped over `install` calls.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with parallel iterators inside using this pool's thread
+    /// count; restores the previous count afterwards.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            let result = f();
+            c.set(prev);
+            result
+        })
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count (0 or unset = available parallelism).
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Apply `f` to every item, in parallel, preserving order.
+fn par_apply<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = CURRENT_THREADS.with(|c| c.get()).max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let batch_len = items.len().div_ceil(threads);
+    let mut batches: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let batch: Vec<I> = iter.by_ref().take(batch_len).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(batches.len());
+    std::thread::scope(|scope| {
+        // Run the first batch on the calling thread (like rayon, which uses
+        // the installing thread as a worker) and the rest on scoped threads.
+        let mut rest = batches.drain(..);
+        let first = rest.next();
+        let handles: Vec<_> = rest
+            .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        if let Some(batch) = first {
+            results.push(batch.into_iter().map(f).collect());
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A (materialisable) parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialise all items in order (parallelising the outermost `map`).
+    fn exec(self) -> Vec<Self::Item>;
+
+    /// Map every item through `f` (applied in parallel at `collect` time).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Collect into a container, preserving item order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.exec())
+    }
+}
+
+/// Containers constructible from an ordered item vector.
+pub trait FromParallelIterator<T> {
+    /// Build the container from items already in order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn exec(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// The `map` adaptor.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn exec(self) -> Vec<R> {
+        par_apply(self.inner.exec(), &self.f)
+    }
+}
+
+/// The `enumerate` adaptor.
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn exec(self) -> Vec<(usize, I::Item)> {
+        self.inner.exec().into_iter().enumerate().collect()
+    }
+}
+
+/// Types with a by-reference parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type.
+    type Iter: ParallelIterator;
+
+    /// Iterate shared references in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for RangeIter<T> {
+    type Item = T;
+
+    fn exec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {
+        $(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = RangeIter<$t>;
+
+                fn into_par_iter(self) -> RangeIter<$t> {
+                    RangeIter {
+                        items: self.collect(),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = RangeIter<T>;
+
+    fn into_par_iter(self) -> RangeIter<T> {
+        RangeIter { items: self }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter` / `into_par_iter`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * x).collect();
+        let actual: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * x).collect());
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn enumerate_preserves_indices() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out: Vec<(usize, &str)> =
+            pool.install(|| items.par_iter().enumerate().map(|(i, &s)| (i, s)).collect());
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c"), (3, "d"), (4, "e")]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out: Vec<u64> = pool.install(|| (0u64..10).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0usize..64)
+                .into_par_iter()
+                .map(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+                .collect::<Vec<()>>()
+        });
+        assert!(seen.lock().unwrap().len() > 1, "work never left one thread");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 7);
+        pool.install(|| {
+            CURRENT_THREADS.with(|c| assert_eq!(c.get(), 7));
+        });
+        CURRENT_THREADS.with(|c| assert_eq!(c.get(), 0));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0usize..8)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 6 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .collect::<Vec<usize>>()
+            })
+        });
+        assert!(result.is_err());
+    }
+}
