@@ -2,7 +2,10 @@
 //! PNDCA over system size `N` (lattice side 200…1000) and processor count
 //! `p` (2…10).
 //!
-//! Two parts (see DESIGN.md substitution 1):
+//! Three parts (see DESIGN.md substitution 1 and "Experiment engine"):
+//! 0. **reference trajectories** — the sequential PNDCA runs of the sweep,
+//!    executed as a durable `psr-engine` batch (checkpointed, journalled,
+//!    resumable; delete `results/fig7_engine/` to recompute);
 //! 1. **measured** — real threaded executor wall-clock on this host (the
 //!    curve saturates at the physical core count);
 //! 2. **modelled** — the machine model with the work term calibrated from
@@ -11,9 +14,63 @@
 
 use psr_bench::{results_dir, text_table, write_csv};
 use psr_core::prelude::*;
+use psr_engine::spec::parse_algorithm;
+use psr_engine::{BatchSpec, Engine, EngineConfig, JobSpec, ModelSpec, RunOptions};
 use psr_parallel::measure_speedup;
+use std::time::Duration;
+
+/// Part 0: run the sweep's sequential reference trajectories through the
+/// experiment engine — two workers, periodic checkpoints, a JSONL journal
+/// and a live dashboard. A rerun picks up finished jobs from their `.done`
+/// snapshots instead of recomputing them.
+fn engine_reference_batch() {
+    let engine_dir = results_dir().join("fig7_engine");
+    let algorithm = parse_algorithm("pndca five random-order").expect("valid algorithm");
+    let jobs = [100u32, 200]
+        .iter()
+        .map(|&side| {
+            let mut job = JobSpec::new(
+                &format!("kuzovkov_n{side}"),
+                ModelSpec::Kuzovkov,
+                algorithm.clone(),
+                side,
+                7,
+                40,
+            );
+            job.checkpoint_every = 10;
+            job
+        })
+        .collect();
+    let batch = BatchSpec {
+        engine: EngineConfig {
+            workers: 2,
+            checkpoint_dir: engine_dir.clone(),
+            ..EngineConfig::default()
+        },
+        jobs,
+    };
+    println!("running the reference trajectories as a psr-engine batch:\n");
+    let engine = Engine::new(batch.engine.clone());
+    let report = engine
+        .run_with_status(
+            &batch,
+            &RunOptions {
+                status_every: Some(Duration::from_millis(250)),
+                ..RunOptions::default()
+            },
+            |frame| print!("{frame}"),
+        )
+        .expect("engine batch");
+    assert!(report.all_completed(), "engine batch failed: {report:?}");
+    println!(
+        "snapshots + journal in {} (delete to recompute)\n",
+        engine_dir.display()
+    );
+}
 
 fn main() {
+    engine_reference_batch();
+
     let model = kuzovkov_model(KuzovkovParams::default());
 
     // Part 1: honest hardware measurement (small grid — 1 core host).

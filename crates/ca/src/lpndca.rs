@@ -51,6 +51,30 @@ pub enum ChunkVisit {
     RandomOnce,
 }
 
+impl std::fmt::Display for ChunkVisit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChunkVisit::SizeWeighted => "size-weighted",
+            ChunkVisit::RandomOnce => "random-once",
+        })
+    }
+}
+
+impl std::str::FromStr for ChunkVisit {
+    type Err = String;
+
+    /// Parse the kebab-case names printed by `Display` (batch spec files).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "size-weighted" => Ok(ChunkVisit::SizeWeighted),
+            "random-once" => Ok(ChunkVisit::RandomOnce),
+            other => Err(format!(
+                "unknown chunk visit {other:?} (expected size-weighted or random-once)"
+            )),
+        }
+    }
+}
+
 /// L-PNDCA simulator.
 #[derive(Clone, Debug)]
 pub struct LPndca<'m, 'p> {

@@ -92,6 +92,13 @@ impl<'m> Ndca<'m> {
         }
         for _ in 0..steps {
             if self.order == SweepOrder::Shuffled {
+                // Shuffle from the identity each step so the sweep order is
+                // a pure function of the RNG state — `run_steps(a)` then
+                // `run_steps(b)` must match `run_steps(a + b)` exactly
+                // (checkpoint/resume relies on this).
+                for (i, v) in order.iter_mut().enumerate() {
+                    *v = i as u32;
+                }
                 shuffle(rng, &mut order);
             }
             for &site_id in &order {

@@ -47,6 +47,35 @@ pub enum ChunkSelection {
     WeightedByRates,
 }
 
+impl std::fmt::Display for ChunkSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChunkSelection::InOrder => "in-order",
+            ChunkSelection::RandomOrder => "random-order",
+            ChunkSelection::RandomWithReplacement => "random-with-replacement",
+            ChunkSelection::WeightedByRates => "weighted",
+        })
+    }
+}
+
+impl std::str::FromStr for ChunkSelection {
+    type Err = String;
+
+    /// Parse the kebab-case names printed by `Display` (batch spec files).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in-order" => Ok(ChunkSelection::InOrder),
+            "random-order" => Ok(ChunkSelection::RandomOrder),
+            "random-with-replacement" => Ok(ChunkSelection::RandomWithReplacement),
+            "weighted" => Ok(ChunkSelection::WeightedByRates),
+            other => Err(format!(
+                "unknown chunk selection {other:?} (expected in-order, random-order, \
+                 random-with-replacement or weighted)"
+            )),
+        }
+    }
+}
+
 /// PNDCA simulator over a fixed partition.
 #[derive(Clone, Debug)]
 pub struct Pndca<'m, 'p> {

@@ -36,9 +36,11 @@
 
 pub mod output;
 pub mod prelude;
+pub mod session;
 pub mod simulator;
 
 pub use output::SimOutput;
+pub use session::{Checkpointable, SessionCheckpoint, SimSession};
 pub use simulator::{Algorithm, PartitionSpec, Simulator};
 
 // Re-export the layered crates under stable names.

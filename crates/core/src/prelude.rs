@@ -9,6 +9,7 @@
 //! ```
 
 pub use crate::output::SimOutput;
+pub use crate::session::{Checkpointable, SessionCheckpoint, SimSession};
 pub use crate::simulator::{Algorithm, PartitionSpec, Simulator};
 
 pub use psr_ca::lpndca::{ChunkVisit, LPndca};

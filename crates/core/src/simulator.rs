@@ -36,6 +36,37 @@ pub enum PartitionSpec {
     Singletons,
 }
 
+impl std::fmt::Display for PartitionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PartitionSpec::FiveColoring => "five",
+            PartitionSpec::Greedy => "greedy",
+            PartitionSpec::Checkerboard => "checkerboard",
+            PartitionSpec::SingleChunk => "single",
+            PartitionSpec::Singletons => "singletons",
+        })
+    }
+}
+
+impl std::str::FromStr for PartitionSpec {
+    type Err = String;
+
+    /// Parse the names printed by `Display` (batch spec files).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "five" => Ok(PartitionSpec::FiveColoring),
+            "greedy" => Ok(PartitionSpec::Greedy),
+            "checkerboard" => Ok(PartitionSpec::Checkerboard),
+            "single" => Ok(PartitionSpec::SingleChunk),
+            "singletons" => Ok(PartitionSpec::Singletons),
+            other => Err(format!(
+                "unknown partition {other:?} (expected five, greedy, checkerboard, single \
+                 or singletons)"
+            )),
+        }
+    }
+}
+
 impl PartitionSpec {
     /// Materialise the partition.
     pub fn build(&self, dims: Dims, model: &Model) -> Partition {
@@ -153,6 +184,23 @@ impl Simulator {
     /// The model being simulated.
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// Convert the configuration into a step-wise, checkpointable
+    /// [`SimSession`](crate::session::SimSession).
+    ///
+    /// # Errors
+    ///
+    /// Rejects algorithms that cannot be checkpointed step-wise (VSSM, FRM
+    /// and the threaded executor).
+    pub fn into_session(self) -> Result<crate::session::SimSession, String> {
+        crate::session::SimSession::from_parts(
+            self.model,
+            self.dims,
+            self.seed,
+            self.algorithm,
+            self.initial,
+        )
     }
 
     fn initial_state(&self) -> SimState {

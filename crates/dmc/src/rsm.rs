@@ -40,6 +40,13 @@ pub struct RunStats {
     pub executed: u64,
 }
 
+impl std::ops::AddAssign for RunStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.trials += rhs.trials;
+        self.executed += rhs.executed;
+    }
+}
+
 /// The Random Selection Method over a model.
 #[derive(Clone, Debug)]
 pub struct Rsm<'m> {
@@ -186,6 +193,26 @@ mod tests {
                 r.site((0, 0), "*", "A");
             })
             .build()
+    }
+
+    #[test]
+    fn run_stats_accumulate() {
+        let mut total = RunStats::default();
+        total += RunStats {
+            trials: 3,
+            executed: 1,
+        };
+        total += RunStats {
+            trials: 7,
+            executed: 2,
+        };
+        assert_eq!(
+            total,
+            RunStats {
+                trials: 10,
+                executed: 3
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Periodic ASCII status dashboard.
+//!
+//! Pure rendering: the engine's status thread samples the metrics registry
+//! and per-job progress, and this module turns one sample (plus the rate
+//! history so far) into a text frame — a job table, the headline counters,
+//! and a steps/sec sparkline drawn with `psr-stats::ascii_plot`.
+
+use crate::metrics::MetricsSnapshot;
+use psr_stats::ascii_plot;
+use psr_stats::timeseries::TimeSeries;
+use std::fmt::Write as _;
+
+/// One job's progress for the dashboard table.
+#[derive(Clone, Debug)]
+pub struct JobProgress {
+    /// Job name.
+    pub name: String,
+    /// Steps completed so far.
+    pub step: u64,
+    /// Total steps requested.
+    pub steps: u64,
+    /// Short state label (`queued`, `running`, `done`, `failed`, …).
+    pub state: &'static str,
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+/// Render one dashboard frame.
+///
+/// `rate_samples` is the cumulative `(wall seconds, total steps/sec)` history
+/// used for the sparkline; fewer than two samples render without it.
+pub fn render(
+    wall_s: f64,
+    jobs: &[JobProgress],
+    snap: &MetricsSnapshot,
+    rate_samples: &[(f64, f64)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== psr-engine @ {wall_s:7.1}s ==");
+    for j in jobs {
+        let frac = if j.steps == 0 {
+            0.0
+        } else {
+            j.step as f64 / j.steps as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<20} {} {:>10}/{:<10} {}",
+            j.name,
+            bar(frac, 20),
+            j.step,
+            j.steps,
+            j.state
+        );
+    }
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let gauge = |name: &str| {
+        snap.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let _ = writeln!(
+        out,
+        "  steps {} ({:.0}/s)  trials {} ({:.0}/s)  checkpoints {}  retries {}  queue {}",
+        counter("steps"),
+        gauge("steps_per_sec"),
+        counter("trials"),
+        gauge("trials_per_sec"),
+        counter("checkpoints"),
+        counter("retries"),
+        gauge("queue_depth"),
+    );
+    if let Some((_, summary)) = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "checkpoint_bytes")
+    {
+        let _ = writeln!(
+            out,
+            "  checkpoint bytes: count {}  p50 {}  p95 {}",
+            summary.count, summary.p50, summary.p95
+        );
+    }
+    if rate_samples.len() >= 2 {
+        let mut series = TimeSeries::new();
+        for &(t, r) in rate_samples {
+            series.push(t, r);
+        }
+        let plot = ascii_plot::plot(&[(&series, '*')], 60, 8);
+        if !plot.is_empty() {
+            let _ = writeln!(out, "  steps/sec over wall time:");
+            out.push_str(&plot);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn frame_shows_jobs_counters_and_sparkline() {
+        let reg = Registry::new();
+        reg.counter("steps").add(150);
+        reg.counter("trials").add(4000);
+        reg.counter("checkpoints").add(3);
+        reg.gauge("steps_per_sec").set(75.0);
+        reg.histogram("checkpoint_bytes").record(2048);
+        let jobs = vec![
+            JobProgress {
+                name: "zgb_a".into(),
+                step: 100,
+                steps: 200,
+                state: "running",
+            },
+            JobProgress {
+                name: "zgb_b".into(),
+                step: 50,
+                steps: 50,
+                state: "done",
+            },
+        ];
+        let samples = vec![(0.0, 0.0), (1.0, 70.0), (2.0, 75.0)];
+        let frame = render(2.0, &jobs, &reg.snapshot(), &samples);
+        assert!(frame.contains("zgb_a"));
+        assert!(frame.contains("[##########----------]"));
+        assert!(frame.contains("steps 150 (75/s)"));
+        assert!(frame.contains("checkpoint bytes: count 1"));
+        assert!(frame.contains("steps/sec over wall time"));
+        assert!(frame.contains('*'));
+    }
+
+    #[test]
+    fn short_history_skips_the_sparkline() {
+        let reg = Registry::new();
+        let frame = render(0.1, &[], &reg.snapshot(), &[(0.0, 0.0)]);
+        assert!(!frame.contains("steps/sec over wall time"));
+        assert!(frame.contains("psr-engine"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Append-only JSONL event journal.
+//!
+//! Every notable engine event (job start, checkpoint, retry, completion,
+//! shutdown, periodic metrics) becomes one JSON object per line, so a batch
+//! leaves a machine-readable audit trail that `jq`/Python can consume. No
+//! serde is vendored, so the encoder is hand-rolled: [`JsonLine`] builds one
+//! flat object with escaped strings and shortest-round-trip numbers.
+
+use crate::metrics::MetricsSnapshot;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Builder for one flat JSON object (one journal line).
+#[derive(Debug)]
+pub struct JsonLine {
+    buf: String,
+    first: bool,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl JsonLine {
+    /// Start an object with an `ev` field naming the event type.
+    pub fn event(ev: &str) -> Self {
+        JsonLine {
+            buf: String::from("{"),
+            first: true,
+        }
+        .str("ev", ev)
+    }
+
+    fn key(mut self, k: &str) -> Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(self, k: &str, v: &str) -> Self {
+        let mut s = self.key(k);
+        s.buf.push('"');
+        escape_into(&mut s.buf, v);
+        s.buf.push('"');
+        s
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(self, k: &str, v: u64) -> Self {
+        let mut s = self.key(k);
+        s.buf.push_str(&v.to_string());
+        s
+    }
+
+    /// Add a float field (`null` if non-finite — JSON has no NaN/Inf).
+    pub fn f64(self, k: &str, v: f64) -> Self {
+        let mut s = self.key(k);
+        if v.is_finite() {
+            // Rust's shortest-round-trip Display keeps full precision.
+            s.buf.push_str(&v.to_string());
+        } else {
+            s.buf.push_str("null");
+        }
+        s
+    }
+
+    /// Add a boolean field.
+    pub fn bool(self, k: &str, v: bool) -> Self {
+        let mut s = self.key(k);
+        s.buf.push_str(if v { "true" } else { "false" });
+        s
+    }
+
+    /// Close the object and return the line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Thread-safe append-only JSONL file.
+#[derive(Debug)]
+pub struct Journal {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Open `path`, truncating any previous content (a fresh batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Self::open(path, false)
+    }
+
+    /// Open `path` for appending (a resumed batch keeps its history).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        Self::open(path, true)
+    }
+
+    fn open(path: &Path, append: bool) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .append(append)
+            .truncate(!append)
+            .open(path)?;
+        Ok(Journal {
+            writer: Mutex::new(BufWriter::new(file)),
+            path: path.to_owned(),
+        })
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one line, flushing immediately (events are rare and must
+    /// survive a crash of the very next instruction).
+    pub fn log(&self, line: JsonLine) {
+        let mut w = self.writer.lock().expect("journal lock");
+        let _ = writeln!(w, "{}", line.finish());
+        let _ = w.flush();
+    }
+
+    /// Append a `metrics` event carrying a full registry snapshot, with
+    /// counters prefixed `c.`, gauges `g.` and histogram summaries `h.`.
+    pub fn log_metrics(&self, wall_ms: u64, snap: &MetricsSnapshot) {
+        let mut line = JsonLine::event("metrics").u64("wall_ms", wall_ms);
+        for (k, v) in &snap.counters {
+            line = line.u64(&format!("c.{k}"), *v);
+        }
+        for (k, v) in &snap.gauges {
+            line = line.f64(&format!("g.{k}"), *v);
+        }
+        for (k, s) in &snap.histograms {
+            line = line
+                .u64(&format!("h.{k}.count"), s.count)
+                .u64(&format!("h.{k}.p50"), s.p50)
+                .u64(&format!("h.{k}.p95"), s.p95);
+        }
+        self.log(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_json_objects() {
+        let line = JsonLine::event("checkpoint")
+            .str("job", "zgb_a")
+            .u64("step", 40)
+            .f64("time", 1.25)
+            .bool("resumed", false)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"ev":"checkpoint","job":"zgb_a","step":40,"time":1.25,"resumed":false}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_rejects_nonfinite() {
+        let line = JsonLine::event("e")
+            .str("msg", "a\"b\\c\nd\te\u{1}")
+            .f64("bad", f64::NAN)
+            .finish();
+        assert_eq!(
+            line,
+            "{\"ev\":\"e\",\"msg\":\"a\\\"b\\\\c\\nd\\te\\u0001\",\"bad\":null}"
+        );
+    }
+
+    #[test]
+    fn f64_round_trips_full_precision() {
+        let v = f64::from_bits(0x3FF0_0000_0000_0002);
+        let line = JsonLine::event("e").f64("t", v).finish();
+        let rendered = line
+            .split("\"t\":")
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('}')
+            .parse::<f64>()
+            .unwrap();
+        assert_eq!(rendered.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn journal_appends_lines_and_survives_reopen() {
+        let path = std::env::temp_dir().join("psr_engine_journal_test.jsonl");
+        {
+            let j = Journal::create(&path).expect("create");
+            j.log(JsonLine::event("a").u64("n", 1));
+        }
+        {
+            let j = Journal::append(&path).expect("append");
+            j.log(JsonLine::event("b").u64("n", 2));
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\":\"a\""));
+        assert!(lines[1].contains("\"ev\":\"b\""));
+        // Truncating create wipes history.
+        let j = Journal::create(&path).expect("recreate");
+        j.log(JsonLine::event("c").u64("n", 3));
+        drop(j);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_serialises() {
+        let reg = crate::metrics::Registry::new();
+        reg.counter("steps").add(5);
+        reg.gauge("rate").set(2.5);
+        reg.histogram("ms").record(3);
+        let path = std::env::temp_dir().join("psr_engine_journal_metrics.jsonl");
+        let j = Journal::create(&path).expect("create");
+        j.log_metrics(10, &reg.snapshot());
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"c.steps\":5"));
+        assert!(text.contains("\"g.rate\":2.5"));
+        assert!(text.contains("\"h.ms.count\":1"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Lock-cheap metrics: counters, gauges and log₂-bucketed histograms.
+//!
+//! Handles are `Arc<AtomicU64>` wrappers: workers look a metric up once (one
+//! short map lock) and then update it with plain atomic operations on the
+//! hot path. The registry is cloneable and shared between the engine, its
+//! workers, the journal and the status dashboard.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as raw bits).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with one bucket per power of two (64 buckets for `u64`).
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i−1), 2^i)`. Quantiles are reported as the upper edge of the bucket
+/// where the cumulative count crosses the requested rank — a factor-of-two
+/// estimate, which is plenty for latency triage.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Upper-edge estimate of the `q`-quantile (`0 < q <= 1`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Summarise for a snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Upper-edge estimate of the median.
+    pub p50: u64,
+    /// Upper-edge estimate of the 95th percentile.
+    pub p95: u64,
+}
+
+/// Cloneable, thread-shared registry of named metrics.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Arc<Mutex<BTreeMap<String, Arc<AtomicU64>>>>,
+    gauges: Arc<Mutex<BTreeMap<String, Arc<AtomicU64>>>>,
+    histograms: Arc<Mutex<BTreeMap<String, Arc<Histogram>>>>,
+}
+
+/// Point-in-time view of every metric, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Registry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("metrics lock");
+        Counter(Arc::clone(map.entry(name.to_owned()).or_default()))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("metrics lock");
+        Gauge(Arc::clone(map.entry(name.to_owned()).or_insert_with(
+            || Arc::new(AtomicU64::new(0.0f64.to_bits())),
+        )))
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Snapshot every metric (sorted by name — `BTreeMap` order).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_storage_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("jobs");
+        let b = reg.counter("jobs");
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.counter("jobs").get(), 7);
+    }
+
+    #[test]
+    fn gauges_hold_floats() {
+        let reg = Registry::new();
+        reg.gauge("rate").set(12.75);
+        assert_eq!(reg.gauge("rate").get(), 12.75);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 10, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1115);
+        // Median rank 4 lands on value 3 → bucket [2,4) → upper edge 4.
+        assert_eq!(s.p50, 4);
+        assert!(s.p95 >= 1000);
+        assert_eq!(h.quantile(1.0), h.quantile(0.99));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b").add(1);
+        reg.counter("a").add(2);
+        reg.gauge("g").set(1.0);
+        reg.histogram("h").record(5);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a".to_owned(), 2), ("b".to_owned(), 1)]
+        );
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = reg.counter("n");
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("n").get(), 4000);
+    }
+}

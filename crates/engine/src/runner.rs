@@ -1,0 +1,421 @@
+//! Single-job execution: the checkpointed block loop.
+//!
+//! A job runs as a sequence of *blocks* of whole algorithm steps. Block
+//! boundaries are the checkpoint grid (`checkpoint_every`) plus any fault
+//! injection steps, so the runner checkpoints at deterministic step numbers
+//! regardless of where an attempt started. Between blocks it checks the
+//! cancellation flag and the per-attempt deadline; either way the last
+//! checkpoint is already on disk, so the job can resume bit-identically.
+//!
+//! Trajectory fidelity across differently-sized blocks is guaranteed by
+//! `psr-core::session` (block-splitting invariance is tested there), which
+//! is what makes checkpoint placement a pure performance/durability choice.
+
+use crate::checkpoint::CheckpointStore;
+use crate::journal::{Journal, JsonLine};
+use crate::metrics::Registry;
+use crate::spec::JobSpec;
+use psr_core::{Checkpointable, Simulator};
+use psr_dmc::events::Event;
+use psr_lattice::Dims;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a job attempt stopped before its final step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The engine's cancellation flag was raised (graceful shutdown).
+    Cancelled,
+    /// The spec's `abort_at_step` fired (simulated kill for tests/CI).
+    InjectedAbort,
+    /// The per-attempt wall-clock deadline expired.
+    Deadline,
+}
+
+impl Interrupt {
+    /// Journal-friendly name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Interrupt::Cancelled => "cancelled",
+            Interrupt::InjectedAbort => "injected-abort",
+            Interrupt::Deadline => "deadline",
+        }
+    }
+}
+
+/// Result of one job attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Ran to the final step; the `.done` snapshot is persisted.
+    Completed,
+    /// Stopped early at the given step, with a fresh `.ckpt` on disk.
+    Interrupted {
+        /// Steps completed when the attempt stopped.
+        at_step: u64,
+        /// Why it stopped.
+        reason: Interrupt,
+    },
+}
+
+/// Everything one job attempt needs (borrowed from the engine).
+pub struct JobRun<'a> {
+    /// The job being executed.
+    pub spec: &'a JobSpec,
+    /// Checkpoint storage for the batch.
+    pub store: &'a CheckpointStore,
+    /// Event journal.
+    pub journal: &'a Journal,
+    /// Shared metrics registry.
+    pub metrics: &'a Registry,
+    /// Raised to request graceful shutdown.
+    pub cancel: &'a AtomicBool,
+    /// Per-attempt wall-clock budget.
+    pub deadline: Option<Duration>,
+    /// Strip fault injection (the CI reference run).
+    pub ignore_faults: bool,
+    /// Zero-based attempt number (faults only fire on attempt 0).
+    pub attempt: u32,
+}
+
+impl JobRun<'_> {
+    fn fault(&self, step: Option<u64>) -> Option<u64> {
+        if self.ignore_faults {
+            None
+        } else {
+            step
+        }
+    }
+
+    /// The next block boundary strictly after `done`: the checkpoint grid
+    /// plus fault steps, capped at the job's final step.
+    fn next_boundary(&self, done: u64) -> u64 {
+        let spec = self.spec;
+        let mut next = (done / spec.checkpoint_every + 1) * spec.checkpoint_every;
+        for f in [
+            self.fault(spec.fail_at_step),
+            self.fault(spec.abort_at_step),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if f > done {
+                next = next.min(f);
+            }
+        }
+        next.min(spec.steps)
+    }
+
+    /// Execute one attempt of the job.
+    ///
+    /// Builds the session, restores the latest checkpoint if one exists,
+    /// then runs block by block. Panics (only) when the injected
+    /// `fail_at_step` fault fires — the engine catches it and retries.
+    ///
+    /// # Errors
+    ///
+    /// Configuration and I/O problems (bad algorithm, corrupt checkpoint,
+    /// unwritable checkpoint dir) are returned as `Err` and are not
+    /// retried.
+    pub fn run(&self) -> Result<RunOutcome, String> {
+        let spec = self.spec;
+        if self.store.is_done(&spec.name) {
+            return Ok(RunOutcome::Completed);
+        }
+        let mut session = Simulator::new(spec.model.build())
+            .dims(Dims::square(spec.side))
+            .seed(spec.seed)
+            .algorithm(spec.algorithm.clone())
+            .into_session()?;
+        let mut resumed_from = None;
+        if let Some(ck) = self
+            .store
+            .load(&spec.name)
+            .map_err(|e| format!("job {}: loading checkpoint: {e}", spec.name))?
+        {
+            session.restore(&ck)?;
+            resumed_from = Some(ck.steps);
+        }
+        let start_steps = session.steps_done();
+        self.journal.log(
+            JsonLine::event("job_start")
+                .str("job", &spec.name)
+                .u64("attempt", self.attempt as u64)
+                .u64("from_step", start_steps)
+                .bool("resumed", resumed_from.is_some()),
+        );
+
+        let steps = self.metrics.counter("steps");
+        let trials = self.metrics.counter("trials");
+        let executed = self.metrics.counter("executed");
+        let checkpoints = self.metrics.counter("checkpoints");
+        let ckpt_bytes = self.metrics.histogram("checkpoint_bytes");
+        let block_ms = self.metrics.histogram("block_ms");
+        let progress = self.metrics.gauge(&format!("job.{}.step", spec.name));
+        progress.set(start_steps as f64);
+
+        let started = Instant::now();
+        while session.steps_done() < spec.steps {
+            let done = session.steps_done();
+            let block = self.next_boundary(done) - done;
+            let t0 = Instant::now();
+            let mut hook = |e: Event| {
+                trials.add(1);
+                if e.executed {
+                    executed.add(1);
+                }
+            };
+            let stats = session.run_blocks(block, &mut hook);
+            debug_assert!(stats.trials >= stats.executed);
+            block_ms.record(t0.elapsed().as_millis() as u64);
+            steps.add(block);
+            let now = session.steps_done();
+            progress.set(now as f64);
+
+            if self.fault(spec.fail_at_step) == Some(now) && self.attempt == 0 {
+                // Injected crash: no checkpoint for this block, so the retry
+                // re-runs it from the previous checkpoint.
+                panic!(
+                    "injected fault: job {} failed at step {now} (attempt {})",
+                    spec.name, self.attempt
+                );
+            }
+
+            if now < spec.steps {
+                let ck = session.checkpoint();
+                let bytes = self
+                    .store
+                    .save(&spec.name, &ck)
+                    .map_err(|e| format!("job {}: saving checkpoint: {e}", spec.name))?;
+                checkpoints.add(1);
+                ckpt_bytes.record(bytes);
+                self.journal.log(
+                    JsonLine::event("checkpoint")
+                        .str("job", &spec.name)
+                        .u64("step", now)
+                        .f64("time", ck.time)
+                        .u64("bytes", bytes),
+                );
+            }
+
+            let interrupt = if self.fault(spec.abort_at_step) == Some(now) && start_steps < now {
+                // Simulated kill: only fires on an attempt that actually ran
+                // through this step, so a resumed run does not re-trigger.
+                Some(Interrupt::InjectedAbort)
+            } else if self.cancel.load(Ordering::SeqCst) {
+                Some(Interrupt::Cancelled)
+            } else if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                Some(Interrupt::Deadline)
+            } else {
+                None
+            };
+            if let Some(reason) = interrupt {
+                if now >= spec.steps {
+                    break; // finished exactly at the boundary: complete normally
+                }
+                self.journal.log(
+                    JsonLine::event("interrupt")
+                        .str("job", &spec.name)
+                        .str("reason", reason.as_str())
+                        .u64("step", now),
+                );
+                return Ok(RunOutcome::Interrupted {
+                    at_step: now,
+                    reason,
+                });
+            }
+        }
+
+        let ck = session.checkpoint();
+        let bytes = self
+            .store
+            .finish(&spec.name, &ck)
+            .map_err(|e| format!("job {}: saving final snapshot: {e}", spec.name))?;
+        checkpoints.add(1);
+        ckpt_bytes.record(bytes);
+        self.journal.log(
+            JsonLine::event("job_done")
+                .str("job", &spec.name)
+                .u64("steps", ck.steps)
+                .f64("time", ck.time)
+                .u64("bytes", bytes),
+        );
+        Ok(RunOutcome::Completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use psr_core::Algorithm;
+
+    fn base_spec() -> JobSpec {
+        let mut spec = JobSpec::new(
+            "t",
+            ModelSpec::Zgb { y: 0.5, k: 5.0 },
+            Algorithm::Ndca { shuffled: false },
+            10,
+            3,
+            20,
+        );
+        spec.checkpoint_every = 6;
+        spec
+    }
+
+    fn harness(tag: &str) -> (CheckpointStore, Journal, Registry, AtomicBool) {
+        let dir = std::env::temp_dir().join(format!("psr_engine_runner_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("store");
+        let journal = Journal::create(&dir.join("journal.jsonl")).expect("journal");
+        (store, journal, Registry::new(), AtomicBool::new(false))
+    }
+
+    fn run(
+        spec: &JobSpec,
+        h: &(CheckpointStore, Journal, Registry, AtomicBool),
+        attempt: u32,
+    ) -> Result<RunOutcome, String> {
+        JobRun {
+            spec,
+            store: &h.0,
+            journal: &h.1,
+            metrics: &h.2,
+            cancel: &h.3,
+            deadline: None,
+            ignore_faults: false,
+            attempt,
+        }
+        .run()
+    }
+
+    #[test]
+    fn boundaries_follow_the_checkpoint_grid_and_faults() {
+        let mut spec = base_spec();
+        spec.fail_at_step = Some(8);
+        spec.abort_at_step = Some(13);
+        let h = harness("bounds");
+        let jr = JobRun {
+            spec: &spec,
+            store: &h.0,
+            journal: &h.1,
+            metrics: &h.2,
+            cancel: &h.3,
+            deadline: None,
+            ignore_faults: false,
+            attempt: 0,
+        };
+        assert_eq!(jr.next_boundary(0), 6);
+        assert_eq!(jr.next_boundary(6), 8); // clamped by fail_at_step
+        assert_eq!(jr.next_boundary(8), 12);
+        assert_eq!(jr.next_boundary(12), 13); // clamped by abort_at_step
+        assert_eq!(jr.next_boundary(13), 18);
+        assert_eq!(jr.next_boundary(18), 20); // capped at steps
+        let ignoring = JobRun {
+            ignore_faults: true,
+            ..jr
+        };
+        assert_eq!(ignoring.next_boundary(6), 12);
+    }
+
+    #[test]
+    fn completes_and_promotes_to_done() {
+        let spec = base_spec();
+        let h = harness("complete");
+        assert_eq!(run(&spec, &h, 0).expect("run"), RunOutcome::Completed);
+        assert!(h.0.is_done("t"));
+        assert!(h.0.load("t").expect("load").is_none());
+        assert_eq!(h.2.counter("steps").get(), 20);
+        assert!(h.2.counter("trials").get() > 0);
+        // Re-running a finished job is a no-op.
+        assert_eq!(run(&spec, &h, 0).expect("rerun"), RunOutcome::Completed);
+        assert_eq!(h.2.counter("steps").get(), 20);
+    }
+
+    #[test]
+    fn injected_fail_panics_once_then_retry_succeeds() {
+        let mut spec = base_spec();
+        spec.fail_at_step = Some(8);
+        let h = harness("fail");
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&spec, &h, 0)));
+        assert!(panic.is_err(), "attempt 0 must panic at the injected fault");
+        // The last checkpoint is from step 6; the retry resumes there.
+        assert_eq!(h.0.load("t").expect("load").expect("ckpt").steps, 6);
+        assert_eq!(run(&spec, &h, 1).expect("retry"), RunOutcome::Completed);
+        assert!(h.0.is_done("t"));
+    }
+
+    #[test]
+    fn injected_abort_interrupts_resumably() {
+        let mut spec = base_spec();
+        spec.abort_at_step = Some(13);
+        let h = harness("abort");
+        assert_eq!(
+            run(&spec, &h, 0).expect("run"),
+            RunOutcome::Interrupted {
+                at_step: 13,
+                reason: Interrupt::InjectedAbort,
+            }
+        );
+        assert_eq!(h.0.load("t").expect("load").expect("ckpt").steps, 13);
+        // The resumed attempt starts at 13, so the abort does not re-fire.
+        assert_eq!(run(&spec, &h, 0).expect("resume"), RunOutcome::Completed);
+        assert!(h.0.is_done("t"));
+    }
+
+    #[test]
+    fn interrupted_then_resumed_matches_uninterrupted_bits() {
+        let mut spec = base_spec();
+        spec.abort_at_step = Some(13);
+        let h = harness("bits_a");
+        run(&spec, &h, 0).expect("run");
+        run(&spec, &h, 0).expect("resume");
+
+        let clean = base_spec();
+        let h2 = harness("bits_b");
+        run(&clean, &h2, 0).expect("clean run");
+
+        let a = std::fs::read_to_string(h.0.done_path("t")).expect("a");
+        let b = std::fs::read_to_string(h2.0.done_path("t")).expect("b");
+        assert_eq!(a, b, "resumed trajectory diverged from uninterrupted run");
+    }
+
+    #[test]
+    fn cancel_flag_stops_at_the_next_boundary() {
+        let spec = base_spec();
+        let h = harness("cancel");
+        h.3.store(true, Ordering::SeqCst);
+        match run(&spec, &h, 0).expect("run") {
+            RunOutcome::Interrupted {
+                at_step,
+                reason: Interrupt::Cancelled,
+            } => assert_eq!(at_step, 6),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert_eq!(h.0.load("t").expect("load").expect("ckpt").steps, 6);
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_after_first_block() {
+        let spec = base_spec();
+        let h = harness("deadline");
+        let out = JobRun {
+            spec: &spec,
+            store: &h.0,
+            journal: &h.1,
+            metrics: &h.2,
+            cancel: &h.3,
+            deadline: Some(Duration::ZERO),
+            ignore_faults: false,
+            attempt: 0,
+        }
+        .run()
+        .expect("run");
+        assert_eq!(
+            out,
+            RunOutcome::Interrupted {
+                at_step: 6,
+                reason: Interrupt::Deadline,
+            }
+        );
+    }
+}

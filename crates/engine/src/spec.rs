@@ -1,0 +1,578 @@
+//! Declarative batch specifications.
+//!
+//! A batch is a set of independent simulation jobs plus engine settings,
+//! written in a tiny INI-style text format (`EXPERIMENTS.md` has a worked
+//! example):
+//!
+//! ```text
+//! # comment
+//! [engine]
+//! workers = 2
+//! checkpoint_dir = results/engine_state
+//! max_retries = 2
+//!
+//! [job zgb_small]
+//! model = zgb 0.51 5
+//! algorithm = pndca five random-order
+//! side = 20
+//! seed = 7
+//! steps = 200
+//! checkpoint_every = 50
+//! ```
+//!
+//! The two `*_at_step` keys are fault injection for durability testing:
+//! `fail_at_step` panics the job once (first attempt only), exercising the
+//! retry path; `abort_at_step` interrupts the whole run after the job
+//! checkpoints at that step, simulating a kill so `--resume` can be
+//! exercised deterministically.
+
+use psr_core::{Algorithm, PartitionSpec};
+use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams};
+use psr_model::library::zgb::zgb_ziff;
+use psr_model::Model;
+use std::path::PathBuf;
+
+/// Which reaction model a job simulates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelSpec {
+    /// ZGB CO oxidation at CO fraction `y` with reaction rate `k`.
+    Zgb {
+        /// CO impingement fraction.
+        y: f64,
+        /// CO+O reaction rate.
+        k: f64,
+    },
+    /// The Kuzovkov Pt(100) oscillation model with default parameters.
+    Kuzovkov,
+}
+
+impl ModelSpec {
+    /// Materialise the model.
+    pub fn build(&self) -> Model {
+        match self {
+            ModelSpec::Zgb { y, k } => zgb_ziff(*y, *k),
+            ModelSpec::Kuzovkov => kuzovkov_model(KuzovkovParams::default()),
+        }
+    }
+
+    /// Parse `zgb <y> <k>` or `kuzovkov`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first problem with the spec string.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split_whitespace();
+        match parts.next() {
+            Some("zgb") => {
+                let y: f64 = parts
+                    .next()
+                    .ok_or("zgb needs <y> <k>")?
+                    .parse()
+                    .map_err(|e| format!("zgb y: {e}"))?;
+                let k: f64 = parts
+                    .next()
+                    .ok_or("zgb needs <y> <k>")?
+                    .parse()
+                    .map_err(|e| format!("zgb k: {e}"))?;
+                if !(0.0..=1.0).contains(&y) || !k.is_finite() || k <= 0.0 {
+                    return Err(format!("zgb parameters out of range: y={y} k={k}"));
+                }
+                Ok(ModelSpec::Zgb { y, k })
+            }
+            Some("kuzovkov") => Ok(ModelSpec::Kuzovkov),
+            other => Err(format!(
+                "unknown model {other:?} (expected zgb or kuzovkov)"
+            )),
+        }
+    }
+}
+
+/// Parse an algorithm spec string.
+///
+/// Accepted forms: `rsm`, `rsm-discretized`, `ndca`, `ndca-shuffled`,
+/// `pndca <partition> <selection>`, `lpndca <partition> <l> <visit>`,
+/// `tpndca` — the step-resumable subset of [`Algorithm`].
+///
+/// # Errors
+///
+/// Describes the first problem with the spec string.
+pub fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    let mut parts = s.split_whitespace();
+    let head = parts.next().ok_or("empty algorithm")?;
+    let alg = match head {
+        "rsm" => Algorithm::Rsm,
+        "rsm-discretized" => Algorithm::RsmDiscretized,
+        "ndca" => Algorithm::Ndca { shuffled: false },
+        "ndca-shuffled" => Algorithm::Ndca { shuffled: true },
+        "tpndca" => Algorithm::TPndca,
+        "pndca" => {
+            let partition: PartitionSpec = parts
+                .next()
+                .ok_or("pndca needs <partition> <selection>")?
+                .parse()?;
+            let selection = parts
+                .next()
+                .ok_or("pndca needs <partition> <selection>")?
+                .parse()?;
+            Algorithm::Pndca {
+                partition,
+                selection,
+            }
+        }
+        "lpndca" => {
+            let partition: PartitionSpec = parts
+                .next()
+                .ok_or("lpndca needs <partition> <l> <visit>")?
+                .parse()?;
+            let l: usize = parts
+                .next()
+                .ok_or("lpndca needs <partition> <l> <visit>")?
+                .parse()
+                .map_err(|e| format!("lpndca l: {e}"))?;
+            let visit = parts
+                .next()
+                .ok_or("lpndca needs <partition> <l> <visit>")?
+                .parse()?;
+            Algorithm::LPndca {
+                partition,
+                l,
+                visit,
+            }
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("trailing token {extra:?} in algorithm spec"));
+    }
+    Ok(alg)
+}
+
+/// One durable simulation job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Unique name; used as the checkpoint/journal key and file stem.
+    pub name: String,
+    /// Reaction model.
+    pub model: ModelSpec,
+    /// Algorithm (must be step-resumable).
+    pub algorithm: Algorithm,
+    /// Square lattice side.
+    pub side: u32,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Whole algorithm steps to run.
+    pub steps: u64,
+    /// Checkpoint every this many steps.
+    pub checkpoint_every: u64,
+    /// Fault injection: panic once when the first attempt reaches this step.
+    pub fail_at_step: Option<u64>,
+    /// Fault injection: interrupt (simulated kill) after the checkpoint at
+    /// this step.
+    pub abort_at_step: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with required fields set and defaults elsewhere
+    /// (`checkpoint_every = max(1, steps / 10)`, no fault injection).
+    pub fn new(
+        name: &str,
+        model: ModelSpec,
+        algorithm: Algorithm,
+        side: u32,
+        seed: u64,
+        steps: u64,
+    ) -> Self {
+        JobSpec {
+            name: name.to_owned(),
+            model,
+            algorithm,
+            side,
+            seed,
+            steps,
+            checkpoint_every: (steps / 10).max(1),
+            fail_at_step: None,
+            abort_at_step: None,
+        }
+    }
+
+    /// Validate self-consistency (positive sizes, sane fault steps, a name
+    /// usable as a file stem).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "job name {:?} must be non-empty [A-Za-z0-9_-] (it names checkpoint files)",
+                self.name
+            ));
+        }
+        if self.side == 0 {
+            return Err(format!("job {}: side must be positive", self.name));
+        }
+        if self.steps == 0 {
+            return Err(format!("job {}: steps must be positive", self.name));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(format!(
+                "job {}: checkpoint_every must be positive",
+                self.name
+            ));
+        }
+        for (key, v) in [
+            ("fail_at_step", self.fail_at_step),
+            ("abort_at_step", self.abort_at_step),
+        ] {
+            if let Some(v) = v {
+                if v == 0 || v >= self.steps {
+                    return Err(format!(
+                        "job {}: {key} = {v} must lie strictly inside (0, steps)",
+                        self.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Engine-wide settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Directory holding checkpoints, final snapshots and the journal.
+    pub checkpoint_dir: PathBuf,
+    /// Journal path (defaults to `<checkpoint_dir>/journal.jsonl`).
+    pub journal_path: Option<PathBuf>,
+    /// Retries after a job panic before giving up.
+    pub max_retries: u32,
+    /// First retry backoff.
+    pub backoff_base_ms: u64,
+    /// Backoff cap (doubling stops here).
+    pub backoff_cap_ms: u64,
+    /// Per-job wall-clock budget; exceeded jobs checkpoint and fail.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            checkpoint_dir: PathBuf::from("engine-state"),
+            journal_path: None,
+            max_retries: 2,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2000,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The journal path (explicit or the default inside `checkpoint_dir`).
+    pub fn journal(&self) -> PathBuf {
+        self.journal_path
+            .clone()
+            .unwrap_or_else(|| self.checkpoint_dir.join("journal.jsonl"))
+    }
+}
+
+/// A parsed batch: engine settings plus jobs, in file order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSpec {
+    /// Engine settings.
+    pub engine: EngineConfig,
+    /// Jobs, in declaration order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl BatchSpec {
+    /// Parse the INI-style batch format (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first malformed line with its line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        enum Section {
+            None,
+            Engine,
+            Job(usize),
+        }
+        // Per-job: name plus its (key, value, line-number) entries.
+        type JobKeys = Vec<(String, String, usize)>;
+        let mut engine = EngineConfig::default();
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        let mut partial: Vec<(String, JobKeys)> = Vec::new();
+        let mut section = Section::None;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let header = header.trim();
+                if header == "engine" {
+                    section = Section::Engine;
+                } else if let Some(name) = header.strip_prefix("job ") {
+                    let name = name.trim().to_owned();
+                    if partial.iter().any(|(n, _)| *n == name) {
+                        return Err(format!("line {lineno}: duplicate job {name:?}"));
+                    }
+                    partial.push((name, Vec::new()));
+                    section = Section::Job(partial.len() - 1);
+                } else {
+                    return Err(format!("line {lineno}: unknown section [{header}]"));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("line {lineno}: expected `key = value`"))?;
+            let (key, value) = (key.trim().to_owned(), value.trim().to_owned());
+            match section {
+                Section::None => {
+                    return Err(format!("line {lineno}: `{key}` outside any section"));
+                }
+                Section::Engine => {
+                    Self::apply_engine_key(&mut engine, &key, &value)
+                        .map_err(|e| format!("line {lineno}: {e}"))?;
+                }
+                Section::Job(i) => partial[i].1.push((key, value, lineno)),
+            }
+        }
+
+        for (name, keys) in partial {
+            jobs.push(Self::build_job(&name, keys)?);
+        }
+        if jobs.is_empty() {
+            return Err("batch declares no jobs".to_owned());
+        }
+        for job in &jobs {
+            job.validate()?;
+        }
+        Ok(BatchSpec { engine, jobs })
+    }
+
+    fn apply_engine_key(cfg: &mut EngineConfig, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "workers" => {
+                cfg.workers = value.parse().map_err(|e| format!("workers: {e}"))?;
+                if cfg.workers == 0 {
+                    return Err("workers must be positive".to_owned());
+                }
+            }
+            "checkpoint_dir" => cfg.checkpoint_dir = PathBuf::from(value),
+            "journal" => cfg.journal_path = Some(PathBuf::from(value)),
+            "max_retries" => {
+                cfg.max_retries = value.parse().map_err(|e| format!("max_retries: {e}"))?
+            }
+            "backoff_base_ms" => {
+                cfg.backoff_base_ms = value.parse().map_err(|e| format!("backoff_base_ms: {e}"))?
+            }
+            "backoff_cap_ms" => {
+                cfg.backoff_cap_ms = value.parse().map_err(|e| format!("backoff_cap_ms: {e}"))?
+            }
+            "deadline_ms" => {
+                cfg.deadline_ms = Some(value.parse().map_err(|e| format!("deadline_ms: {e}"))?)
+            }
+            other => return Err(format!("unknown engine key `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn build_job(name: &str, keys: Vec<(String, String, usize)>) -> Result<JobSpec, String> {
+        let mut model = None;
+        let mut algorithm = None;
+        let mut side = None;
+        let mut seed = 0u64;
+        let mut steps = None;
+        let mut checkpoint_every = None;
+        let mut fail_at_step = None;
+        let mut abort_at_step = None;
+        for (key, value, lineno) in keys {
+            let err = |e: String| format!("line {lineno} (job {name}): {e}");
+            match key.as_str() {
+                "model" => model = Some(ModelSpec::parse(&value).map_err(err)?),
+                "algorithm" => algorithm = Some(parse_algorithm(&value).map_err(err)?),
+                "side" => side = Some(value.parse().map_err(|e| err(format!("side: {e}")))?),
+                "seed" => seed = value.parse().map_err(|e| err(format!("seed: {e}")))?,
+                "steps" => steps = Some(value.parse().map_err(|e| err(format!("steps: {e}")))?),
+                "checkpoint_every" => {
+                    checkpoint_every = Some(
+                        value
+                            .parse()
+                            .map_err(|e| err(format!("checkpoint_every: {e}")))?,
+                    )
+                }
+                "fail_at_step" => {
+                    fail_at_step = Some(
+                        value
+                            .parse()
+                            .map_err(|e| err(format!("fail_at_step: {e}")))?,
+                    )
+                }
+                "abort_at_step" => {
+                    abort_at_step = Some(
+                        value
+                            .parse()
+                            .map_err(|e| err(format!("abort_at_step: {e}")))?,
+                    )
+                }
+                other => return Err(err(format!("unknown job key `{other}`"))),
+            }
+        }
+        let steps = steps.ok_or(format!("job {name}: missing steps"))?;
+        let mut job = JobSpec::new(
+            name,
+            model.ok_or(format!("job {name}: missing model"))?,
+            algorithm.ok_or(format!("job {name}: missing algorithm"))?,
+            side.ok_or(format!("job {name}: missing side"))?,
+            seed,
+            steps,
+        );
+        if let Some(ce) = checkpoint_every {
+            job.checkpoint_every = ce;
+        }
+        job.fail_at_step = fail_at_step;
+        job.abort_at_step = abort_at_step;
+        Ok(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_ca::pndca::ChunkSelection;
+
+    const SPEC: &str = "
+# demo batch
+[engine]
+workers = 2
+checkpoint_dir = /tmp/psr-ckpt
+max_retries = 3
+deadline_ms = 60000
+
+[job a]
+model = zgb 0.51 5
+algorithm = pndca five random-order
+side = 20
+seed = 7
+steps = 200
+checkpoint_every = 50
+
+[job b]
+model = kuzovkov          # inline comment
+algorithm = ndca
+side = 30
+steps = 40
+fail_at_step = 9
+";
+
+    #[test]
+    fn parses_engine_and_jobs() {
+        let batch = BatchSpec::parse(SPEC).expect("parse");
+        assert_eq!(batch.engine.workers, 2);
+        assert_eq!(batch.engine.max_retries, 3);
+        assert_eq!(batch.engine.deadline_ms, Some(60000));
+        assert_eq!(batch.jobs.len(), 2);
+        let a = &batch.jobs[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.model, ModelSpec::Zgb { y: 0.51, k: 5.0 });
+        assert_eq!(
+            a.algorithm,
+            Algorithm::Pndca {
+                partition: PartitionSpec::FiveColoring,
+                selection: ChunkSelection::RandomOrder,
+            }
+        );
+        assert_eq!(a.checkpoint_every, 50);
+        let b = &batch.jobs[1];
+        assert_eq!(b.model, ModelSpec::Kuzovkov);
+        assert_eq!(b.seed, 0);
+        assert_eq!(b.checkpoint_every, 4); // steps/10 default
+        assert_eq!(b.fail_at_step, Some(9));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (snippet, needle) in [
+            ("workers = 2", "outside any section"),
+            ("[engine]\nworkers = 0", "positive"),
+            ("[mystery]\n", "unknown section"),
+            ("[job a]\nsteps = 5", "missing model"),
+            ("[engine]\nworkers = 1", "no jobs"),
+            (
+                "[job a]\nmodel = zgb 2.0 5\nalgorithm = rsm\nside = 10\nsteps = 5",
+                "out of range",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 5\nalgorithm = warp\nside = 10\nsteps = 5",
+                "unknown algorithm",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 5\nalgorithm = rsm\nside = 10\nsteps = 5\n[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10\nsteps = 5",
+                "duplicate job",
+            ),
+            (
+                "[job bad name]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10\nsteps = 5",
+                "A-Za-z0-9",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10\nsteps = 5\nfail_at_step = 5",
+                "strictly inside",
+            ),
+        ] {
+            let err = BatchSpec::parse(snippet).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "spec {snippet:?}: error {err:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_specs_roundtrip_through_display_names() {
+        for s in [
+            "rsm",
+            "rsm-discretized",
+            "ndca",
+            "ndca-shuffled",
+            "tpndca",
+            "pndca five weighted",
+            "pndca greedy in-order",
+            "lpndca single 100 size-weighted",
+            "lpndca five 1 random-once",
+        ] {
+            parse_algorithm(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+        assert!(parse_algorithm("pndca five weighted extra").is_err());
+        assert!(parse_algorithm("pndca nowhere weighted").is_err());
+    }
+
+    #[test]
+    fn model_specs_build() {
+        assert!(
+            ModelSpec::parse("zgb 0.5 5")
+                .unwrap()
+                .build()
+                .num_reactions()
+                > 0
+        );
+        assert!(
+            ModelSpec::parse("kuzovkov")
+                .unwrap()
+                .build()
+                .num_reactions()
+                > 0
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Kill-and-resume durability: a batch that dies mid-run must, after
+//! `--resume`, produce *bit-identical* final trajectories to a batch that
+//! was never interrupted. These tests drive the engine end to end through
+//! the text spec format, the worker pool, the checkpoint store and the
+//! journal — the same path the `psr-engine` binary takes.
+
+use psr_engine::{BatchSpec, Engine, JobStatus, RunOptions};
+use psr_lattice::io;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psr_engine_resume_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A two-job ZGB batch; `abort` injects a simulated kill into job `a`.
+fn spec_text(dir: &Path, abort: bool) -> String {
+    let fault = if abort { "abort_at_step = 30\n" } else { "" };
+    format!(
+        "[engine]
+workers = 2
+checkpoint_dir = {dir}
+backoff_base_ms = 1
+
+[job a]
+model = zgb 0.51 5
+algorithm = pndca five random-order
+side = 20
+seed = 42
+steps = 80
+checkpoint_every = 10
+{fault}
+[job b]
+model = zgb 0.51 5
+algorithm = rsm
+side = 20
+seed = 43
+steps = 60
+checkpoint_every = 20
+",
+        dir = dir.display()
+    )
+}
+
+/// Per-species site fractions of a `.done` snapshot.
+fn coverages(path: &Path) -> Vec<f64> {
+    let (lattice, _) = io::load_v2(path).expect("final snapshot");
+    let dims = lattice.dims();
+    let total = (dims.width() * dims.height()) as f64;
+    let mut counts = vec![0u64; 0];
+    for y in 0..dims.height() {
+        for x in 0..dims.width() {
+            let s = lattice.get(dims.site_at(x as i64, y as i64)) as usize;
+            if counts.len() <= s {
+                counts.resize(s + 1, 0);
+            }
+            counts[s] += 1;
+        }
+    }
+    counts.iter().map(|&c| c as f64 / total).collect()
+}
+
+#[test]
+fn killed_batch_resumes_bit_identically() {
+    // Run 1: the batch is "killed" (injected abort) after job a's step-30
+    // checkpoint. The engine is dropped entirely, like a dead process.
+    let faulty_dir = temp_dir("killed");
+    let batch = BatchSpec::parse(&spec_text(&faulty_dir, true)).expect("spec parses");
+    {
+        let engine = Engine::new(batch.engine.clone());
+        let report = engine.run(&batch, &RunOptions::default()).expect("run");
+        let a = &report.jobs[0];
+        assert!(
+            matches!(a.status, JobStatus::Interrupted(_)),
+            "job a should be interrupted, got {a:?}"
+        );
+        // The in-flight checkpoint carries exactly the abort step.
+        let ck = psr_engine::CheckpointStore::open(&faulty_dir)
+            .expect("store")
+            .load("a")
+            .expect("load")
+            .expect("checkpoint exists");
+        assert_eq!(ck.steps, 30);
+    }
+
+    // Run 2: a fresh engine resumes the same spec and finishes the batch.
+    {
+        let engine = Engine::new(batch.engine.clone());
+        let report = engine
+            .run(
+                &batch,
+                &RunOptions {
+                    resume: true,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("resume");
+        assert!(report.all_completed(), "{report:?}");
+    }
+
+    // Reference: the identical batch without the fault, never interrupted.
+    let clean_dir = temp_dir("clean");
+    let clean = BatchSpec::parse(&spec_text(&clean_dir, false)).expect("spec parses");
+    Engine::new(clean.engine.clone())
+        .run(&clean, &RunOptions::default())
+        .expect("clean run");
+
+    for job in ["a", "b"] {
+        let resumed = std::fs::read_to_string(faulty_dir.join(format!("{job}.done"))).unwrap();
+        let reference = std::fs::read_to_string(clean_dir.join(format!("{job}.done"))).unwrap();
+        assert_eq!(
+            resumed, reference,
+            "job {job}: resumed snapshot differs from uninterrupted run"
+        );
+        assert_eq!(
+            coverages(&faulty_dir.join(format!("{job}.done"))),
+            coverages(&clean_dir.join(format!("{job}.done"))),
+            "job {job}: coverages differ"
+        );
+    }
+
+    // The resumed journal keeps the whole history: kill then resume.
+    let journal = std::fs::read_to_string(batch.engine.journal()).expect("journal");
+    assert!(journal.contains("\"ev\":\"interrupt\""));
+    assert!(journal.contains("\"resumed\":true"));
+    assert_eq!(journal.matches("\"ev\":\"batch_start\"").count(), 2);
+}
+
+#[test]
+fn ignore_faults_strips_injection_from_a_faulty_spec() {
+    let dir = temp_dir("ignore");
+    let batch = BatchSpec::parse(&spec_text(&dir, true)).expect("spec parses");
+    let report = Engine::new(batch.engine.clone())
+        .run(
+            &batch,
+            &RunOptions {
+                ignore_faults: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("run");
+    assert!(report.all_completed(), "{report:?}");
+}
+
+#[test]
+fn panicking_job_recovers_from_its_checkpoint() {
+    let dir = temp_dir("panic");
+    let text = format!(
+        "[engine]
+workers = 1
+checkpoint_dir = {dir}
+max_retries = 2
+backoff_base_ms = 1
+
+[job flaky]
+model = zgb 0.5 5
+algorithm = ndca
+side = 12
+seed = 9
+steps = 40
+checkpoint_every = 8
+fail_at_step = 20
+",
+        dir = dir.display()
+    );
+    let batch = BatchSpec::parse(&text).expect("spec parses");
+    // Silence the injected panic's default backtrace spew.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or("");
+        if !msg.contains("injected fault") {
+            default_hook(info);
+        }
+    }));
+    let engine = Engine::new(batch.engine.clone());
+    let report = engine.run(&batch, &RunOptions::default()).expect("run");
+    let _ = std::panic::take_hook();
+    assert!(report.all_completed(), "{report:?}");
+    assert_eq!(report.jobs[0].attempts, 2);
+    assert_eq!(engine.metrics().counter("retries").get(), 1);
+
+    // Same spec, faults stripped: the trajectory must match bit for bit —
+    // the crash/retry cycle leaves no trace in the physics.
+    let clean_dir = temp_dir("panic_clean");
+    let clean_text = text.replace(&dir.display().to_string(), &clean_dir.display().to_string());
+    let clean = BatchSpec::parse(&clean_text).expect("spec parses");
+    Engine::new(clean.engine.clone())
+        .run(
+            &clean,
+            &RunOptions {
+                ignore_faults: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("clean run");
+    assert_eq!(
+        std::fs::read_to_string(dir.join("flaky.done")).unwrap(),
+        std::fs::read_to_string(clean_dir.join("flaky.done")).unwrap(),
+        "retried trajectory differs from clean run"
+    );
+}

@@ -1,0 +1,72 @@
+//! Property tests for the snapshot formats: any lattice round-trips through
+//! both the v1 text format and the v2 checkpoint format, and corrupted
+//! snapshots are rejected rather than silently misparsed.
+
+use proptest::prelude::*;
+use psr_lattice::io::{from_text, from_text_v2, to_text, to_text_v2, SnapshotMeta};
+use psr_lattice::{Dims, Lattice};
+
+/// Strategy: a random lattice up to 12×12 with cell states in 0..6.
+///
+/// The vendored proptest has no `prop_flat_map`, so we draw a maximal cell
+/// pool and truncate it to the drawn dimensions.
+fn lattice_strategy() -> impl Strategy<Value = Lattice> {
+    (
+        1u32..=12,
+        1u32..=12,
+        prop::collection::vec(0u8..6, 144usize),
+    )
+        .prop_map(|(w, h, pool)| {
+            Lattice::from_cells(Dims::new(w, h), pool[..(w * h) as usize].to_vec())
+        })
+}
+
+proptest! {
+    #[test]
+    fn v1_roundtrip(lattice in lattice_strategy()) {
+        let text = to_text(&lattice);
+        let back = from_text(&text).expect("v1 parse");
+        prop_assert_eq!(back, lattice);
+    }
+
+    #[test]
+    fn v2_roundtrip(
+        lattice in lattice_strategy(),
+        time_frac in 0.0f64..1e6,
+        steps in 0u64..u64::MAX,
+        rng_lo in 0u64..u64::MAX,
+        rng_hi in 0u64..u64::MAX,
+    ) {
+        let meta = SnapshotMeta { time: time_frac, steps, rng: [rng_lo, rng_hi | 1] };
+        let text = to_text_v2(&lattice, &meta);
+        let (back, back_meta) = from_text_v2(&text).expect("v2 parse");
+        prop_assert_eq!(back, lattice);
+        prop_assert_eq!(back_meta.time.to_bits(), meta.time.to_bits());
+        prop_assert_eq!(back_meta.steps, meta.steps);
+        prop_assert_eq!(back_meta.rng, meta.rng);
+    }
+
+    #[test]
+    fn v1_truncation_is_rejected(lattice in lattice_strategy()) {
+        let text = to_text(&lattice);
+        // Drop the final row: either a missing row or a short cell count.
+        let truncated: Vec<&str> = text.lines().collect();
+        let truncated = truncated[..truncated.len() - 1].join("\n");
+        prop_assert!(from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn v1_trailing_garbage_is_rejected(lattice in lattice_strategy()) {
+        let text = format!("{}0 0 0\n", to_text(&lattice));
+        prop_assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn v2_truncation_is_rejected(lattice in lattice_strategy(), steps in 0u64..u64::MAX) {
+        let meta = SnapshotMeta { time: 0.5, steps, rng: [7, 9] };
+        let text = to_text_v2(&lattice, &meta);
+        let lines: Vec<&str> = text.lines().collect();
+        let truncated = lines[..lines.len() - 1].join("\n");
+        prop_assert!(from_text_v2(&truncated).is_err());
+    }
+}

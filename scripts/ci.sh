@@ -15,4 +15,23 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> engine smoke: kill, resume, compare against clean run"
+ENGINE=target/release/psr-engine
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+set +e
+"$ENGINE" run scripts/engine_smoke.spec --ckpt-dir "$SMOKE_DIR/faulty" --quiet
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "expected interrupted exit code 3 from the faulty run, got $rc"
+    exit 1
+fi
+"$ENGINE" run scripts/engine_smoke.spec --ckpt-dir "$SMOKE_DIR/faulty" --resume --quiet
+"$ENGINE" run scripts/engine_smoke.spec --ckpt-dir "$SMOKE_DIR/clean" --ignore-faults --quiet
+for job in zgb rsm_ref; do
+    cmp "$SMOKE_DIR/faulty/$job.done" "$SMOKE_DIR/clean/$job.done"
+done
+echo "engine smoke: resumed run is bit-identical to the clean run"
+
 echo "CI green."
