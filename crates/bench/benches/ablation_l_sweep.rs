@@ -17,7 +17,7 @@ fn bench_l_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("lpndca_step_by_l");
     for l in [1usize, 10, 100, 500, 2500] {
         group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
-            let lp = LPndca::new(&model, &partition, l);
+            let mut lp = LPndca::new(&model, &partition, l);
             let mut state = SimState::new(Lattice::filled(dims, 0), &model);
             let mut rng = rng_from_seed(3);
             lp.run_steps(&mut state, &mut rng, 2, None, &mut NoHook);

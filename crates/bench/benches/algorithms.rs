@@ -34,13 +34,13 @@ fn bench_trial_methods(c: &mut Criterion) {
     group.bench_function("rsm", |b| {
         let mut state = prepared_state(&model);
         let mut rng = rng_from_seed(2);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         b.iter(|| rsm.run_mc_steps(&mut state, &mut rng, 1, None, &mut NoHook));
     });
     group.bench_function("ndca", |b| {
         let mut state = prepared_state(&model);
         let mut rng = rng_from_seed(3);
-        let ndca = Ndca::new(&model);
+        let mut ndca = Ndca::new(&model);
         b.iter(|| ndca.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
     });
     group.bench_function("pndca_5chunks", |b| {
@@ -52,13 +52,13 @@ fn bench_trial_methods(c: &mut Criterion) {
     group.bench_function("lpndca_l1", |b| {
         let mut state = prepared_state(&model);
         let mut rng = rng_from_seed(5);
-        let lp = LPndca::new(&model, &partition, 1);
+        let mut lp = LPndca::new(&model, &partition, 1);
         b.iter(|| lp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
     });
     group.bench_function("lpndca_l500", |b| {
         let mut state = prepared_state(&model);
         let mut rng = rng_from_seed(6);
-        let lp = LPndca::new(&model, &partition, 500).with_visit(ChunkVisit::RandomOnce);
+        let mut lp = LPndca::new(&model, &partition, 500).with_visit(ChunkVisit::RandomOnce);
         b.iter(|| lp.run_steps(&mut state, &mut rng, 1, None, &mut NoHook));
     });
     group.bench_function("tpndca", |b| {

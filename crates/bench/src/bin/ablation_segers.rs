@@ -19,7 +19,7 @@ fn main() {
     let mut rows = Vec::new();
     for (side, grid) in [(40u32, 2u32), (40, 4), (80, 2), (80, 4), (80, 8)] {
         let dims = Dims::square(side);
-        let seg = SegersDecomposition::new(&model, dims, grid, grid);
+        let mut seg = SegersDecomposition::new(&model, dims, grid, grid);
         let mut state = SimState::new(Lattice::filled(dims, 0), &model);
         let mut rng = rng_from_seed(1);
         let steps = 10;

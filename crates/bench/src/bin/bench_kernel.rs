@@ -1,0 +1,299 @@
+//! Benchmark: compiled reaction kernels vs naive per-reaction matching in
+//! the NDCA trial loop.
+//!
+//! The compiled path answers "which reactions are enabled at this site?"
+//! with a single table load (base-S neighborhood code → reaction LUT),
+//! maintained incrementally from the change journal; the naive path walks
+//! every transform of the sampled reaction through `Dims::translate`.
+//!
+//! Three arms are timed:
+//!
+//! * **naive** — a verbatim replica of the NDCA hot loop as it stood
+//!   before this change (two-draw alias sampling, per-transform match walk,
+//!   `N·K` recomputed each trial). The headline `speedup` is measured
+//!   against this, i.e. against the loop the compiled kernel replaced.
+//! * **hatch** — `with_naive_matching(true)`: the naive matcher behind the
+//!   escape hatch, which shares the new single-draw alias sampler and the
+//!   hoisted per-sweep constants. This arm consumes the same RNG stream as
+//!   the compiled arm, so it anchors the bit-identity assertion; its ratio
+//!   is reported separately as `speedup_vs_hatch`.
+//! * **compiled** — the kernel path.
+//!
+//! The bench first asserts bit-identical trajectories between the hatch and
+//! compiled arms from identical seeds (both sweep orders), then times NDCA
+//! steps/sec for ZGB and the Kuzovkov oscillation model and writes
+//! `BENCH_kernel.json` at the repo root.
+//!
+//! Usage: `bench_kernel [min_sample_secs]` or `bench_kernel --smoke`
+//! (small lattice, short timing — the CI smoke mode).
+
+use psr_core::prelude::*;
+use psr_dmc::events::NoHook;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    model_id: &'static str,
+    model: Model,
+}
+
+/// Verbatim replica of the NDCA trial loop before compiled kernels existed
+/// (reconstructed from the previous `Ndca::run_steps` + `AliasTable::sample`):
+/// a two-draw alias sample (index, then f64 threshold compare against the
+/// unpacked probability row), the naive per-transform match via
+/// `try_execute`, and `N·K` recomputed every trial by the old `advance`.
+/// The replica still benefits from today's faster `Pcg32` core, which only
+/// makes the reported speedup conservative.
+struct BaselineNdca<'m> {
+    model: &'m Model,
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl<'m> BaselineNdca<'m> {
+    fn new(model: &'m Model) -> Self {
+        // Vose pairing, exactly as the old AliasTable::new left it.
+        let weights = model.rate_weights();
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] -= 1.0 - prob[s];
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        BaselineNdca { model, prob, alias }
+    }
+
+    fn run_steps(&self, state: &mut SimState, rng: &mut SimRng, steps: u64) {
+        let mut changes = Vec::with_capacity(4);
+        let n = state.num_sites();
+        for _ in 0..steps {
+            for site_id in 0..n as u32 {
+                let site = Site(site_id);
+                let i = rng.index(self.prob.len());
+                let reaction = if rng.f64() < self.prob[i] {
+                    i
+                } else {
+                    self.alias[i]
+                };
+                changes.clear();
+                let executed = self.model.reaction(reaction).try_execute(
+                    &mut state.lattice,
+                    site,
+                    &mut changes,
+                );
+                if executed {
+                    state.apply_changes(&changes);
+                }
+                let nk = state.num_sites() as f64 * self.model.total_rate();
+                state.time += 1.0 / nk;
+            }
+        }
+    }
+}
+
+/// Thermalised state: enough NDCA steps from the empty surface that the
+/// coverage mix — and hence the enabled-reaction structure, the match-walk
+/// depth, and the branch profile — is representative of a production run
+/// rather than of a nearly empty lattice.
+fn prepared_state(model: &Model, dims: Dims, warm_steps: u64) -> SimState {
+    let mut state = SimState::new(Lattice::filled(dims, 0), model);
+    let mut rng = rng_from_seed(11);
+    Ndca::new(model).run_steps(&mut state, &mut rng, warm_steps, None, &mut NoHook);
+    state
+}
+
+/// One timed arm in the interleaved measurement: a closure over its own
+/// clone of the prepared state and its own RNG, so every arm walks a
+/// statistically equivalent trajectory from the same starting surface.
+struct Timed<'a> {
+    run: Box<dyn FnMut(u64) + 'a>,
+    best: f64,
+    steps: u64,
+    elapsed: f64,
+}
+
+impl<'a> Timed<'a> {
+    fn new(mut run: Box<dyn FnMut(u64) + 'a>) -> Self {
+        // Warm-up absorbs the one-off kernel build (or first scan).
+        run(1);
+        Timed {
+            run,
+            best: 0.0,
+            steps: 0,
+            elapsed: 0.0,
+        }
+    }
+
+    fn window(&mut self, steps: u64) {
+        let start = Instant::now();
+        (self.run)(steps);
+        let dt = start.elapsed().as_secs_f64();
+        self.best = self.best.max(steps as f64 / dt);
+        self.steps += steps;
+        self.elapsed += dt;
+    }
+}
+
+/// NDCA steps/sec for every arm: alternate short timing windows between the
+/// arms until each has `min_secs` of wall clock, and report each arm's best
+/// window. Interleaving makes slow drifts (frequency scaling, noisy
+/// neighbours) hit all arms symmetrically, and best-of-N discards windows
+/// that caught an interference spike.
+fn steps_per_sec(arms: &mut [Timed<'_>], min_secs: f64) -> Vec<(f64, u64)> {
+    // ~12 windows per arm regardless of the requested sample time.
+    let mut window_steps = vec![1u64; arms.len()];
+    for (t, w) in arms.iter_mut().zip(&mut window_steps) {
+        let probe = Instant::now();
+        t.window(1);
+        let sps = 1.0 / probe.elapsed().as_secs_f64().max(1e-9);
+        *w = ((sps * min_secs / 12.0).ceil() as u64).max(1);
+    }
+    while arms.iter().any(|t| t.elapsed < min_secs) {
+        for (t, &w) in arms.iter_mut().zip(&window_steps) {
+            t.window(w);
+        }
+    }
+    arms.iter().map(|t| (t.best, t.steps)).collect()
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let min_secs: f64 = if smoke {
+        0.05
+    } else {
+        arg.map(|s| s.parse().expect("min_sample_secs must be a number"))
+            .unwrap_or(0.5)
+    };
+    let side: u32 = if smoke { 64 } else { 256 };
+    let warm_steps: u64 = if smoke { 20 } else { 200 };
+    let dims = Dims::square(side);
+
+    let cases = [
+        Case {
+            name: "ZGB",
+            model_id: "zgb_ziff(0.45, 10.0)",
+            model: zgb_ziff(0.45, 10.0),
+        },
+        Case {
+            name: "Kuzovkov",
+            model_id: "kuzovkov_model(KuzovkovParams::default())",
+            model: kuzovkov_model(KuzovkovParams::default()),
+        },
+    ];
+
+    println!("Compiled reaction kernels vs naive pattern matching (NDCA sweep)");
+    println!("L = {side}, min sample {min_secs} s per timing");
+    println!("naive = pre-change hot loop; hatch = with_naive_matching(true)\n");
+    println!("  model      naive steps/s   hatch steps/s   compiled steps/s   speedup   vs hatch   identical");
+
+    let mut entries = Vec::new();
+    for case in &cases {
+        let state = prepared_state(&case.model, dims, warm_steps);
+
+        // The kernel swap must not change trajectories: same seed, same
+        // steps, bit-identical lattices (both sweep orders).
+        let trajectory = |naive: bool, order| {
+            let mut ndca = Ndca::new(&case.model)
+                .with_order(order)
+                .with_naive_matching(naive);
+            let mut s = state.clone();
+            let mut rng = rng_from_seed(23);
+            ndca.run_steps(&mut s, &mut rng, 3, None, &mut NoHook);
+            s.lattice
+        };
+        use psr_ca::ndca::SweepOrder;
+        let identical = trajectory(true, SweepOrder::RowMajor)
+            == trajectory(false, SweepOrder::RowMajor)
+            && trajectory(true, SweepOrder::Shuffled) == trajectory(false, SweepOrder::Shuffled);
+        assert!(
+            identical,
+            "naive and compiled trajectories diverged for {}",
+            case.name
+        );
+
+        let seed = 42;
+        let baseline = BaselineNdca::new(&case.model);
+        let (mut b_state, mut b_rng) = (state.clone(), rng_from_seed(seed));
+        let mut hatch = Ndca::new(&case.model).with_naive_matching(true);
+        let (mut h_state, mut h_rng) = (state.clone(), rng_from_seed(seed));
+        let mut compiled = Ndca::new(&case.model);
+        let (mut c_state, mut c_rng) = (state.clone(), rng_from_seed(seed));
+        let mut arms = [
+            Timed::new(Box::new(|steps| {
+                baseline.run_steps(&mut b_state, &mut b_rng, steps)
+            })),
+            Timed::new(Box::new(|steps| {
+                hatch.run_steps(&mut h_state, &mut h_rng, steps, None, &mut NoHook);
+            })),
+            Timed::new(Box::new(|steps| {
+                compiled.run_steps(&mut c_state, &mut c_rng, steps, None, &mut NoHook);
+            })),
+        ];
+        let timings = steps_per_sec(&mut arms, min_secs);
+        let [(naive_sps, naive_steps), (hatch_sps, hatch_steps), (compiled_sps, compiled_steps)] =
+            timings[..]
+        else {
+            unreachable!()
+        };
+        let speedup = compiled_sps / naive_sps;
+        let speedup_hatch = compiled_sps / hatch_sps;
+        println!(
+            "  {:<9}  {naive_sps:>13.2}   {hatch_sps:>13.2}   {compiled_sps:>16.2}   \
+             {speedup:>6.2}x   {speedup_hatch:>6.2}x   {identical}",
+            case.name
+        );
+        entries.push(format!(
+            "    {{\"model\": \"{}\", \"model_id\": \"{}\", \"side\": {side}, \
+             \"naive_steps_per_sec\": {naive_sps:.3}, \"naive_steps_timed\": {naive_steps}, \
+             \"hatch_steps_per_sec\": {hatch_sps:.3}, \"hatch_steps_timed\": {hatch_steps}, \
+             \"compiled_steps_per_sec\": {compiled_sps:.3}, \
+             \"compiled_steps_timed\": {compiled_steps}, \"speedup\": {speedup:.3}, \
+             \"speedup_vs_hatch\": {speedup_hatch:.3}, \
+             \"trajectories_identical\": {identical}}}",
+            case.name, case.model_id
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"compiled reaction kernels vs naive pattern matching (NDCA)\",\n  \
+         \"baseline\": \"pre-change NDCA hot loop (two-draw alias sample, naive match walk)\",\n  \
+         \"side\": {side},\n  \"smoke\": {smoke},\n  \"min_sample_secs\": {min_secs},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Smoke mode gets its own file so CI never clobbers the committed
+    // full-size (L=256) benchmark record.
+    let file = if smoke {
+        "BENCH_kernel_smoke.json"
+    } else {
+        "BENCH_kernel.json"
+    };
+    let path = repo_root().join(file);
+    std::fs::write(&path, json).expect("cannot write BENCH_kernel.json");
+    println!("\nwrote {}", path.display());
+}

@@ -31,11 +31,14 @@
 //!   per step in random order; preserves oscillations even for the maximal
 //!   `L` (Fig 10).
 
+use std::sync::Arc;
+
 use crate::partition::Partition;
 use psr_dmc::events::{Event, EventHook};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::{RunStats, TimeMode};
 use psr_dmc::sim::SimState;
+use psr_kernel::{CompiledModel, SiteKernel};
 use psr_lattice::Site;
 use psr_model::Model;
 use psr_rng::{exponential, sample::shuffle, AliasTable, SimRng};
@@ -87,6 +90,10 @@ pub struct LPndca<'m, 'p> {
     time_mode: TimeMode,
     /// Cumulative chunk-size weights for size-proportional selection.
     size_cumulative: Vec<f64>,
+    /// Compiled matcher; `None` when naive matching was requested.
+    compiled: Option<Arc<CompiledModel>>,
+    /// Lattice-bound kernel, built lazily on the first step.
+    kernel: Option<SiteKernel>,
 }
 
 impl<'m, 'p> LPndca<'m, 'p> {
@@ -120,7 +127,22 @@ impl<'m, 'p> LPndca<'m, 'p> {
             visit: ChunkVisit::SizeWeighted,
             time_mode: TimeMode::Discretized,
             size_cumulative,
+            compiled: CompiledModel::try_compile(model).map(Arc::new),
+            kernel: None,
         }
+    }
+
+    /// Disable (or re-enable) the compiled kernel and match patterns with
+    /// the naive per-reaction scan. Trajectories are bit-identical either
+    /// way; this is the escape hatch and the benchmark baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.kernel = None;
+        self.compiled = if naive {
+            None
+        } else {
+            CompiledModel::try_compile(self.model).map(Arc::new)
+        };
+        self
     }
 
     /// Select the chunk-visit mode.
@@ -140,22 +162,30 @@ impl<'m, 'p> LPndca<'m, 'p> {
         self.l
     }
 
-    #[inline]
-    fn advance(&self, state: &mut SimState, rng: &mut SimRng) {
-        let nk = state.num_sites() as f64 * self.model.total_rate();
-        state.time += match self.time_mode {
-            TimeMode::Stochastic => exponential(rng, nk),
-            TimeMode::Discretized => 1.0 / nk,
-        };
-    }
-
     fn pick_chunk_by_size(&self, rng: &mut SimRng) -> usize {
         let total = *self.size_cumulative.last().expect("non-empty partition");
         let x = rng.f64() * total;
         self.size_cumulative.partition_point(|&c| c <= x)
     }
 
-    /// `count` trials at random sites of `chunk`.
+    /// Take the lattice-bound kernel out of `self`, building or refreshing
+    /// it for the current lattice; `None` when naive matching was requested.
+    fn take_fresh_kernel(&mut self, state: &SimState) -> Option<SiteKernel> {
+        let compiled = self.compiled.as_ref()?;
+        let mut kernel = match self.kernel.take() {
+            Some(k) if k.dims() == state.lattice.dims() => k,
+            _ => {
+                let mut k = SiteKernel::new(Arc::clone(compiled), &state.lattice);
+                k.note_epoch(state.mutation_epoch());
+                k
+            }
+        };
+        kernel.ensure_fresh(&state.lattice, state.mutation_epoch());
+        Some(kernel)
+    }
+
+    /// `count` trials at random sites of `chunk`. `nk` and `dt_disc` are the
+    /// loop-invariant `N·K` and `1/(N·K)` hoisted by the caller.
     #[allow(clippy::too_many_arguments)]
     fn burst(
         &self,
@@ -166,20 +196,42 @@ impl<'m, 'p> LPndca<'m, 'p> {
         changes: &mut Vec<(Site, u8, u8)>,
         stats: &mut RunStats,
         hook: &mut impl EventHook,
+        mut kernel: Option<&mut SiteKernel>,
+        nk: f64,
+        dt_disc: f64,
     ) {
         let sites = self.partition.chunk(chunk);
         for _ in 0..count {
             let site = sites[rng.index(sites.len())];
             let reaction = self.alias.sample(rng);
             changes.clear();
-            let executed =
-                self.model
-                    .reaction(reaction)
-                    .try_execute(&mut state.lattice, site, changes);
-            if executed {
-                state.apply_changes(changes);
-            }
-            self.advance(state, rng);
+            // The enabled check consumes no randomness, so the compiled and
+            // naive arms produce bit-identical trajectories.
+            let executed = if let Some(k) = kernel.as_deref_mut() {
+                let enabled = k.is_enabled(site, reaction);
+                if enabled {
+                    self.model
+                        .reaction(reaction)
+                        .execute(&mut state.lattice, site, changes);
+                    state.apply_changes(changes);
+                    k.apply_changes(&state.lattice, changes);
+                    k.note_epoch(state.mutation_epoch());
+                }
+                enabled
+            } else {
+                let executed =
+                    self.model
+                        .reaction(reaction)
+                        .try_execute(&mut state.lattice, site, changes);
+                if executed {
+                    state.apply_changes(changes);
+                }
+                executed
+            };
+            state.time += match self.time_mode {
+                TimeMode::Stochastic => exponential(rng, nk),
+                TimeMode::Discretized => dt_disc,
+            };
             stats.trials += 1;
             stats.executed += executed as u64;
             hook.on_event(Event {
@@ -193,7 +245,7 @@ impl<'m, 'p> LPndca<'m, 'p> {
 
     /// Run one step (`N` trials in total).
     pub fn step(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         hook: &mut impl EventHook,
@@ -201,6 +253,9 @@ impl<'m, 'p> LPndca<'m, 'p> {
         let mut stats = RunStats::default();
         let mut changes = Vec::with_capacity(4);
         let n = state.num_sites();
+        let nk = n as f64 * self.model.total_rate();
+        let dt_disc = 1.0 / nk;
+        let mut kernel = self.take_fresh_kernel(state);
         match self.visit {
             ChunkVisit::SizeWeighted => {
                 let mut trials = 0usize;
@@ -208,7 +263,18 @@ impl<'m, 'p> LPndca<'m, 'p> {
                     let chunk = self.pick_chunk_by_size(rng);
                     let l = self.l.min(n - trials);
                     trials += l;
-                    self.burst(chunk, l, state, rng, &mut changes, &mut stats, hook);
+                    self.burst(
+                        chunk,
+                        l,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
+                    );
                 }
             }
             ChunkVisit::RandomOnce => {
@@ -217,16 +283,28 @@ impl<'m, 'p> LPndca<'m, 'p> {
                 shuffle(rng, &mut order);
                 for &chunk in &order {
                     let l = self.partition.chunk(chunk).len();
-                    self.burst(chunk, l, state, rng, &mut changes, &mut stats, hook);
+                    self.burst(
+                        chunk,
+                        l,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
+                    );
                 }
             }
         }
+        self.kernel = kernel;
         stats
     }
 
     /// Run `steps` steps with optional recording.
     pub fn run_steps(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         steps: u64,
@@ -250,7 +328,7 @@ impl<'m, 'p> LPndca<'m, 'p> {
 
     /// Run whole steps until `t_end`.
     pub fn run_until(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         t_end: f64,
@@ -315,7 +393,7 @@ mod tests {
         let p = five_coloring(d);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(9);
-        let lp = LPndca::new(&model, &p, 20).with_visit(ChunkVisit::RandomOnce);
+        let mut lp = LPndca::new(&model, &p, 20).with_visit(ChunkVisit::RandomOnce);
         let mut chunk_hits = vec![0u32; 5];
         let stats = lp.step(&mut state, &mut rng, &mut |e: Event| {
             chunk_hits[p.chunk_of(e.site)] += 1;

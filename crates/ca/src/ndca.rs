@@ -16,10 +16,13 @@
 //! reading) or a freshly shuffled order per step, which reduces (but does
 //! not remove) sweep-direction correlations.
 
+use std::sync::Arc;
+
 use psr_dmc::events::{Event, EventHook};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::{RunStats, TimeMode};
 use psr_dmc::sim::SimState;
+use psr_kernel::{CompiledModel, SiteKernel};
 use psr_lattice::Site;
 use psr_model::Model;
 use psr_rng::{exponential, sample::shuffle, AliasTable, SimRng};
@@ -40,16 +43,23 @@ pub struct Ndca<'m> {
     alias: AliasTable,
     time_mode: TimeMode,
     order: SweepOrder,
+    /// Compiled matcher; `None` when naive matching was requested.
+    compiled: Option<Arc<CompiledModel>>,
+    /// Lattice-bound kernel, built lazily on the first run (the geometry is
+    /// only known then) and kept fresh via the mutation-epoch protocol.
+    kernel: Option<SiteKernel>,
 }
 
 impl<'m> Ndca<'m> {
-    /// NDCA with row-major sweeps and discretised time.
+    /// NDCA with row-major sweeps, discretised time, and compiled matching.
     pub fn new(model: &'m Model) -> Self {
         Ndca {
             model,
             alias: AliasTable::new(&model.rate_weights()),
             time_mode: TimeMode::Discretized,
             order: SweepOrder::RowMajor,
+            compiled: CompiledModel::try_compile(model).map(Arc::new),
+            kernel: None,
         }
     }
 
@@ -65,27 +75,53 @@ impl<'m> Ndca<'m> {
         self
     }
 
-    #[inline]
-    fn advance(&self, state: &mut SimState, rng: &mut SimRng) {
-        let nk = state.num_sites() as f64 * self.model.total_rate();
-        state.time += match self.time_mode {
-            TimeMode::Stochastic => exponential(rng, nk),
-            TimeMode::Discretized => 1.0 / nk,
+    /// Disable (or re-enable) the compiled kernel and match patterns with
+    /// the naive per-reaction scan. Trajectories are bit-identical either
+    /// way; this is the escape hatch and the benchmark baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.kernel = None;
+        self.compiled = if naive {
+            None
+        } else {
+            CompiledModel::try_compile(self.model).map(Arc::new)
         };
+        self
+    }
+
+    /// (Re)bind the kernel to the state's lattice and bring it up to date.
+    fn ensure_kernel(&mut self, state: &SimState) {
+        let Some(compiled) = &self.compiled else {
+            return;
+        };
+        match &mut self.kernel {
+            Some(k) if k.dims() == state.lattice.dims() => {
+                k.ensure_fresh(&state.lattice, state.mutation_epoch());
+            }
+            _ => {
+                let mut k = SiteKernel::new(Arc::clone(compiled), &state.lattice);
+                k.note_epoch(state.mutation_epoch());
+                self.kernel = Some(k);
+            }
+        }
     }
 
     /// Run `steps` CA steps (each visits all N sites once).
     pub fn run_steps(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         steps: u64,
         mut recorder: Option<&mut Recorder>,
         hook: &mut impl EventHook,
     ) -> RunStats {
+        self.ensure_kernel(state);
         let mut stats = RunStats::default();
         let mut changes = Vec::with_capacity(4);
         let n = state.num_sites();
+        // Hoisted out of the trial loop: same operands, same values, so the
+        // trajectory is unchanged.
+        let nk = n as f64 * self.model.total_rate();
+        let dt_disc = 1.0 / nk;
         let mut order: Vec<u32> = (0..n as u32).collect();
         if let Some(rec) = recorder.as_deref_mut() {
             rec.record(state.time, &state.coverage);
@@ -101,27 +137,66 @@ impl<'m> Ndca<'m> {
                 }
                 shuffle(rng, &mut order);
             }
-            for &site_id in &order {
-                let site = Site(site_id);
-                let reaction = self.alias.sample(rng);
-                changes.clear();
-                let executed = self.model.reaction(reaction).try_execute(
-                    &mut state.lattice,
-                    site,
+            // The enabled check consumes no randomness, so the compiled and
+            // naive arms produce bit-identical trajectories. Row-major
+            // sweeps take the monomorphized sequential path: no per-trial
+            // indirection through the order array.
+            match &mut self.kernel {
+                Some(kernel) if self.order == SweepOrder::RowMajor => Self::sweep_kernel(
+                    self.model,
+                    &self.alias,
+                    self.time_mode,
+                    kernel,
+                    Sequential(n),
+                    state,
+                    rng,
                     &mut changes,
-                );
-                if executed {
-                    state.apply_changes(&changes);
+                    &mut stats,
+                    hook,
+                    nk,
+                    dt_disc,
+                ),
+                Some(kernel) => Self::sweep_kernel(
+                    self.model,
+                    &self.alias,
+                    self.time_mode,
+                    kernel,
+                    order.as_slice(),
+                    state,
+                    rng,
+                    &mut changes,
+                    &mut stats,
+                    hook,
+                    nk,
+                    dt_disc,
+                ),
+                None => {
+                    for &site_id in &order {
+                        let site = Site(site_id);
+                        let reaction = self.alias.sample(rng);
+                        changes.clear();
+                        let executed = self.model.reaction(reaction).try_execute(
+                            &mut state.lattice,
+                            site,
+                            &mut changes,
+                        );
+                        if executed {
+                            state.apply_changes(&changes);
+                        }
+                        state.time += match self.time_mode {
+                            TimeMode::Stochastic => exponential(rng, nk),
+                            TimeMode::Discretized => dt_disc,
+                        };
+                        stats.trials += 1;
+                        stats.executed += executed as u64;
+                        hook.on_event(Event {
+                            time: state.time,
+                            site,
+                            reaction,
+                            executed,
+                        });
+                    }
                 }
-                self.advance(state, rng);
-                stats.trials += 1;
-                stats.executed += executed as u64;
-                hook.on_event(Event {
-                    time: state.time,
-                    site,
-                    reaction,
-                    executed,
-                });
             }
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.record(state.time, &state.coverage);
@@ -130,9 +205,96 @@ impl<'m> Ndca<'m> {
         stats
     }
 
+    /// One compiled-matcher sweep over `order`.
+    ///
+    /// Trial-for-trial this performs the exact operations of the naive
+    /// sweep — same RNG draws in the same order, same event sequence — but
+    /// the enabled check is one mask load instead of a per-transform
+    /// translate-and-compare walk.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_kernel(
+        model: &Model,
+        alias: &psr_rng::AliasTable,
+        time_mode: TimeMode,
+        kernel: &mut SiteKernel,
+        order: impl SweepSites,
+        state: &mut SimState,
+        rng: &mut SimRng,
+        changes: &mut Vec<(Site, u8, u8)>,
+        stats: &mut RunStats,
+        hook: &mut impl EventHook,
+        nk: f64,
+        dt_disc: f64,
+    ) {
+        // A register-local clone of the generator and clock: borrows through
+        // `rng`/`state` would otherwise force both serial chains through
+        // memory every trial.
+        let mut local_rng = rng.clone();
+        let mut time = state.time;
+        let n = order.len();
+        let mut i = 0usize;
+        'sweep: while i < n {
+            // Fast scan over non-executing trials: the masks slice is
+            // borrowed once, so the check is one load with no per-trial
+            // bounds check, and the kernel stays immutable until a hit.
+            let hit_site;
+            let hit_reaction;
+            {
+                let masks = kernel.enabled_masks();
+                loop {
+                    if i >= n {
+                        break 'sweep;
+                    }
+                    let site = Site(order.site(i));
+                    i += 1;
+                    let reaction = alias.sample(&mut local_rng);
+                    if (masks[site.0 as usize] >> reaction) & 1 != 0 {
+                        hit_site = site;
+                        hit_reaction = reaction;
+                        break;
+                    }
+                    time += match time_mode {
+                        TimeMode::Stochastic => exponential(&mut local_rng, nk),
+                        TimeMode::Discretized => dt_disc,
+                    };
+                    hook.on_event(Event {
+                        time,
+                        site,
+                        reaction,
+                        executed: false,
+                    });
+                }
+            }
+            changes.clear();
+            model
+                .reaction(hit_reaction)
+                .execute(&mut state.lattice, hit_site, changes);
+            state.apply_changes(changes);
+            kernel.apply_changes(&state.lattice, changes);
+            kernel.note_epoch(state.mutation_epoch());
+            stats.executed += 1;
+            time += match time_mode {
+                TimeMode::Stochastic => exponential(&mut local_rng, nk),
+                TimeMode::Discretized => dt_disc,
+            };
+            hook.on_event(Event {
+                time,
+                site: hit_site,
+                reaction: hit_reaction,
+                executed: true,
+            });
+        }
+        // Every site is trialed exactly once per sweep; counting them here
+        // instead of per trial leaves the scan loop two instructions lighter
+        // and the total is identical.
+        stats.trials += n as u64;
+        state.time = time;
+        *rng = local_rng;
+    }
+
     /// Run until the simulated clock reaches `t_end` (whole steps).
     pub fn run_until(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         t_end: f64,
@@ -150,6 +312,38 @@ impl<'m> Ndca<'m> {
             stats.executed += s.executed;
         }
         stats
+    }
+}
+
+/// Site-visit order for a compiled sweep, monomorphized so the row-major
+/// case compiles to `site = i` with no load from the order array.
+trait SweepSites {
+    fn len(&self) -> usize;
+    fn site(&self, i: usize) -> u32;
+}
+
+/// Row-major order: site `i` is just `i`.
+struct Sequential(usize);
+
+impl SweepSites for Sequential {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0
+    }
+    #[inline(always)]
+    fn site(&self, i: usize) -> u32 {
+        i as u32
+    }
+}
+
+impl SweepSites for &[u32] {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        (*self).len()
+    }
+    #[inline(always)]
+    fn site(&self, i: usize) -> u32 {
+        self[i]
     }
 }
 
@@ -175,7 +369,7 @@ mod tests {
         let model = adsorption(1.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(4, 4), 0), &model);
         let mut rng = rng_from_seed(1);
-        let ndca = Ndca::new(&model);
+        let mut ndca = Ndca::new(&model);
         let mut visits = vec![0u32; 16];
         ndca.run_steps(&mut state, &mut rng, 3, None, &mut |e: Event| {
             visits[e.site.0 as usize] += 1;
@@ -188,7 +382,7 @@ mod tests {
         let model = adsorption(1.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(4, 4), 0), &model);
         let mut rng = rng_from_seed(2);
-        let ndca = Ndca::new(&model).with_order(SweepOrder::Shuffled);
+        let mut ndca = Ndca::new(&model).with_order(SweepOrder::Shuffled);
         let mut visits = [0u32; 16];
         ndca.run_steps(&mut state, &mut rng, 5, None, &mut |e: Event| {
             visits[e.site.0 as usize] += 1;
@@ -255,7 +449,7 @@ mod tests {
         let model = zgb_ziff(0.5, 5.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(20, 20), 0), &model);
         let mut rng = rng_from_seed(5);
-        let ndca = Ndca::new(&model);
+        let mut ndca = Ndca::new(&model);
         let stats = ndca.run_steps(&mut state, &mut rng, 10, None, &mut NoHook);
         assert_eq!(stats.trials, 10 * 400);
         assert!(state.coverage.matches(&state.lattice));

@@ -21,12 +21,15 @@
 //! 3. `|P|` random chunk draws with replacement (probability `1/|P|` each),
 //! 4. weighted selection by the summed rates of enabled reactions per chunk.
 
+use std::sync::Arc;
+
 use crate::partition::Partition;
 use crate::propensity::ChunkPropensityCache;
 use psr_dmc::events::{Event, EventHook};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::{RunStats, TimeMode};
 use psr_dmc::sim::SimState;
+use psr_kernel::{CompiledModel, SiteKernel};
 use psr_lattice::Site;
 use psr_model::Model;
 use psr_rng::{exponential, sample::shuffle, AliasTable, SimRng};
@@ -89,6 +92,10 @@ pub struct Pndca<'m, 'p> {
     /// Recompute weights by chunk scans instead of the cache (the
     /// O(N·|T|)-per-draw baseline; kept for benchmarking the cache).
     scan_weights: bool,
+    /// Compiled matcher; `None` when naive matching was requested.
+    compiled: Option<Arc<CompiledModel>>,
+    /// Lattice-bound kernel, built lazily on the first step.
+    kernel: Option<SiteKernel>,
 }
 
 impl<'m, 'p> Pndca<'m, 'p> {
@@ -108,7 +115,22 @@ impl<'m, 'p> Pndca<'m, 'p> {
             selection: ChunkSelection::InOrder,
             cache: None,
             scan_weights: false,
+            compiled: CompiledModel::try_compile(model).map(Arc::new),
+            kernel: None,
         }
+    }
+
+    /// Disable (or re-enable) the compiled kernel and match patterns with
+    /// the naive per-reaction scan. Trajectories are bit-identical either
+    /// way; this is the escape hatch and the benchmark baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.kernel = None;
+        self.compiled = if naive {
+            None
+        } else {
+            CompiledModel::try_compile(self.model).map(Arc::new)
+        };
+        self
     }
 
     /// Select the chunk-selection strategy.
@@ -140,20 +162,14 @@ impl<'m, 'p> Pndca<'m, 'p> {
         self.partition
     }
 
-    #[inline]
-    fn advance(&self, state: &mut SimState, rng: &mut SimRng) {
-        let nk = state.num_sites() as f64 * self.model.total_rate();
-        state.time += match self.time_mode {
-            TimeMode::Stochastic => exponential(rng, nk),
-            TimeMode::Discretized => 1.0 / nk,
-        };
-    }
-
     /// Simulate one chunk: one trial per site, sweeping the chunk.
     ///
-    /// When a propensity cache is passed, every executed reaction's changes
-    /// are folded into it, keeping the chunk weights exact as the sweep
-    /// proceeds.
+    /// When a kernel is passed, the enabled check is one table load and the
+    /// changes are folded back into the kernel; when a propensity cache is
+    /// passed, every executed reaction's changes are folded into it too,
+    /// keeping the chunk weights exact as the sweep proceeds. `nk` and
+    /// `dt_disc` are the loop-invariant `N·K` and `1/(N·K)` hoisted by the
+    /// caller.
     #[allow(clippy::too_many_arguments)]
     fn sweep_chunk(
         &self,
@@ -164,23 +180,52 @@ impl<'m, 'p> Pndca<'m, 'p> {
         stats: &mut RunStats,
         hook: &mut impl EventHook,
         mut cache: Option<&mut ChunkPropensityCache>,
+        mut kernel: Option<&mut SiteKernel>,
+        nk: f64,
+        dt_disc: f64,
     ) {
         let sites = self.partition.chunk(chunk);
         for &site in sites {
             let reaction = self.alias.sample(rng);
             changes.clear();
-            let executed =
-                self.model
-                    .reaction(reaction)
-                    .try_execute(&mut state.lattice, site, changes);
+            // The enabled check consumes no randomness, so the compiled and
+            // naive arms produce bit-identical trajectories.
+            let executed = if let Some(k) = kernel.as_deref_mut() {
+                let enabled = k.is_enabled(site, reaction);
+                if enabled {
+                    self.model
+                        .reaction(reaction)
+                        .execute(&mut state.lattice, site, changes);
+                    state.apply_changes(changes);
+                    k.apply_changes(&state.lattice, changes);
+                    k.note_epoch(state.mutation_epoch());
+                }
+                enabled
+            } else {
+                let executed =
+                    self.model
+                        .reaction(reaction)
+                        .try_execute(&mut state.lattice, site, changes);
+                if executed {
+                    state.apply_changes(changes);
+                }
+                executed
+            };
             if executed {
-                state.apply_changes(changes);
                 if let Some(c) = cache.as_deref_mut() {
-                    c.apply_changes(self.model, self.partition, &state.lattice, changes);
+                    match kernel.as_deref() {
+                        Some(k) => c.apply_changes_with_kernel(k, self.partition, changes),
+                        None => {
+                            c.apply_changes(self.model, self.partition, &state.lattice, changes)
+                        }
+                    }
                     c.note_epoch(state.mutation_epoch());
                 }
             }
-            self.advance(state, rng);
+            state.time += match self.time_mode {
+                TimeMode::Stochastic => exponential(rng, nk),
+                TimeMode::Discretized => dt_disc,
+            };
             stats.trials += 1;
             stats.executed += executed as u64;
             hook.on_event(Event {
@@ -221,6 +266,22 @@ impl<'m, 'p> Pndca<'m, 'p> {
         cache
     }
 
+    /// Take the lattice-bound kernel out of `self`, building or refreshing
+    /// it for the current lattice; `None` when naive matching was requested.
+    fn take_fresh_kernel(&mut self, state: &SimState) -> Option<SiteKernel> {
+        let compiled = self.compiled.as_ref()?;
+        let mut kernel = match self.kernel.take() {
+            Some(k) if k.dims() == state.lattice.dims() => k,
+            _ => {
+                let mut k = SiteKernel::new(Arc::clone(compiled), &state.lattice);
+                k.note_epoch(state.mutation_epoch());
+                k
+            }
+        };
+        kernel.ensure_fresh(&state.lattice, state.mutation_epoch());
+        Some(kernel)
+    }
+
     /// Run one PNDCA step (each strategy performs `|P|` chunk sweeps).
     pub fn step(
         &mut self,
@@ -231,23 +292,59 @@ impl<'m, 'p> Pndca<'m, 'p> {
         let mut stats = RunStats::default();
         let mut changes = Vec::with_capacity(4);
         let m = self.partition.num_chunks();
+        let nk = state.num_sites() as f64 * self.model.total_rate();
+        let dt_disc = 1.0 / nk;
+        let mut kernel = self.take_fresh_kernel(state);
         match self.selection {
             ChunkSelection::InOrder => {
                 for c in 0..m {
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
+                    self.sweep_chunk(
+                        c,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        None,
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
+                    );
                 }
             }
             ChunkSelection::RandomOrder => {
                 let mut order: Vec<usize> = (0..m).collect();
                 shuffle(rng, &mut order);
                 for &c in &order {
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
+                    self.sweep_chunk(
+                        c,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        None,
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
+                    );
                 }
             }
             ChunkSelection::RandomWithReplacement => {
                 for _ in 0..m {
                     let c = rng.index(m);
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
+                    self.sweep_chunk(
+                        c,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        None,
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
+                    );
                 }
             }
             ChunkSelection::WeightedByRates if self.scan_weights => {
@@ -255,7 +352,18 @@ impl<'m, 'p> Pndca<'m, 'p> {
                     let weights: Vec<f64> =
                         (0..m).map(|c| self.chunk_propensity(c, state)).collect();
                     let c = crate::propensity::draw_weighted(rng, &weights);
-                    self.sweep_chunk(c, state, rng, &mut changes, &mut stats, hook, None);
+                    self.sweep_chunk(
+                        c,
+                        state,
+                        rng,
+                        &mut changes,
+                        &mut stats,
+                        hook,
+                        None,
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
+                    );
                 }
             }
             ChunkSelection::WeightedByRates => {
@@ -272,6 +380,9 @@ impl<'m, 'p> Pndca<'m, 'p> {
                         &mut stats,
                         hook,
                         Some(&mut cache),
+                        kernel.as_mut(),
+                        nk,
+                        dt_disc,
                     );
                 }
                 #[cfg(debug_assertions)]
@@ -279,6 +390,7 @@ impl<'m, 'p> Pndca<'m, 'p> {
                 self.cache = Some(cache);
             }
         }
+        self.kernel = kernel;
         stats
     }
 

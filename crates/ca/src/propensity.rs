@@ -33,6 +33,7 @@
 //! state, `randomize`, direct writes + `bump_mutations`).
 
 use crate::partition::Partition;
+use psr_kernel::SiteKernel;
 use psr_lattice::{Change, Lattice, Neighborhood, Site};
 use psr_model::Model;
 use psr_rng::SimRng;
@@ -233,6 +234,40 @@ impl ChunkPropensityCache {
         }
     }
 
+    /// Like [`apply_changes`](Self::apply_changes), but reads each anchor's
+    /// enabled set from a compiled [`SiteKernel`] (one table load) instead
+    /// of the naive per-reaction scan. The kernel must already reflect the
+    /// changes (simulators fold changes into the kernel first, then into
+    /// this cache). The kernel's anchor table enumerates exactly the sites
+    /// whose patterns can read a changed cell, so the refresh set matches
+    /// the stencil walk of the naive path.
+    pub fn apply_changes_with_kernel(
+        &mut self,
+        kernel: &SiteKernel,
+        partition: &Partition,
+        changes: &[Change],
+    ) {
+        let cells = kernel.compiled().cells().len();
+        for &(site, _, _) in changes {
+            for j in 0..cells {
+                let anchor = kernel.anchor(site, j);
+                let new_mask = self.member_mask(kernel.enabled_mask(anchor));
+                self.store_mask(partition, anchor, new_mask);
+            }
+        }
+    }
+
+    /// Project a kernel bitmask (bit = global reaction index) onto the
+    /// tracked-member bit layout of this cache.
+    #[inline]
+    fn member_mask(&self, kernel_mask: u64) -> u64 {
+        let mut mask = 0u64;
+        for (m, &ri) in self.reaction_ids.iter().enumerate() {
+            mask |= ((kernel_mask >> ri) & 1) << m;
+        }
+        mask
+    }
+
     /// Re-evaluate one anchor site against the lattice, adjusting counts.
     fn refresh_site(
         &mut self,
@@ -241,9 +276,16 @@ impl ChunkPropensityCache {
         lattice: &Lattice,
         site: Site,
     ) {
+        let new_mask = self.site_mask(model, lattice, site);
+        self.store_mask(partition, site, new_mask);
+    }
+
+    /// Install a freshly computed mask for `site`, adjusting counts by the
+    /// diff against the stored one. Idempotent.
+    #[inline]
+    fn store_mask(&mut self, partition: &Partition, site: Site, new_mask: u64) {
         let members = self.reaction_ids.len();
         let old_mask = self.enabled[site.0 as usize];
-        let new_mask = self.site_mask(model, lattice, site);
         let mut diff = old_mask ^ new_mask;
         if diff == 0 {
             return;

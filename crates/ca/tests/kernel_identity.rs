@@ -1,0 +1,122 @@
+//! Compiled kernels must not change trajectories: from identical seeds, the
+//! compiled and naive matchers must produce bit-identical lattices, clocks,
+//! and RNG streams — the enabled check consumes no randomness either way.
+
+use psr_ca::lpndca::{ChunkVisit, LPndca};
+use psr_ca::ndca::{Ndca, SweepOrder};
+use psr_ca::partition_builder::five_coloring;
+use psr_ca::pndca::{ChunkSelection, Pndca};
+use psr_dmc::events::NoHook;
+use psr_dmc::rsm::TimeMode;
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams};
+use psr_model::library::zgb::zgb_ziff;
+use psr_model::Model;
+use psr_rng::{rng_from_seed, SimRng};
+
+const SEED: u64 = 0xD1CE;
+
+/// Run `sim` for `steps` and return everything that must match: the final
+/// lattice, the exact clock, and the next RNG draw (same stream position).
+fn fingerprint(
+    model: &Model,
+    dims: Dims,
+    steps: u64,
+    run: impl FnOnce(&mut SimState, &mut SimRng, u64),
+) -> (Lattice, f64, f64) {
+    let mut state = SimState::new(Lattice::filled(dims, 0), model);
+    let mut rng = rng_from_seed(SEED);
+    run(&mut state, &mut rng, steps);
+    (state.lattice, state.time, rng.f64())
+}
+
+#[test]
+fn ndca_trajectories_bit_identical_for_1000_steps() {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(12);
+    for order in [SweepOrder::RowMajor, SweepOrder::Shuffled] {
+        for mode in [TimeMode::Discretized, TimeMode::Stochastic] {
+            let run = |naive: bool| {
+                fingerprint(&model, dims, 1000, |state, rng, steps| {
+                    Ndca::new(&model)
+                        .with_order(order)
+                        .with_time_mode(mode)
+                        .with_naive_matching(naive)
+                        .run_steps(state, rng, steps, None, &mut NoHook);
+                })
+            };
+            assert_eq!(run(true), run(false), "order {order:?}, mode {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn ndca_kuzovkov_trajectories_bit_identical() {
+    let model = kuzovkov_model(KuzovkovParams::default());
+    let dims = Dims::square(12);
+    let run = |naive: bool| {
+        fingerprint(&model, dims, 300, |state, rng, steps| {
+            Ndca::new(&model).with_naive_matching(naive).run_steps(
+                state,
+                rng,
+                steps,
+                None,
+                &mut NoHook,
+            );
+        })
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn pndca_trajectories_bit_identical_for_1000_steps() {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(10);
+    let partition = five_coloring(dims);
+    for selection in [
+        ChunkSelection::InOrder,
+        ChunkSelection::RandomOrder,
+        ChunkSelection::RandomWithReplacement,
+        ChunkSelection::WeightedByRates,
+    ] {
+        let steps = if selection == ChunkSelection::WeightedByRates {
+            // The weighted arm re-verifies the propensity cache against a
+            // full scan every step in debug builds; keep it affordable.
+            250
+        } else {
+            1000
+        };
+        let run = |naive: bool| {
+            fingerprint(&model, dims, steps, |state, rng, steps| {
+                Pndca::new(&model, &partition)
+                    .with_selection(selection)
+                    .with_naive_matching(naive)
+                    .run_steps(state, rng, steps, None, &mut NoHook);
+            })
+        };
+        assert_eq!(run(true), run(false), "selection {selection:?}");
+    }
+}
+
+#[test]
+fn lpndca_trajectories_bit_identical() {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(10);
+    let partition = five_coloring(dims);
+    for (visit, l) in [
+        (ChunkVisit::SizeWeighted, 1),
+        (ChunkVisit::SizeWeighted, 16),
+        (ChunkVisit::RandomOnce, 16),
+    ] {
+        let run = |naive: bool| {
+            fingerprint(&model, dims, 1000, |state, rng, steps| {
+                LPndca::new(&model, &partition, l)
+                    .with_visit(visit)
+                    .with_naive_matching(naive)
+                    .run_steps(state, rng, steps, None, &mut NoHook);
+            })
+        };
+        assert_eq!(run(true), run(false), "visit {visit:?}, L = {l}");
+    }
+}

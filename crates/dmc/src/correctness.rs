@@ -145,7 +145,7 @@ mod tests {
         let model = always_enabled_model(&[2.0, 1.0]);
         let mut state = SimState::new(Lattice::filled(Dims::new(4, 4), 0), &model);
         let mut rng = rng_from_seed(42);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         let mut probe = WaitingTimeSampler::new(Site(5), 0);
         rsm.run_until(&mut state, &mut rng, 2000.0, None, &mut probe);
         assert!(
@@ -170,7 +170,7 @@ mod tests {
         let model = always_enabled_model(&[1.0, 2.0, 5.0]);
         let mut state = SimState::new(Lattice::filled(Dims::new(8, 8), 0), &model);
         let mut rng = rng_from_seed(17);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         let mut counter = TypeFrequencyCounter::new(model.num_reactions());
         rsm.run_mc_steps(&mut state, &mut rng, 200, None, &mut counter);
         let dev = counter.max_deviation_from(&model);

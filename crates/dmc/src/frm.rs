@@ -82,11 +82,9 @@ impl<'m> Frm<'m> {
                 .collect(),
         };
         for site in lattice.dims().iter_sites() {
-            for ri in 0..num_reactions {
-                if model.reaction(ri).is_enabled(lattice, site) {
-                    frm.schedule(site, ri, state_time, rng);
-                }
-            }
+            model.for_each_enabled(lattice, site, |ri, _| {
+                frm.schedule(site, ri, state_time, rng);
+            });
         }
         frm
     }

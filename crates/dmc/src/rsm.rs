@@ -15,9 +15,12 @@
 //! notes the discretised reading where each trial advances time by exactly
 //! `1/(N·K)` — both are available via [`TimeMode`].
 
+use std::sync::Arc;
+
 use crate::events::{Event, EventHook};
 use crate::recorder::Recorder;
 use crate::sim::SimState;
+use psr_kernel::{CompiledModel, SiteKernel};
 use psr_lattice::Site;
 use psr_model::Model;
 use psr_rng::{exponential, AliasTable, SimRng};
@@ -53,15 +56,21 @@ pub struct Rsm<'m> {
     model: &'m Model,
     alias: AliasTable,
     time_mode: TimeMode,
+    /// Compiled matcher; `None` when naive matching was requested.
+    compiled: Option<Arc<CompiledModel>>,
+    /// Lattice-bound kernel, built lazily on the first run.
+    kernel: Option<SiteKernel>,
 }
 
 impl<'m> Rsm<'m> {
-    /// Prepare RSM for `model` with stochastic time.
+    /// Prepare RSM for `model` with stochastic time and compiled matching.
     pub fn new(model: &'m Model) -> Self {
         Rsm {
             model,
             alias: AliasTable::new(&model.rate_weights()),
             time_mode: TimeMode::Stochastic,
+            compiled: CompiledModel::try_compile(model).map(Arc::new),
+            kernel: None,
         }
     }
 
@@ -71,18 +80,40 @@ impl<'m> Rsm<'m> {
         self
     }
 
+    /// Disable (or re-enable) the compiled kernel and match patterns with
+    /// the naive per-reaction scan. Trajectories are bit-identical either
+    /// way; this is the escape hatch and the benchmark baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.kernel = None;
+        self.compiled = if naive {
+            None
+        } else {
+            CompiledModel::try_compile(self.model).map(Arc::new)
+        };
+        self
+    }
+
     /// The model being simulated.
     pub fn model(&self) -> &Model {
         self.model
     }
 
-    /// Draw the per-trial time increment.
-    #[inline]
-    fn time_increment(&self, n: usize, rng: &mut SimRng) -> f64 {
-        let nk = n as f64 * self.model.total_rate();
-        match self.time_mode {
-            TimeMode::Stochastic => exponential(rng, nk),
-            TimeMode::Discretized => 1.0 / nk,
+    /// (Re)bind the kernel to the state's lattice and bring it up to date.
+    /// Callers that drive [`trial`](Self::trial) directly should invoke this
+    /// once before their trial loop.
+    pub fn ensure_kernel(&mut self, state: &SimState) {
+        let Some(compiled) = &self.compiled else {
+            return;
+        };
+        match &mut self.kernel {
+            Some(k) if k.dims() == state.lattice.dims() => {
+                k.ensure_fresh(&state.lattice, state.mutation_epoch());
+            }
+            _ => {
+                let mut k = SiteKernel::new(Arc::clone(compiled), &state.lattice);
+                k.note_epoch(state.mutation_epoch());
+                self.kernel = Some(k);
+            }
         }
     }
 
@@ -91,19 +122,37 @@ impl<'m> Rsm<'m> {
     /// can interleave recording correctly).
     #[inline]
     pub fn trial(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         changes: &mut Vec<(Site, u8, u8)>,
     ) -> Event {
         let site = Site(rng.index(state.num_sites()) as u32);
         let reaction = self.alias.sample(rng);
-        let rt = self.model.reaction(reaction);
         changes.clear();
-        let executed = rt.try_execute(&mut state.lattice, site, changes);
-        if executed {
-            state.apply_changes(changes);
-        }
+        // The enabled check consumes no randomness, so the compiled and
+        // naive arms produce bit-identical trajectories.
+        let executed = if let Some(kernel) = &mut self.kernel {
+            let enabled = kernel.is_enabled(site, reaction);
+            if enabled {
+                self.model
+                    .reaction(reaction)
+                    .execute(&mut state.lattice, site, changes);
+                state.apply_changes(changes);
+                kernel.apply_changes(&state.lattice, changes);
+                kernel.note_epoch(state.mutation_epoch());
+            }
+            enabled
+        } else {
+            let executed =
+                self.model
+                    .reaction(reaction)
+                    .try_execute(&mut state.lattice, site, changes);
+            if executed {
+                state.apply_changes(changes);
+            }
+            executed
+        };
         Event {
             time: state.time,
             site,
@@ -114,17 +163,25 @@ impl<'m> Rsm<'m> {
 
     /// Run until the simulated clock reaches `t_end`.
     pub fn run_until(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         t_end: f64,
         mut recorder: Option<&mut Recorder>,
         hook: &mut impl EventHook,
     ) -> RunStats {
+        self.ensure_kernel(state);
         let mut stats = RunStats::default();
         let mut changes = Vec::with_capacity(4);
+        // Hoisted out of the trial loop: same operands, same values, so the
+        // trajectory is unchanged.
+        let nk = state.num_sites() as f64 * self.model.total_rate();
+        let dt_disc = 1.0 / nk;
         while state.time < t_end {
-            let dt = self.time_increment(state.num_sites(), rng);
+            let dt = match self.time_mode {
+                TimeMode::Stochastic => exponential(rng, nk),
+                TimeMode::Discretized => dt_disc,
+            };
             let t_next = state.time + dt;
             if let Some(rec) = recorder.as_deref_mut() {
                 // Grid points before the event keep the pre-event coverage.
@@ -149,18 +206,24 @@ impl<'m> Rsm<'m> {
     /// Run exactly `steps` MC steps (`steps · N` trials), advancing the
     /// clock per trial as configured.
     pub fn run_mc_steps(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         steps: u64,
         mut recorder: Option<&mut Recorder>,
         hook: &mut impl EventHook,
     ) -> RunStats {
+        self.ensure_kernel(state);
         let mut stats = RunStats::default();
         let mut changes = Vec::with_capacity(4);
+        let nk = state.num_sites() as f64 * self.model.total_rate();
+        let dt_disc = 1.0 / nk;
         let trials = steps * state.num_sites() as u64;
         for _ in 0..trials {
-            let dt = self.time_increment(state.num_sites(), rng);
+            let dt = match self.time_mode {
+                TimeMode::Stochastic => exponential(rng, nk),
+                TimeMode::Discretized => dt_disc,
+            };
             let t_next = state.time + dt;
             if let Some(rec) = recorder.as_deref_mut() {
                 rec.record_until(t_next, &state.coverage);
@@ -220,7 +283,7 @@ mod tests {
         let model = adsorption_only(1.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(10, 10), 0), &model);
         let mut rng = rng_from_seed(7);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         rsm.run_until(&mut state, &mut rng, 20.0, None, &mut NoHook);
         // After t = 20 (rate 1 ⇒ P(still empty) = e^-20), essentially full.
         assert!(state.coverage.fraction(1) > 0.99);
@@ -234,7 +297,7 @@ mod tests {
         let model = adsorption_only(1.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(100, 100), 0), &model);
         let mut rng = rng_from_seed(11);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         rsm.run_until(&mut state, &mut rng, 1.0, None, &mut NoHook);
         let theta = state.coverage.fraction(1);
         let expected = 1.0 - (-1.0f64).exp();
@@ -249,7 +312,7 @@ mod tests {
         let model = adsorption_only(2.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(5, 5), 0), &model);
         let mut rng = rng_from_seed(3);
-        let rsm = Rsm::new(&model).with_time_mode(TimeMode::Discretized);
+        let mut rsm = Rsm::new(&model).with_time_mode(TimeMode::Discretized);
         let stats = rsm.run_mc_steps(&mut state, &mut rng, 2, None, &mut NoHook);
         // 2 MC steps = 2·25 trials, each advancing 1/(25·2) = 0.02.
         assert_eq!(stats.trials, 50);
@@ -261,7 +324,7 @@ mod tests {
         let model = adsorption_only(1.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(8, 8), 0), &model);
         let mut rng = rng_from_seed(5);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         let mut rec = Recorder::new(2, 0.5);
         rsm.run_until(&mut state, &mut rng, 2.0, Some(&mut rec), &mut NoHook);
         assert_eq!(rec.series(0).times(), &[0.0, 0.5, 1.0, 1.5, 2.0]);
@@ -278,7 +341,7 @@ mod tests {
         let model = zgb_ziff(0.5, 10.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(20, 20), 0), &model);
         let mut rng = rng_from_seed(13);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         let stats = rsm.run_until(&mut state, &mut rng, 5.0, None, &mut NoHook);
         assert!(stats.trials > 0);
         assert!(stats.executed > 0);
@@ -306,7 +369,7 @@ mod tests {
         let model = adsorption_only(1.0);
         let mut state = SimState::new(Lattice::filled(Dims::new(4, 4), 0), &model);
         let mut rng = rng_from_seed(2);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         let mut count = 0u64;
         let stats = rsm.run_mc_steps(&mut state, &mut rng, 3, None, &mut |_e: Event| count += 1);
         assert_eq!(count, stats.trials);

@@ -8,10 +8,13 @@
 //! simulate the same Master Equation kinetics; VSSM serves here as an
 //! independent DMC baseline to validate RSM against.
 
+use std::sync::Arc;
+
 use crate::events::{Event, EventHook};
 use crate::recorder::Recorder;
 use crate::rsm::RunStats;
 use crate::sim::SimState;
+use psr_kernel::{CompiledModel, SiteKernel};
 use psr_lattice::{Lattice, Site};
 use psr_model::Model;
 use psr_rng::{exponential, SimRng};
@@ -76,6 +79,15 @@ pub struct Vssm<'m> {
     /// enabledness may have changed are `z − offset` for every pattern
     /// offset; precomputed per reaction type.
     anchor_offsets: Vec<Vec<psr_lattice::Offset>>,
+    /// `anchor_cells[ri][k]` = stencil cell index of reaction `ri`'s `k`-th
+    /// transform offset in the compiled model — so the kernel's anchor table
+    /// yields the exact same candidate sequence as `anchor_offsets`.
+    anchor_cells: Vec<Vec<u16>>,
+    /// Compiled matcher; `None` when naive matching was requested (or the
+    /// model is not kernel-eligible).
+    compiled: Option<Arc<CompiledModel>>,
+    /// Lattice-bound kernel, built lazily on the first step.
+    kernel: Option<SiteKernel>,
 }
 
 impl<'m> Vssm<'m> {
@@ -95,11 +107,45 @@ impl<'m> Vssm<'m> {
             .iter()
             .map(|rt| rt.transforms().iter().map(|t| t.offset.negated()).collect())
             .collect();
+        let compiled = CompiledModel::try_compile(model).map(Arc::new);
+        let anchor_cells = match &compiled {
+            Some(c) => model
+                .reactions()
+                .iter()
+                .map(|rt| {
+                    rt.transforms()
+                        .iter()
+                        .map(|t| {
+                            c.cells()
+                                .binary_search(&t.offset)
+                                .expect("offset in stencil") as u16
+                        })
+                        .collect()
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         Vssm {
             model,
             enabled,
             anchor_offsets,
+            anchor_cells,
+            compiled,
+            kernel: None,
         }
+    }
+
+    /// Disable (or re-enable) the compiled kernel and match patterns with
+    /// the naive per-reaction scan. Trajectories are bit-identical either
+    /// way; this is the escape hatch and the benchmark baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.kernel = None;
+        self.compiled = if naive {
+            None
+        } else {
+            CompiledModel::try_compile(self.model).map(Arc::new)
+        };
+        self
     }
 
     /// Summed rate of all enabled reactions (`Σ kSS'` of the ME, Eq. 1).
@@ -119,17 +165,52 @@ impl<'m> Vssm<'m> {
 
     /// Re-examine enabledness of all reactions whose pattern could touch
     /// `changed_site`.
+    ///
+    /// The kernel arm visits the exact same `(reaction, anchor)` sequence
+    /// with the exact same verdicts as the naive arm, so the swap-remove
+    /// site sets — whose iteration order affects sampling — evolve
+    /// identically and trajectories stay bit-identical.
     fn refresh_around(&mut self, lattice: &Lattice, changed_site: Site) {
-        let dims = lattice.dims();
-        for ri in 0..self.enabled.len() {
-            let rt = self.model.reaction(ri);
-            for k in 0..self.anchor_offsets[ri].len() {
-                let anchor = dims.translate(changed_site, self.anchor_offsets[ri][k]);
-                if rt.is_enabled(lattice, anchor) {
-                    self.enabled[ri].insert(anchor);
-                } else {
-                    self.enabled[ri].remove(anchor);
+        if let Some(kernel) = &self.kernel {
+            for ri in 0..self.enabled.len() {
+                for &cell in &self.anchor_cells[ri] {
+                    let anchor = kernel.anchor(changed_site, cell as usize);
+                    if kernel.is_enabled(anchor, ri) {
+                        self.enabled[ri].insert(anchor);
+                    } else {
+                        self.enabled[ri].remove(anchor);
+                    }
                 }
+            }
+        } else {
+            let dims = lattice.dims();
+            for ri in 0..self.enabled.len() {
+                let rt = self.model.reaction(ri);
+                for k in 0..self.anchor_offsets[ri].len() {
+                    let anchor = dims.translate(changed_site, self.anchor_offsets[ri][k]);
+                    if rt.is_enabled(lattice, anchor) {
+                        self.enabled[ri].insert(anchor);
+                    } else {
+                        self.enabled[ri].remove(anchor);
+                    }
+                }
+            }
+        }
+    }
+
+    /// (Re)bind the kernel to the state's lattice and bring it up to date.
+    fn ensure_kernel(&mut self, state: &SimState) {
+        let Some(compiled) = &self.compiled else {
+            return;
+        };
+        match &mut self.kernel {
+            Some(k) if k.dims() == state.lattice.dims() => {
+                k.ensure_fresh(&state.lattice, state.mutation_epoch());
+            }
+            _ => {
+                let mut k = SiteKernel::new(Arc::clone(compiled), &state.lattice);
+                k.note_epoch(state.mutation_epoch());
+                self.kernel = Some(k);
             }
         }
     }
@@ -155,6 +236,7 @@ impl<'m> Vssm<'m> {
         changes: &mut Vec<(Site, u8, u8)>,
         t_end: f64,
     ) -> Option<Event> {
+        self.ensure_kernel(state);
         let total = self.total_propensity();
         if total <= 0.0 {
             return None;
@@ -187,6 +269,12 @@ impl<'m> Vssm<'m> {
         debug_assert!(rt.is_enabled(&state.lattice, site));
         rt.execute(&mut state.lattice, site, changes);
         state.apply_changes(changes);
+        if let Some(kernel) = &mut self.kernel {
+            // Masks must reflect the post-change lattice before the
+            // enabled-set refresh reads them.
+            kernel.apply_changes(&state.lattice, changes);
+            kernel.note_epoch(state.mutation_epoch());
+        }
         for &(z, _, _) in changes.iter() {
             self.refresh_around(&state.lattice, z);
         }

@@ -32,11 +32,9 @@ impl<'m> VssmTree<'m> {
         let num_reactions = model.num_reactions();
         let mut tree = PropensityTree::new(n * num_reactions);
         for site in lattice.dims().iter_sites() {
-            for (ri, rt) in model.reactions().iter().enumerate() {
-                if rt.is_enabled(lattice, site) {
-                    tree.set(site.0 as usize * num_reactions + ri, rt.rate());
-                }
-            }
+            model.for_each_enabled(lattice, site, |ri, rt| {
+                tree.set(site.0 as usize * num_reactions + ri, rt.rate());
+            });
         }
         VssmTree {
             model,

@@ -1,0 +1,56 @@
+//! Compiled kernels must not change DMC trajectories: RSM trials and VSSM
+//! event selection read the same enabled predicate and consume the same
+//! random numbers with either matcher.
+
+use psr_dmc::events::NoHook;
+use psr_dmc::rsm::{Rsm, TimeMode};
+use psr_dmc::sim::SimState;
+use psr_dmc::vssm::Vssm;
+use psr_lattice::{Dims, Lattice};
+use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams};
+use psr_model::library::zgb::zgb_ziff;
+use psr_rng::rng_from_seed;
+
+const SEED: u64 = 0xFACE;
+
+#[test]
+fn rsm_trajectories_bit_identical_for_1000_mc_steps() {
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(12);
+    for mode in [TimeMode::Discretized, TimeMode::Stochastic] {
+        let run = |naive: bool| {
+            let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+            let mut rng = rng_from_seed(SEED);
+            Rsm::new(&model)
+                .with_time_mode(mode)
+                .with_naive_matching(naive)
+                .run_mc_steps(&mut state, &mut rng, 1000, None, &mut NoHook);
+            (state.lattice, state.time, rng.f64())
+        };
+        assert_eq!(run(true), run(false), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn vssm_trajectories_bit_identical_for_1000_events() {
+    for (name, model) in [
+        ("zgb", zgb_ziff(0.45, 10.0)),
+        ("kuzovkov", kuzovkov_model(KuzovkovParams::default())),
+    ] {
+        let run = |naive: bool| {
+            let mut state = SimState::new(Lattice::filled(Dims::square(12), 0), &model);
+            let mut vssm = Vssm::new(&model, &state.lattice).with_naive_matching(naive);
+            let mut rng = rng_from_seed(SEED);
+            let mut changes = Vec::new();
+            let mut events = Vec::new();
+            for _ in 0..1000 {
+                match vssm.step(&mut state, &mut rng, &mut changes) {
+                    Some(e) => events.push((e.site, e.reaction, e.time)),
+                    None => break,
+                }
+            }
+            (state.lattice, state.time, events, rng.f64())
+        };
+        assert_eq!(run(true), run(false), "{name}");
+    }
+}

@@ -95,7 +95,7 @@ proptest! {
         let dims = Dims::new(6, 6);
         let mut state = SimState::new(Lattice::filled(dims, 0), &model);
         let mut rng = rng_from_seed(seed);
-        let rsm = Rsm::new(&model);
+        let mut rsm = Rsm::new(&model);
         let mut last_time = 0.0;
         let mut ordered = true;
         rsm.run_mc_steps(&mut state, &mut rng, 5, None, &mut |e: psr_dmc::events::Event| {

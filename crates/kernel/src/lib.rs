@@ -1,0 +1,30 @@
+//! Compiled reaction kernels: LUT-based pattern matching for hot loops.
+//!
+//! The paper's NDCA/DMC trial loop spends most of its time answering one
+//! question: *which reactions are enabled at this site?* The naive answer
+//! walks every reaction's transforms and calls `Dims::translate` (three
+//! integer divisions) per cell. This crate compiles a `Model` once into a
+//! form where the same question is a single table load:
+//!
+//! 1. [`CompiledModel`] — lattice-independent: the stencil (union of all
+//!    pattern offsets), per-reaction requirements, and the reaction LUT
+//!    mapping every base-S neighborhood code to an enabled-reaction bitmask
+//!    plus its summed rate. Falls back to per-reaction requirement masks
+//!    when `S^|stencil|` exceeds [`DEFAULT_LUT_CAP`].
+//! 2. [`SiteKernel`] — lattice-bound: precomputed neighbor/anchor index
+//!    tables (no div/mod in the inner loop) and the incrementally maintained
+//!    per-site codes or masks, updated from the simulators' change journals.
+//!
+//! Both layers answer *exactly* the same predicate as
+//! `ReactionType::is_enabled`, so swapping them into a simulator cannot
+//! change trajectories: the enabled check consumes no randomness and the
+//! execution path is untouched. Every simulator that adopts the kernel keeps
+//! a `with_naive_matching` escape hatch that restores the original scan.
+
+#![warn(missing_docs)]
+
+pub mod compiled;
+pub mod site;
+
+pub use compiled::{CompiledModel, Requirement, DEFAULT_LUT_CAP, MAX_KERNEL_REACTIONS};
+pub use site::SiteKernel;

@@ -1,0 +1,391 @@
+//! Per-site kernel state: neighbor tables, neighborhood codes, masks.
+//!
+//! A [`SiteKernel`] binds a [`CompiledModel`] to one lattice geometry. At
+//! construction it precomputes, for every site, the flat indices of its
+//! stencil cells (`neighbors`) and of the anchors that read it (`anchors`) —
+//! so the hot loop never touches `Dims::translate`'s div/mod arithmetic —
+//! and then scans the lattice once to seed the per-site neighborhood codes
+//! (LUT mode) or enabled-reaction masks (fallback mode).
+//!
+//! From then on the kernel is maintained *incrementally* from the same
+//! change lists the simulators already journal: a change `(x, old → new)` at
+//! site `x` adds `weight_j · (new − old)` to the code of every anchor
+//! `x − cells[j]` — exact in wrapping `u32` arithmetic because each stencil
+//! digit transitions independently, even when torus aliasing folds several
+//! cells of one anchor onto `x`.
+//!
+//! Freshness follows the same mutation-epoch protocol as `psr-ca`'s
+//! propensity cache: simulators call [`SiteKernel::ensure_fresh`] with the
+//! state's `mutation_epoch()` before a sweep and [`SiteKernel::note_epoch`]
+//! after applying changes through the kernel.
+
+use std::sync::Arc;
+
+use crate::compiled::CompiledModel;
+use psr_lattice::{Change, Dims, Lattice, Site};
+use psr_model::Model;
+
+/// A [`CompiledModel`] instantiated for one lattice geometry.
+#[derive(Clone, Debug)]
+pub struct SiteKernel {
+    compiled: Arc<CompiledModel>,
+    dims: Dims,
+    /// `neighbors[site·C + j]` = flat index of `site + cells[j]`.
+    neighbors: Vec<u32>,
+    /// `anchors[site·C + j]` = flat index of `site − cells[j]` (the anchors
+    /// whose cell `j` reads `site`).
+    anchors: Vec<u32>,
+    /// LUT mode: the base-S neighborhood code of every site.
+    codes: Vec<u32>,
+    /// LUT mode: a flat copy of the compiled mask table (refresh source for
+    /// `masks`, no `Arc` chase).
+    lut_mask: Vec<u64>,
+    /// The enabled-reaction bitmask of every site, in *both* modes: the
+    /// per-trial check is a single dependent load. In LUT mode the mask is
+    /// refreshed from `lut_mask[codes[anchor]]` whenever an anchor's code
+    /// changes — executions are rare next to trials, so paying a table load
+    /// per touched anchor is far cheaper than one per trial.
+    masks: Vec<u64>,
+    /// Mutation epoch of the `SimState` this kernel last reflected.
+    epoch: u64,
+}
+
+impl SiteKernel {
+    /// Build the kernel for `lattice`'s geometry and seed it from the
+    /// current configuration.
+    pub fn new(compiled: Arc<CompiledModel>, lattice: &Lattice) -> Self {
+        let dims = lattice.dims();
+        let n = lattice.len();
+        let c = compiled.cells().len();
+        let mut neighbors = vec![0u32; n * c];
+        let mut anchors = vec![0u32; n * c];
+        let wrap = lattice.wrap_tables();
+        for (j, &offset) in compiled.cells().iter().enumerate() {
+            let back = offset.negated();
+            if wrap.covers(offset) && wrap.covers(back) {
+                // Division-free: sweep coordinates row-major and translate
+                // through the wrap tables.
+                let mut site = 0usize;
+                for y in 0..dims.height() {
+                    for x in 0..dims.width() {
+                        neighbors[site * c + j] = wrap.translate_xy(x, y, offset).0;
+                        anchors[site * c + j] = wrap.translate_xy(x, y, back).0;
+                        site += 1;
+                    }
+                }
+            } else {
+                // Wide stencil cell: exact one-time fallback.
+                for site in dims.iter_sites() {
+                    neighbors[site.0 as usize * c + j] = dims.translate(site, offset).0;
+                    anchors[site.0 as usize * c + j] = dims.translate(site, back).0;
+                }
+            }
+        }
+        let lut_mask = compiled
+            .lut_masks()
+            .map(<[u64]>::to_vec)
+            .unwrap_or_default();
+        let mut kernel = SiteKernel {
+            compiled,
+            dims,
+            neighbors,
+            anchors,
+            codes: Vec::new(),
+            lut_mask,
+            masks: Vec::new(),
+            epoch: 0,
+        };
+        kernel.rebuild(lattice);
+        kernel
+    }
+
+    /// The compiled model this kernel instantiates.
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
+    /// The geometry this kernel was built for.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The mutation epoch this kernel last reflected.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record the mutation epoch the kernel is now consistent with.
+    pub fn note_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Rebuild only if `epoch` differs from the last-seen epoch (the lattice
+    /// was mutated outside this kernel's view); records `epoch` either way.
+    pub fn ensure_fresh(&mut self, lattice: &Lattice, epoch: u64) {
+        if self.epoch != epoch {
+            self.rebuild(lattice);
+            self.epoch = epoch;
+        }
+    }
+
+    /// Re-derive all codes/masks from the lattice (cold path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell holds a state outside the compiled model's domain.
+    pub fn rebuild(&mut self, lattice: &Lattice) {
+        assert_eq!(self.dims, lattice.dims(), "kernel built for other dims");
+        let n = lattice.len();
+        let c = self.compiled.cells().len();
+        let num_states = self.compiled.num_states();
+        for (i, &s) in lattice.cells().iter().enumerate() {
+            assert!(
+                u32::from(s) < num_states,
+                "site {i} holds state {s} outside the compiled domain (< {num_states})"
+            );
+        }
+        if self.compiled.has_lut() {
+            self.codes.clear();
+            self.codes.resize(n, 0);
+            for (site, code) in self.codes.iter_mut().enumerate() {
+                let row = &self.neighbors[site * c..site * c + c];
+                let mut acc = 0u32;
+                for (j, &nb) in row.iter().enumerate() {
+                    acc += self.compiled.weight(j) * u32::from(lattice.cells()[nb as usize]);
+                }
+                *code = acc;
+            }
+            self.masks.clear();
+            self.masks
+                .extend(self.codes.iter().map(|&code| self.lut_mask[code as usize]));
+        } else {
+            self.codes.clear();
+            self.masks.clear();
+            self.masks.resize(n, 0);
+            for site in 0..n {
+                let row = &self.neighbors[site * c..site * c + c];
+                self.masks[site] = self
+                    .compiled
+                    .eval(|cell| lattice.cells()[row[cell as usize] as usize]);
+            }
+        }
+    }
+
+    /// Fold a batch of executed changes into the kernel.
+    ///
+    /// `lattice` must already reflect the changes (call after
+    /// `SimState::apply_changes`). Duplicate sites in `changes` are fine:
+    /// each entry records the true before/after states, so the code deltas
+    /// compose.
+    #[inline]
+    pub fn apply_changes(&mut self, lattice: &Lattice, changes: &[Change]) {
+        let c = self.compiled.cells().len();
+        if self.compiled.has_lut() {
+            for &(site, old, new) in changes {
+                if old == new {
+                    continue;
+                }
+                let row = &self.anchors[site.0 as usize * c..site.0 as usize * c + c];
+                for (j, &anchor) in row.iter().enumerate() {
+                    let w = self.compiled.weight(j);
+                    let delta = w
+                        .wrapping_mul(u32::from(new))
+                        .wrapping_sub(w.wrapping_mul(u32::from(old)));
+                    let code = &mut self.codes[anchor as usize];
+                    *code = code.wrapping_add(delta);
+                    self.masks[anchor as usize] = self.lut_mask[*code as usize];
+                }
+            }
+        } else {
+            for &(site, _, _) in changes {
+                let row = &self.anchors[site.0 as usize * c..site.0 as usize * c + c];
+                for &anchor in row {
+                    let nb = &self.neighbors[anchor as usize * c..anchor as usize * c + c];
+                    self.masks[anchor as usize] = self
+                        .compiled
+                        .eval(|cell| lattice.cells()[nb[cell as usize] as usize]);
+                }
+            }
+        }
+    }
+
+    /// Enabled-reaction bitmask at `site` (bit `i` ↔ reaction `i`).
+    #[inline]
+    pub fn enabled_mask(&self, site: Site) -> u64 {
+        self.masks[site.0 as usize]
+    }
+
+    /// The per-site enabled-reaction bitmasks, indexed by flat site id.
+    ///
+    /// Trial loops borrow this once per scan so the per-trial check is a
+    /// single indexed load with the bounds check lifted out of the loop.
+    #[inline]
+    pub fn enabled_masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Is reaction `reaction` enabled at `site`?
+    #[inline]
+    pub fn is_enabled(&self, site: Site, reaction: usize) -> bool {
+        (self.enabled_mask(site) >> reaction) & 1 != 0
+    }
+
+    /// Summed rate of the reactions enabled at `site` (the LUT's
+    /// cumulative-rate row; recomputed from the mask in fallback mode).
+    #[inline]
+    pub fn enabled_rate_sum(&self, site: Site) -> f64 {
+        if self.compiled.has_lut() {
+            self.compiled.rate_for_code(self.codes[site.0 as usize])
+        } else {
+            self.compiled.rate_of_mask(self.masks[site.0 as usize])
+        }
+    }
+
+    /// The anchor `site − cells[cell]` from the precomputed table (used by
+    /// VSSM's enabled-set maintenance to avoid repeated translation).
+    #[inline]
+    pub fn anchor(&self, site: Site, cell: usize) -> Site {
+        let c = self.compiled.cells().len();
+        Site(self.anchors[site.0 as usize * c + cell])
+    }
+
+    /// The neighbor `site + cells[cell]` from the precomputed table.
+    #[inline]
+    pub fn neighbor(&self, site: Site, cell: usize) -> Site {
+        let c = self.compiled.cells().len();
+        Site(self.neighbors[site.0 as usize * c + cell])
+    }
+
+    /// Check every site's mask against the naive per-reaction scan; true iff
+    /// they all agree.
+    pub fn matches_scan(&self, model: &Model, lattice: &Lattice) -> bool {
+        lattice
+            .dims()
+            .iter_sites()
+            .all(|site| self.enabled_mask(site) == model.enabled_mask_at(lattice, site))
+    }
+
+    /// Assert [`matches_scan`](Self::matches_scan), reporting the first
+    /// disagreeing site.
+    pub fn assert_matches_scan(&self, model: &Model, lattice: &Lattice) {
+        for site in lattice.dims().iter_sites() {
+            let compiled = self.enabled_mask(site);
+            let naive = model.enabled_mask_at(lattice, site);
+            assert_eq!(
+                compiled, naive,
+                "kernel mask {compiled:#b} != naive {naive:#b} at site {}",
+                site.0
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_model::library::zgb::zgb_ziff;
+
+    fn checker_lattice(dims: Dims) -> Lattice {
+        let cells = (0..dims.sites()).map(|i| (i % 3) as u8).collect();
+        Lattice::from_cells(dims, cells)
+    }
+
+    #[test]
+    fn fresh_kernel_matches_naive_scan() {
+        let model = zgb_ziff(0.5, 2.0);
+        let lattice = checker_lattice(Dims::new(8, 6));
+        let kernel = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), &lattice);
+        kernel.assert_matches_scan(&model, &lattice);
+    }
+
+    #[test]
+    fn fallback_kernel_matches_naive_scan() {
+        let model = zgb_ziff(0.5, 2.0);
+        let lattice = checker_lattice(Dims::new(8, 6));
+        let compiled = CompiledModel::compile_with_cap(&model, 0);
+        assert!(!compiled.has_lut());
+        let kernel = SiteKernel::new(Arc::new(compiled), &lattice);
+        kernel.assert_matches_scan(&model, &lattice);
+    }
+
+    #[test]
+    fn incremental_updates_track_executions() {
+        let model = zgb_ziff(0.4, 3.0);
+        let mut lattice = Lattice::filled(Dims::new(6, 6), 0);
+        let mut kernel = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), &lattice);
+        let mut changes = Vec::new();
+        // Execute a few reactions by hand and fold each change batch in.
+        for (site, ri) in [(0u32, 0usize), (7, 1), (14, 0), (20, 1), (7, 3)] {
+            let site = Site(site);
+            let rt = model.reaction(ri);
+            changes.clear();
+            if rt.is_enabled(&lattice, site) {
+                rt.execute(&mut lattice, site, &mut changes);
+                kernel.apply_changes(&lattice, &changes);
+            }
+            kernel.assert_matches_scan(&model, &lattice);
+        }
+    }
+
+    #[test]
+    fn incremental_updates_on_tiny_aliased_lattice() {
+        // 2×2 torus: stencil cells alias heavily; digits must still track.
+        let model = zgb_ziff(0.5, 2.0);
+        let mut lattice = Lattice::filled(Dims::new(2, 2), 0);
+        let mut kernel = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), &lattice);
+        let mut changes = Vec::new();
+        for site in 0..4u32 {
+            let site = Site(site);
+            for ri in 0..model.num_reactions() {
+                changes.clear();
+                if model
+                    .reaction(ri)
+                    .try_execute(&mut lattice, site, &mut changes)
+                {
+                    kernel.apply_changes(&lattice, &changes);
+                }
+                kernel.assert_matches_scan(&model, &lattice);
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_fresh_rebuilds_on_epoch_mismatch() {
+        let model = zgb_ziff(0.5, 2.0);
+        let mut lattice = Lattice::filled(Dims::new(4, 4), 0);
+        let mut kernel = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), &lattice);
+        kernel.note_epoch(1);
+        // Mutate behind the kernel's back.
+        lattice.set(Site(5), 1);
+        assert!(!kernel.matches_scan(&model, &lattice));
+        kernel.ensure_fresh(&lattice, 2);
+        assert_eq!(kernel.epoch(), 2);
+        kernel.assert_matches_scan(&model, &lattice);
+        // Same epoch again: no rebuild needed, still consistent.
+        kernel.ensure_fresh(&lattice, 2);
+        kernel.assert_matches_scan(&model, &lattice);
+    }
+
+    #[test]
+    fn rate_sum_matches_enabled_set() {
+        let model = zgb_ziff(0.3, 5.0);
+        let lattice = checker_lattice(Dims::new(5, 5));
+        let kernel = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), &lattice);
+        for site in lattice.dims().iter_sites() {
+            let expected: f64 = model
+                .enabled_at(&lattice, site)
+                .iter()
+                .map(|&ri| model.reaction(ri).rate())
+                .sum();
+            assert_eq!(kernel.enabled_rate_sum(site), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the compiled domain")]
+    fn out_of_domain_state_panics() {
+        let model = zgb_ziff(0.5, 2.0);
+        let lattice = Lattice::filled(Dims::new(3, 3), 7);
+        SiteKernel::new(Arc::new(CompiledModel::compile(&model)), &lattice);
+    }
+}

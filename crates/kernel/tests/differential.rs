@@ -1,0 +1,152 @@
+//! Differential tests: compiled kernels vs the naive per-reaction matcher.
+//!
+//! Every library model is compiled both ways (full LUT and the per-reaction
+//! fallback via a zero cap) and checked against `Model::enabled_mask_at` on
+//! random lattices — for the full scan, for summed enabled rates, and for
+//! incremental maintenance under random reaction executions.
+
+use proptest::prelude::*;
+use psr_kernel::{CompiledModel, SiteKernel};
+use psr_lattice::{Dims, Lattice, Site};
+use psr_model::library::{
+    ab_annihilation, diffusion_model, ising_glauber, kuzovkov_model, single_file_model,
+    triangular_diffusion_model, zgb_ziff, KuzovkovParams,
+};
+use psr_model::Model;
+use std::sync::Arc;
+
+/// Every model shipped in `psr_model::library`, by name.
+fn library_models() -> Vec<(&'static str, Model)> {
+    vec![
+        ("zgb", zgb_ziff(0.45, 10.0)),
+        ("kuzovkov", kuzovkov_model(KuzovkovParams::default())),
+        ("diffusion", diffusion_model(1.0)),
+        ("triangular-diffusion", triangular_diffusion_model(1.0)),
+        ("single-file", single_file_model(1.0)),
+        ("ising", ising_glauber(2.0)),
+        ("annihilation", ab_annihilation(1.0, 2.0)),
+    ]
+}
+
+fn random_lattice(model: &Model, dims: Dims, seed: u64) -> Lattice {
+    let mut rng = psr_rng::rng_from_seed(seed);
+    let s = model.species().len();
+    let n = (dims.width() * dims.height()) as usize;
+    let cells = (0..n).map(|_| rng.index(s) as u8).collect();
+    Lattice::from_cells(dims, cells)
+}
+
+/// The kernel (in the given LUT mode) agrees with the naive matcher at
+/// every site of `lattice`, for both the enabled masks and the rate sums.
+fn assert_agrees(name: &str, model: &Model, lattice: &Lattice, lut_cap: usize) {
+    let compiled = Arc::new(CompiledModel::compile_with_cap(model, lut_cap));
+    let kernel = SiteKernel::new(Arc::clone(&compiled), lattice);
+    for site in lattice.dims().iter_sites() {
+        let naive = model.enabled_mask_at(lattice, site);
+        assert_eq!(
+            kernel.enabled_mask(site),
+            naive,
+            "{name} (cap {lut_cap}): mask mismatch at {site:?}"
+        );
+        assert_eq!(
+            kernel.enabled_rate_sum(site),
+            compiled.rate_of_mask(naive),
+            "{name} (cap {lut_cap}): rate-sum mismatch at {site:?}"
+        );
+    }
+}
+
+/// Execute `steps` random (site, reaction) trials, keeping the kernel up to
+/// date from the change journal, and check it still matches a fresh scan.
+fn assert_incremental(name: &str, model: &Model, lattice: &mut Lattice, lut_cap: usize, seed: u64) {
+    let compiled = Arc::new(CompiledModel::compile_with_cap(model, lut_cap));
+    let mut kernel = SiteKernel::new(compiled, lattice);
+    let mut rng = psr_rng::rng_from_seed(seed);
+    let mut changes = Vec::new();
+    let n = lattice.len();
+    for _ in 0..200 {
+        let site = Site(rng.index(n) as u32);
+        let reaction = rng.index(model.num_reactions());
+        changes.clear();
+        if model
+            .reaction(reaction)
+            .try_execute(lattice, site, &mut changes)
+        {
+            kernel.apply_changes(lattice, &changes);
+        }
+    }
+    kernel.assert_matches_scan(model, lattice);
+    for site in lattice.dims().iter_sites() {
+        assert_eq!(
+            kernel.enabled_mask(site),
+            model.enabled_mask_at(lattice, site),
+            "{name} (cap {lut_cap}): incremental mask diverged at {site:?}"
+        );
+    }
+}
+
+#[test]
+fn library_models_compile_and_agree_on_random_lattices() {
+    for (name, model) in library_models() {
+        let lattice = random_lattice(&model, Dims::square(12), 0xC0FFEE);
+        // Full LUT when it fits, and the per-reaction fallback (cap 0).
+        assert_agrees(name, &model, &lattice, psr_kernel::DEFAULT_LUT_CAP);
+        assert_agrees(name, &model, &lattice, 0);
+    }
+}
+
+#[test]
+fn library_models_stay_exact_under_incremental_updates() {
+    for (name, model) in library_models() {
+        for cap in [psr_kernel::DEFAULT_LUT_CAP, 0] {
+            let mut lattice = random_lattice(&model, Dims::square(10), 0xBEEF);
+            assert_incremental(name, &model, &mut lattice, cap, 7);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random geometry × random fill × both LUT modes, for the two models
+    // with the richest stencils (ZGB's von Neumann bimolecular patterns,
+    // Kuzovkov's 5-species phase-augmented patterns).
+    #[test]
+    fn scan_agreement_on_random_geometries(
+        w in 2u32..14,
+        h in 2u32..14,
+        seed in 0u64..1_000_000,
+        cap_zero in prop::bool::ANY,
+    ) {
+        let dims = Dims::new(w, h);
+        let cap = if cap_zero { 0 } else { psr_kernel::DEFAULT_LUT_CAP };
+        for (name, model) in [
+            ("zgb", zgb_ziff(0.45, 10.0)),
+            ("kuzovkov", kuzovkov_model(KuzovkovParams::default())),
+        ] {
+            let lattice = random_lattice(&model, dims, seed);
+            assert_agrees(name, &model, &lattice, cap);
+        }
+    }
+
+    // Incremental maintenance under random executions matches a fresh
+    // rebuild, on random geometries (exercises torus aliasing: widths and
+    // heights below the stencil diameter).
+    #[test]
+    fn incremental_agreement_on_random_geometries(
+        w in 2u32..10,
+        h in 2u32..10,
+        seed in 0u64..1_000_000,
+        cap_zero in prop::bool::ANY,
+    ) {
+        let dims = Dims::new(w, h);
+        let cap = if cap_zero { 0 } else { psr_kernel::DEFAULT_LUT_CAP };
+        for (name, model) in [
+            ("zgb", zgb_ziff(0.45, 10.0)),
+            ("single-file", single_file_model(1.0)),
+        ] {
+            let mut lattice = random_lattice(&model, dims, seed);
+            assert_incremental(name, &model, &mut lattice, cap, seed ^ 0x5EED);
+        }
+    }
+}

@@ -74,8 +74,18 @@ impl Coverage {
     }
 
     /// Verify against a lattice (used in debug assertions and tests).
+    ///
+    /// Allocation-free: state ids are `u8`, so a fixed 256-slot stack
+    /// buffer covers every possible histogram. A lattice holding a state id
+    /// outside the tracked range simply fails to match.
     pub fn matches(&self, lattice: &Lattice) -> bool {
-        lattice.histogram(self.counts.len()) == self.counts
+        let mut counts = [0usize; 256];
+        for &c in lattice.cells() {
+            counts[c as usize] += 1;
+        }
+        lattice.len() == self.total
+            && counts[..self.counts.len()] == self.counts[..]
+            && counts[self.counts.len()..].iter().all(|&c| c == 0)
     }
 }
 

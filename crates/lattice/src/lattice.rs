@@ -1,6 +1,7 @@
 //! The configuration `S : Ω → D` as a flat array of state ids.
 
 use crate::geometry::{Dims, Offset, Site};
+use crate::wrap::WrapTables;
 
 /// A state id — an element of the domain `D` (paper §2).
 ///
@@ -9,12 +10,31 @@ use crate::geometry::{Dims, Offset, Site};
 /// lattice at 1 MB, which fits in L2 on most machines.
 pub type State = u8;
 
+/// Per-axis displacement served by every lattice's built-in wrap tables
+/// without falling back to division (larger offsets remain correct via
+/// [`Dims::translate`]). Covers every pattern in the model library.
+const WRAP_RADIUS: u32 = 4;
+
 /// A complete assignment of states to sites.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Equality and hashing consider only the geometry and the cell states; the
+/// precomputed wrap tables are derived data.
+#[derive(Clone, Debug)]
 pub struct Lattice {
     dims: Dims,
     cells: Vec<State>,
+    /// Strength-reduced torus translation (see [`WrapTables`]); derived
+    /// from `dims`, rebuilt on construction, excluded from comparisons.
+    wrap: WrapTables,
 }
+
+impl PartialEq for Lattice {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims && self.cells == other.cells
+    }
+}
+
+impl Eq for Lattice {}
 
 impl Lattice {
     /// Create a lattice with every site in state `fill`.
@@ -22,6 +42,7 @@ impl Lattice {
         Lattice {
             dims,
             cells: vec![fill; dims.sites() as usize],
+            wrap: WrapTables::new(dims, WRAP_RADIUS),
         }
     }
 
@@ -36,7 +57,11 @@ impl Lattice {
             dims.sites() as usize,
             "cell vector length does not match dimensions"
         );
-        Lattice { dims, cells }
+        Lattice {
+            dims,
+            cells,
+            wrap: WrapTables::new(dims, WRAP_RADIUS),
+        }
     }
 
     /// Lattice dimensions.
@@ -66,10 +91,24 @@ impl Lattice {
         std::mem::replace(&mut self.cells[site.0 as usize], state)
     }
 
-    /// State at `site + offset` (periodic).
+    /// State at `site + offset` (periodic), served from the wrap tables.
     #[inline]
     pub fn get_rel(&self, site: Site, offset: Offset) -> State {
-        self.get(self.dims.translate(site, offset))
+        self.get(self.wrap.translate(site, offset))
+    }
+
+    /// Translate `site` by `offset` using the precomputed wrap tables (one
+    /// division instead of the three in [`Dims::translate`]; exact for any
+    /// offset, fastest for `|d| ≤ 4` per axis).
+    #[inline]
+    pub fn translate(&self, site: Site, offset: Offset) -> Site {
+        self.wrap.translate(site, offset)
+    }
+
+    /// The lattice's precomputed wrap tables (shared with compiled kernels
+    /// so neighbor-table construction stays division-free).
+    pub fn wrap_tables(&self) -> &WrapTables {
+        &self.wrap
     }
 
     /// Raw row-major cell slice.
@@ -95,6 +134,20 @@ impl Lattice {
     /// Counts for every state id up to `num_states`.
     pub fn histogram(&self, num_states: usize) -> Vec<usize> {
         let mut counts = vec![0usize; num_states];
+        self.histogram_into(&mut counts);
+        counts
+    }
+
+    /// Count every state id into a caller-provided buffer (zeroed first) —
+    /// the allocation-free variant of [`histogram`](Self::histogram) for
+    /// observers called once per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell holds a state id `>= counts.len()`.
+    pub fn histogram_into(&self, counts: &mut [usize]) {
+        counts.fill(0);
+        let num_states = counts.len();
         for &c in &self.cells {
             let idx = c as usize;
             assert!(
@@ -103,7 +156,6 @@ impl Lattice {
             );
             counts[idx] += 1;
         }
-        counts
     }
 
     /// Iterate `(site, state)` pairs in row-major order.
@@ -114,12 +166,21 @@ impl Lattice {
             .map(|(i, &s)| (Site(i as u32), s))
     }
 
-    /// Sites currently in `state`.
+    /// Sites currently in `state` (allocating; see
+    /// [`iter_sites_in_state`](Self::iter_sites_in_state) for the lazy
+    /// variant observers should prefer).
     pub fn sites_in_state(&self, state: State) -> Vec<Site> {
-        self.iter()
-            .filter(|&(_, s)| s == state)
-            .map(|(site, _)| site)
-            .collect()
+        self.iter_sites_in_state(state).collect()
+    }
+
+    /// Iterate the sites currently in `state`, row-major, without
+    /// materialising a vector.
+    pub fn iter_sites_in_state(&self, state: State) -> impl Iterator<Item = Site> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &s)| s == state)
+            .map(|(i, _)| Site(i as u32))
     }
 
     /// Overwrite every site with `state`.
@@ -193,6 +254,54 @@ mod tests {
         let mut l = Lattice::from_cells(Dims::new(2, 1), vec![1, 2]);
         l.fill(3);
         assert_eq!(l.count(3), 2);
+    }
+
+    #[test]
+    fn iter_sites_in_state_matches_vec_variant() {
+        let d = Dims::new(4, 2);
+        let l = Lattice::from_cells(d, vec![1, 0, 1, 2, 1, 0, 0, 1]);
+        for state in 0..3 {
+            assert_eq!(
+                l.iter_sites_in_state(state).collect::<Vec<_>>(),
+                l.sites_in_state(state)
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_into_reuses_buffer() {
+        let d = Dims::new(2, 2);
+        let l = Lattice::from_cells(d, vec![0, 1, 1, 2]);
+        let mut buf = vec![9usize; 3];
+        l.histogram_into(&mut buf);
+        assert_eq!(buf, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn lattice_translate_matches_dims_translate() {
+        let d = Dims::new(5, 3);
+        let l = Lattice::filled(d, 0);
+        for s in d.iter_sites() {
+            for o in [
+                Offset::ZERO,
+                Offset::new(1, 0),
+                Offset::new(-4, 4),
+                Offset::new(7, -9), // beyond the wrap-table radius
+            ] {
+                assert_eq!(l.translate(s, o), d.translate(s, o));
+            }
+        }
+    }
+
+    #[test]
+    fn equality_ignores_wrap_tables() {
+        let d = Dims::new(3, 3);
+        assert_eq!(Lattice::filled(d, 1), Lattice::from_cells(d, vec![1; 9]));
+        assert_ne!(Lattice::filled(d, 1), Lattice::filled(d, 0));
+        assert_ne!(
+            Lattice::filled(Dims::new(9, 1), 1),
+            Lattice::filled(Dims::new(1, 9), 1)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod lattice;
 pub mod neighborhood;
 pub mod region;
 pub mod render;
+pub mod wrap;
 
 pub use cluster::{ClusterStats, Clusters};
 pub use correlation::{correlation_profile, pair_correlation};
@@ -40,3 +41,4 @@ pub use journal::{affected_sites, Change, ChangeJournal};
 pub use lattice::{Lattice, State};
 pub use neighborhood::Neighborhood;
 pub use region::Region;
+pub use wrap::WrapTables;

@@ -1,0 +1,155 @@
+//! Strength-reduced torus translation via precomputed wrap tables.
+//!
+//! [`Dims::translate`](crate::geometry::Dims::translate) pays three integer
+//! divisions per call (one to split the flat site index into coordinates,
+//! two `rem_euclid` to wrap them). Pattern matching and neighbor-table
+//! construction perform millions of translations with *small* offsets, for
+//! which the wrapped coordinate can be read from a table instead: for every
+//! raw coordinate `x + dx` with `|dx| ≤ radius` the wrapped column is
+//! `x_wrap[x + dx + radius]`, and likewise for rows — with the row table
+//! pre-multiplied by the lattice width so the translated site index is a
+//! plain sum of two table loads.
+//!
+//! Offsets beyond the table radius fall back to the exact `Dims` arithmetic,
+//! so a [`WrapTables`] is correct for *any* offset and merely fastest for
+//! the common small ones.
+
+use crate::geometry::{Dims, Offset, Site};
+
+/// Precomputed wrapped row/column lookup tables for one lattice geometry.
+#[derive(Clone, Debug)]
+pub struct WrapTables {
+    dims: Dims,
+    radius: i32,
+    /// `x_wrap[x + radius + dx]` = wrapped column of `x + dx`, for
+    /// `x ∈ [0, w)` and `|dx| ≤ radius`.
+    x_wrap: Vec<u32>,
+    /// `y_wrap[y + radius + dy]` = wrapped row of `y + dy`, **pre-multiplied
+    /// by the width** so it is directly the row base of the flat index.
+    y_wrap: Vec<u32>,
+}
+
+impl WrapTables {
+    /// Build tables covering displacements up to `radius` per axis.
+    pub fn new(dims: Dims, radius: u32) -> Self {
+        let w = dims.width();
+        let h = dims.height();
+        let r = radius as i64;
+        let x_wrap = (-r..w as i64 + r)
+            .map(|x| x.rem_euclid(w as i64) as u32)
+            .collect();
+        let y_wrap = (-r..h as i64 + r)
+            .map(|y| y.rem_euclid(h as i64) as u32 * w)
+            .collect();
+        WrapTables {
+            dims,
+            radius: radius as i32,
+            x_wrap,
+            y_wrap,
+        }
+    }
+
+    /// The geometry the tables were built for.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Largest per-axis displacement served from the tables.
+    pub fn radius(&self) -> u32 {
+        self.radius as u32
+    }
+
+    /// True if `offset` is within the table radius on both axes.
+    #[inline]
+    pub fn covers(&self, offset: Offset) -> bool {
+        offset.dx.abs() <= self.radius && offset.dy.abs() <= self.radius
+    }
+
+    /// Translate wrapped coordinates `(x, y)` by `offset` (must be covered).
+    ///
+    /// No division: two table loads and an add. Callers that sweep the
+    /// lattice row-major can carry `(x, y)` along and skip the index split
+    /// entirely.
+    #[inline]
+    pub fn translate_xy(&self, x: u32, y: u32, offset: Offset) -> Site {
+        debug_assert!(self.covers(offset), "offset {offset:?} outside tables");
+        let col = self.x_wrap[(x as i32 + self.radius + offset.dx) as usize];
+        let row = self.y_wrap[(y as i32 + self.radius + offset.dy) as usize];
+        Site(row + col)
+    }
+
+    /// Translate `site` by `offset` with periodic wrapping.
+    ///
+    /// One division (splitting the flat index) instead of three; offsets
+    /// outside the table radius take the exact [`Dims::translate`] path.
+    #[inline]
+    pub fn translate(&self, site: Site, offset: Offset) -> Site {
+        if !self.covers(offset) {
+            return self.dims.translate(site, offset);
+        }
+        let w = self.dims.width();
+        self.translate_xy(site.0 % w, site.0 / w, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_dims_translate_inside_radius() {
+        let dims = Dims::new(7, 5);
+        let wrap = WrapTables::new(dims, 3);
+        for site in dims.iter_sites() {
+            for dx in -3..=3 {
+                for dy in -3..=3 {
+                    let o = Offset::new(dx, dy);
+                    assert_eq!(
+                        wrap.translate(site, o),
+                        dims.translate(site, o),
+                        "site {site:?} offset {o:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn falls_back_beyond_radius() {
+        let dims = Dims::new(9, 4);
+        let wrap = WrapTables::new(dims, 2);
+        let big = Offset::new(-13, 7);
+        assert!(!wrap.covers(big));
+        for site in dims.iter_sites() {
+            assert_eq!(wrap.translate(site, big), dims.translate(site, big));
+        }
+    }
+
+    #[test]
+    fn translate_xy_matches_translate() {
+        let dims = Dims::new(6, 6);
+        let wrap = WrapTables::new(dims, 2);
+        for y in 0..6 {
+            for x in 0..6 {
+                let site = dims.site_at(x as i64, y as i64);
+                let o = Offset::new(-2, 1);
+                assert_eq!(wrap.translate_xy(x, y, o), dims.translate(site, o));
+            }
+        }
+    }
+
+    #[test]
+    fn tables_handle_lattices_smaller_than_radius() {
+        // 2-wide torus with radius 4: +1 and -1 alias to the same column.
+        let dims = Dims::new(2, 2);
+        let wrap = WrapTables::new(dims, 4);
+        for site in dims.iter_sites() {
+            for dx in -4..=4 {
+                for dy in -4..=4 {
+                    let o = Offset::new(dx, dy);
+                    assert_eq!(wrap.translate(site, o), dims.translate(site, o));
+                }
+            }
+        }
+    }
+}

@@ -126,14 +126,47 @@ impl Model {
         )
     }
 
-    /// Indices of reaction types enabled at `site`.
+    /// Visit every reaction type enabled at `site`, in declaration order,
+    /// without allocating — the hot-path form of [`enabled_at`]
+    /// (Self::enabled_at).
+    #[inline]
+    pub fn for_each_enabled(
+        &self,
+        lattice: &Lattice,
+        site: Site,
+        mut f: impl FnMut(usize, &ReactionType),
+    ) {
+        for (i, rt) in self.reactions.iter().enumerate() {
+            if rt.is_enabled(lattice, site) {
+                f(i, rt);
+            }
+        }
+    }
+
+    /// Bitmask of reaction indices enabled at `site` (bit `i` ↔ reaction
+    /// `i`); allocation-free for models with at most 64 reaction types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has more than 64 reaction types.
+    #[inline]
+    pub fn enabled_mask_at(&self, lattice: &Lattice, site: Site) -> u64 {
+        assert!(
+            self.reactions.len() <= 64,
+            "enabled_mask_at supports at most 64 reaction types"
+        );
+        let mut mask = 0u64;
+        self.for_each_enabled(lattice, site, |i, _| mask |= 1 << i);
+        mask
+    }
+
+    /// Indices of reaction types enabled at `site` (allocating convenience
+    /// wrapper over [`for_each_enabled`](Self::for_each_enabled), kept for
+    /// tests and cold paths).
     pub fn enabled_at(&self, lattice: &Lattice, site: Site) -> Vec<usize> {
-        self.reactions
-            .iter()
-            .enumerate()
-            .filter(|(_, rt)| rt.is_enabled(lattice, site))
-            .map(|(i, _)| i)
-            .collect()
+        let mut ids = Vec::new();
+        self.for_each_enabled(lattice, site, |i, _| ids.push(i));
+        ids
     }
 
     /// Sum of rates of reactions enabled anywhere on the lattice.
@@ -225,6 +258,27 @@ mod tests {
         l.set(s, 1);
         l.set(d.site_at(2, 1), 2);
         assert_eq!(m.enabled_at(&l, s), vec![1]); // only the A+B reaction
+    }
+
+    #[test]
+    fn for_each_enabled_agrees_with_enabled_at() {
+        let m = toy_model();
+        let d = Dims::new(3, 3);
+        let mut l = Lattice::filled(d, 0);
+        l.set(d.site_at(1, 1), 1);
+        l.set(d.site_at(2, 1), 2);
+        for s in d.iter_sites() {
+            let mut visited = Vec::new();
+            m.for_each_enabled(&l, s, |i, rt| {
+                assert_eq!(m.reaction(i).name(), rt.name());
+                visited.push(i);
+            });
+            assert_eq!(visited, m.enabled_at(&l, s), "site {}", s.0);
+            let mask = m.enabled_mask_at(&l, s);
+            for i in 0..m.num_reactions() {
+                assert_eq!(mask & (1 << i) != 0, visited.contains(&i));
+            }
+        }
     }
 
     #[test]

@@ -108,7 +108,7 @@ impl<'m> SegersDecomposition<'m> {
 
     /// Run `steps` MC steps of exact RSM, accounting communication.
     pub fn run_mc_steps(
-        &self,
+        &mut self,
         state: &mut SimState,
         rng: &mut SimRng,
         steps: u64,
@@ -184,7 +184,7 @@ mod tests {
     fn comm_counts_match_boundary_fraction() {
         let model = zgb_ziff(0.5, 2.0);
         let d = Dims::new(20, 20);
-        let seg = SegersDecomposition::new(&model, d, 2, 2);
+        let mut seg = SegersDecomposition::new(&model, d, 2, 2);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(3);
         let (stats, comm) = seg.run_mc_steps(&mut state, &mut rng, 20, None, &mut NoHook);
@@ -203,7 +203,7 @@ mod tests {
         // domain decomposition hardly speeds up at all.
         let model = zgb_ziff(0.5, 2.0);
         let d = Dims::new(40, 40);
-        let seg = SegersDecomposition::new(&model, d, 2, 2);
+        let mut seg = SegersDecomposition::new(&model, d, 2, 2);
         let mut state = SimState::new(Lattice::filled(d, 0), &model);
         let mut rng = rng_from_seed(4);
         let (_, comm) = seg.run_mc_steps(&mut state, &mut rng, 10, None, &mut NoHook);

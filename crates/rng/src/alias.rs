@@ -7,6 +7,7 @@
 //! each sample costs one random index + one random comparison.
 
 use crate::pcg::Pcg32;
+use rand::RngCore;
 
 /// Precomputed alias table over weights `w_0..w_{n-1}`.
 ///
@@ -14,7 +15,12 @@ use crate::pcg::Pcg32;
 #[derive(Clone, Debug)]
 pub struct AliasTable {
     prob: Vec<f64>,
-    alias: Vec<usize>,
+    /// One packed word per bucket — `alias << 32 | threshold` — so a sample
+    /// is a *single* dependent table load: the accept test is
+    /// `u32 draw < threshold` with `threshold = ceil(prob · 2³²)`, and
+    /// certain-accept buckets (`prob == 1`) store `alias = i`, making the
+    /// (saturated) threshold irrelevant to the outcome.
+    entries: Vec<u64>,
     total: f64,
 }
 
@@ -65,7 +71,28 @@ impl AliasTable {
             prob[i] = 1.0;
         }
 
-        AliasTable { prob, alias, total }
+        assert!(n <= u32::MAX as usize, "alias table too large");
+        let entries = prob
+            .iter()
+            .zip(&alias)
+            .enumerate()
+            .map(|(i, (&p, &a))| {
+                // A certain-accept bucket aliases to itself, so saturating
+                // its threshold at u32::MAX cannot change any outcome.
+                let (a, t) = if p >= 1.0 {
+                    (i as u64, u32::MAX as u64)
+                } else {
+                    let t = (p * (1u64 << 32) as f64).ceil() as u64;
+                    (a as u64, t.min(u32::MAX as u64))
+                };
+                (a << 32) | t
+            })
+            .collect();
+        AliasTable {
+            prob,
+            entries,
+            total,
+        }
     }
 
     /// Number of categories.
@@ -84,14 +111,38 @@ impl AliasTable {
     }
 
     /// Draw a category index with probability proportional to its weight.
-    #[inline]
+    ///
+    /// One 64-bit draw per sample: the low 32 bits pick the bucket (Lemire
+    /// reduction with exact rejection), the high 32 bits decide accept vs
+    /// alias against the packed integer threshold — the two halves are
+    /// consecutive independent 32-bit outputs of the generator. Alias and
+    /// threshold share one table word, so the whole decision costs a single
+    /// dependent load, and the accept/alias choice is computed branchlessly:
+    /// it is a coin flip the branch predictor cannot learn, and in
+    /// trial-loop callers (NDCA/RSM) mispredictions would dominate the
+    /// whole sample cost.
+    #[inline(always)]
     pub fn sample(&self, rng: &mut Pcg32) -> usize {
-        let i = rng.index(self.prob.len());
-        if rng.f64() < self.prob[i] {
-            i
-        } else {
-            self.alias[i]
+        let n = self.entries.len() as u64;
+        let x = rng.next_u64();
+        let accept_bits = x >> 32;
+        let mut m = (x & 0xFFFF_FFFF) * n;
+        let mut lo = m & 0xFFFF_FFFF;
+        if lo < n {
+            // Short interval: fall back to the exact rejection bound. The
+            // redraw consumes a fresh 64-bit word (probability ~n/2³²).
+            let t = ((1u64 << 32) - n) % n;
+            while lo < t {
+                m = (rng.next_u64() & 0xFFFF_FFFF) * n;
+                lo = m & 0xFFFF_FFFF;
+            }
         }
+        let i = (m >> 32) as usize;
+        let e = self.entries[i];
+        let a = (e >> 32) as usize;
+        let accept = (accept_bits < (e & 0xFFFF_FFFF)) as usize;
+        // accept ? i : a, as arithmetic so it compiles to a select.
+        a ^ ((i ^ a) & accept.wrapping_neg())
     }
 }
 

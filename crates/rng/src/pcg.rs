@@ -9,6 +9,8 @@
 use rand::{Error, RngCore, SeedableRng};
 
 const MULTIPLIER: u64 = 6364136223846793005;
+/// `MULTIPLIER²` (wrapping): the LCG multiplier for a fused double step.
+const MULTIPLIER_SQ: u64 = MULTIPLIER.wrapping_mul(MULTIPLIER);
 
 /// PCG-XSH-RR 64/32: 64-bit state, 32-bit output, selectable stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,14 +76,20 @@ impl Pcg32 {
         self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
     }
 
+    /// The XSH-RR output permutation of a state word.
+    #[inline]
+    fn permute(state: u64) -> u32 {
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
     /// Produce the next 32-bit output.
     #[inline]
     pub fn next_output(&mut self) -> u32 {
         let old = self.state;
         self.step();
-        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
-        let rot = (old >> 59) as u32;
-        xorshifted.rotate_right(rot)
+        Self::permute(old)
     }
 
     /// Uniform `u64` in `[0, bound)` without modulo bias (Lemire reduction
@@ -140,10 +148,19 @@ impl RngCore for Pcg32 {
         self.next_output()
     }
 
-    #[inline]
+    #[inline(always)]
     fn next_u64(&mut self) -> u64 {
-        let lo = self.next_output() as u64;
-        let hi = self.next_output() as u64;
+        // Fused double step: s₂ = M·(M·s₀ + inc) + inc = M²·s₀ + (M+1)·inc
+        // (wrapping), so the cross-call dependency is one multiply-add
+        // instead of two — the trial loops of NDCA/RSM are serialized on
+        // this chain. Outputs are bit-identical to two `next_output` calls.
+        let s0 = self.state;
+        let s1 = s0.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+        self.state = s0
+            .wrapping_mul(MULTIPLIER_SQ)
+            .wrapping_add(MULTIPLIER.wrapping_add(1).wrapping_mul(self.inc));
+        let lo = Self::permute(s0) as u64;
+        let hi = Self::permute(s1) as u64;
         (hi << 32) | lo
     }
 

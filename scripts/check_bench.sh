@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Gate on the kernel benchmark: the compiled matcher must hold >= MIN_SPEEDUP
+# over the pre-change NDCA hot loop for ZGB (the acceptance bar for the
+# compiled-kernel work). Reads BENCH_kernel.json at the repo root; run
+# `target/release/bench_kernel` first to regenerate it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_FILE=${1:-BENCH_kernel.json}
+MIN_SPEEDUP=${MIN_SPEEDUP:-3.0}
+
+if [ ! -f "$BENCH_FILE" ]; then
+    echo "check_bench: $BENCH_FILE not found (run bench_kernel first)" >&2
+    exit 1
+fi
+
+# Each result is a single JSON line; pull the headline speedup off the ZGB
+# entry (the key "speedup", not "speedup_vs_hatch").
+speedup=$(grep '"model": "ZGB"' "$BENCH_FILE" \
+    | sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p')
+if [ -z "$speedup" ]; then
+    echo "check_bench: no ZGB speedup entry in $BENCH_FILE" >&2
+    exit 1
+fi
+
+identical=$(grep '"model": "ZGB"' "$BENCH_FILE" \
+    | sed -n 's/.*"trajectories_identical": \(true\|false\).*/\1/p')
+if [ "$identical" != "true" ]; then
+    echo "check_bench: ZGB naive/compiled trajectories not identical" >&2
+    exit 1
+fi
+
+ok=$(awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { print (s >= m) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+    echo "check_bench: ZGB compiled-kernel speedup ${speedup}x < ${MIN_SPEEDUP}x" >&2
+    exit 1
+fi
+echo "check_bench: ZGB compiled-kernel speedup ${speedup}x >= ${MIN_SPEEDUP}x"

@@ -34,4 +34,12 @@ for job in zgb rsm_ref; do
 done
 echo "engine smoke: resumed run is bit-identical to the clean run"
 
+echo "==> kernel differential suite (proptest + trajectory identity)"
+cargo test -q --release -p psr-kernel --test differential
+cargo test -q --release -p psr-ca --test kernel_identity
+cargo test -q --release -p psr-dmc --test kernel_identity
+
+echo "==> bench_kernel --smoke (compiled vs naive, small lattice)"
+target/release/bench_kernel --smoke
+
 echo "CI green."

@@ -60,7 +60,7 @@ fn tracer_stats(
 
 fn ndca_stats(order: SweepOrder, seed: u64, steps: u64) -> (i64, f64) {
     let model = single_file_model(1.0);
-    let ndca = Ndca::new(&model).with_order(order);
+    let mut ndca = Ndca::new(&model).with_order(order);
     tracer_stats(
         move |state, rng| {
             ndca.run_steps(state, rng, 1, None, &mut NoHook);
@@ -72,7 +72,7 @@ fn ndca_stats(order: SweepOrder, seed: u64, steps: u64) -> (i64, f64) {
 
 fn rsm_stats(seed: u64, steps: u64) -> (i64, f64) {
     let model = single_file_model(1.0);
-    let rsm = Rsm::new(&model);
+    let mut rsm = Rsm::new(&model);
     tracer_stats(
         move |state, rng| {
             rsm.run_mc_steps(state, rng, 1, None, &mut NoHook);
