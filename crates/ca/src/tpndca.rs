@@ -19,6 +19,8 @@
 //!       3. advance the time;
 //! ```
 
+use std::sync::Arc;
+
 use crate::partition::Partition;
 use crate::partition_builder::checkerboard;
 use crate::propensity::{draw_weighted, ChunkPropensityCache};
@@ -26,6 +28,7 @@ use psr_dmc::events::{Event, EventHook};
 use psr_dmc::recorder::Recorder;
 use psr_dmc::rsm::{RunStats, TimeMode};
 use psr_dmc::sim::SimState;
+use psr_kernel::{CompiledModel, SiteKernel};
 use psr_lattice::{Offset, Site};
 use psr_model::Model;
 use psr_rng::{exponential, AliasTable, SimRng};
@@ -145,6 +148,10 @@ pub struct TPndca<'m> {
     /// weighted step. All subsets' caches are updated on every executed
     /// reaction so none goes stale mid-step.
     caches: Option<Vec<ChunkPropensityCache>>,
+    /// Compiled matcher; `None` when naive matching was requested.
+    compiled: Option<Arc<CompiledModel>>,
+    /// Lattice-bound kernel, built lazily on the first step.
+    kernel: Option<SiteKernel>,
 }
 
 impl<'m> TPndca<'m> {
@@ -180,12 +187,27 @@ impl<'m> TPndca<'m> {
             time_mode: TimeMode::Discretized,
             weighted_chunks: false,
             caches: None,
+            compiled: CompiledModel::try_compile(model).map(Arc::new),
+            kernel: None,
         }
     }
 
     /// Select the time-advance mode.
     pub fn with_time_mode(mut self, mode: TimeMode) -> Self {
         self.time_mode = mode;
+        self
+    }
+
+    /// Disable (or re-enable) the compiled kernel and match patterns with
+    /// the naive per-reaction scan. Trajectories are bit-identical either
+    /// way; this is the escape hatch and the benchmark baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.kernel = None;
+        self.compiled = if naive {
+            None
+        } else {
+            CompiledModel::try_compile(self.model).map(Arc::new)
+        };
         self
     }
 
@@ -240,6 +262,22 @@ impl<'m> TPndca<'m> {
         caches
     }
 
+    /// Take the lattice-bound kernel out of `self`, building or refreshing
+    /// it for the current lattice; `None` when naive matching was requested.
+    fn take_fresh_kernel(&mut self, state: &SimState) -> Option<SiteKernel> {
+        let compiled = self.compiled.as_ref()?;
+        let mut kernel = match self.kernel.take() {
+            Some(k) if k.dims() == state.lattice.dims() => k,
+            _ => {
+                let mut k = SiteKernel::new(Arc::clone(compiled), &state.lattice);
+                k.note_epoch(state.mutation_epoch());
+                k
+            }
+        };
+        kernel.ensure_fresh(&state.lattice, state.mutation_epoch());
+        Some(kernel)
+    }
+
     /// One step: `|T|` subset draws, each sweeping one chunk with one
     /// reaction type.
     pub fn step(
@@ -255,6 +293,7 @@ impl<'m> TPndca<'m> {
         } else {
             None
         };
+        let mut kernel = self.take_fresh_kernel(state);
         let mut weights: Vec<f64> = Vec::new();
         for _ in 0..self.types.num_subsets() {
             let j = self.subset_alias.sample(rng);
@@ -272,19 +311,42 @@ impl<'m> TPndca<'m> {
             for idx in 0..partition.chunk(chunk).len() {
                 let site = partition.chunk(chunk)[idx];
                 changes.clear();
-                let executed = rt.try_execute(&mut state.lattice, site, &mut changes);
+                // The enabled check consumes no randomness, so the compiled
+                // and naive arms produce bit-identical trajectories.
+                let executed = if let Some(k) = kernel.as_mut() {
+                    let enabled = k.is_enabled(site, ri);
+                    if enabled {
+                        rt.execute(&mut state.lattice, site, &mut changes);
+                        state.apply_changes(&changes);
+                        k.apply_changes(&state.lattice, &changes);
+                        k.note_epoch(state.mutation_epoch());
+                    }
+                    enabled
+                } else {
+                    let executed = rt.try_execute(&mut state.lattice, site, &mut changes);
+                    if executed {
+                        state.apply_changes(&changes);
+                    }
+                    executed
+                };
                 if executed {
-                    state.apply_changes(&changes);
                     if let Some(cs) = caches.as_mut() {
                         // A change can flip enabledness of types in every
                         // subset, so all caches absorb it.
                         for (jj, c) in cs.iter_mut().enumerate() {
-                            c.apply_changes(
-                                self.model,
-                                &self.types.partitions[jj],
-                                &state.lattice,
-                                &changes,
-                            );
+                            match kernel.as_ref() {
+                                Some(k) => c.apply_changes_with_kernel(
+                                    k,
+                                    &self.types.partitions[jj],
+                                    &changes,
+                                ),
+                                None => c.apply_changes(
+                                    self.model,
+                                    &self.types.partitions[jj],
+                                    &state.lattice,
+                                    &changes,
+                                ),
+                            }
                             c.note_epoch(state.mutation_epoch());
                         }
                     }
@@ -307,6 +369,7 @@ impl<'m> TPndca<'m> {
             }
             self.caches = Some(cs);
         }
+        self.kernel = kernel;
         stats
     }
 

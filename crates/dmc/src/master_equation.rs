@@ -102,6 +102,22 @@ impl MasterEquation {
         &self.prob
     }
 
+    /// Decode configuration `index` (as indexed by [`probabilities`]) into
+    /// `out` — lets callers aggregate the probability vector by lattice
+    /// observables (e.g. species counts) for distribution-level
+    /// cross-checks against sampled ensembles.
+    ///
+    /// [`probabilities`]: MasterEquation::probabilities
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `out` has the wrong dimensions.
+    pub fn decode_state(&self, index: usize, out: &mut Lattice) {
+        assert!(index < self.num_states, "state index out of range");
+        assert_eq!(out.dims(), self.dims, "lattice dims mismatch");
+        decode(index, self.num_species, out);
+    }
+
     fn derivative(&self, p: &[f64], dp: &mut [f64]) {
         dp.fill(0.0);
         for &(from, to, rate) in &self.transitions {

@@ -1,0 +1,91 @@
+//! Master-Equation golden test: the exact ZGB coverages on a 3×3 torus,
+//! integrated from the empty surface, are committed as f64 bit patterns and
+//! compared bit-for-bit. Any refactor of `master_equation.rs` that changes
+//! state enumeration, transition assembly order, or the RK4 arithmetic
+//! shows up as a bit difference here — rule-of-thumb tolerances would hide
+//! exactly the class of silent drift this fixture exists to catch.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! cargo test -p psr-dmc --test golden_me -- --ignored regenerate
+//! ```
+
+use psr_dmc::master_equation::MasterEquation;
+use psr_lattice::{Dims, Lattice};
+use psr_model::library::zgb::zgb_ziff;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/me_zgb_3x3.golden"
+);
+
+/// The quantities pinned by the fixture, in file order.
+fn golden_values() -> Vec<(&'static str, f64)> {
+    let model = zgb_ziff(0.5, 2.0);
+    let lattice = Lattice::filled(Dims::square(3), 0);
+    let mut me = MasterEquation::new(&model, &lattice);
+    // 40 × 0.025 = 1.0 time units: past the initial transient, cheap enough
+    // for a debug-profile test run.
+    for _ in 0..40 {
+        me.rk4_step(0.025);
+    }
+    vec![
+        ("num_states", me.num_states() as f64),
+        ("num_transitions", me.num_transitions() as f64),
+        ("coverage_vacant", me.expected_coverage(0)),
+        ("coverage_co", me.expected_coverage(1)),
+        ("coverage_o", me.expected_coverage(2)),
+        ("total_probability", me.total_probability()),
+    ]
+}
+
+fn render(values: &[(&str, f64)]) -> String {
+    let mut out = String::from(
+        "# ZGB y=0.5 k_react=2 on a 3x3 torus from the empty surface,\n\
+         # 40 RK4 steps of dt=0.025 (t=1.0). f64 bit patterns, little to\n\
+         # touch by hand: regenerate via the ignored `regenerate` test.\n",
+    );
+    for (name, v) in values {
+        out.push_str(&format!("{name}={:016x}\n", v.to_bits()));
+    }
+    out
+}
+
+#[test]
+fn zgb_3x3_coverages_match_golden_bits() {
+    let text = std::fs::read_to_string(FIXTURE)
+        .unwrap_or_else(|e| panic!("missing fixture {FIXTURE}: {e}"));
+    let mut expected = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, bits) = line.split_once('=').expect("name=hexbits lines");
+        let bits = u64::from_str_radix(bits, 16).expect("16 hex digits");
+        expected.insert(name.to_string(), bits);
+    }
+    let computed = golden_values();
+    assert_eq!(computed.len(), expected.len(), "fixture entry count");
+    for (name, v) in computed {
+        let want = *expected
+            .get(name)
+            .unwrap_or_else(|| panic!("fixture missing {name}"));
+        assert_eq!(
+            v.to_bits(),
+            want,
+            "{name}: computed {v:?} ({:016x}), fixture {:?} ({want:016x})",
+            v.to_bits(),
+            f64::from_bits(want),
+        );
+    }
+}
+
+/// Not a test: rewrites the fixture from the current implementation.
+#[test]
+#[ignore = "regenerates the golden fixture in place"]
+fn regenerate() {
+    std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+    std::fs::write(FIXTURE, render(&golden_values())).unwrap();
+}

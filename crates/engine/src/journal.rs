@@ -36,13 +36,19 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 impl JsonLine {
-    /// Start an object with an `ev` field naming the event type.
-    pub fn event(ev: &str) -> Self {
+    /// Start an empty object (no `ev` field) — for nested documents like
+    /// the `psr-validate` verdict file, where objects are values rather
+    /// than journal events.
+    pub fn object() -> Self {
         JsonLine {
             buf: String::from("{"),
             first: true,
         }
-        .str("ev", ev)
+    }
+
+    /// Start an object with an `ev` field naming the event type.
+    pub fn event(ev: &str) -> Self {
+        JsonLine::object().str("ev", ev)
     }
 
     fn key(mut self, k: &str) -> Self {
@@ -88,6 +94,15 @@ impl JsonLine {
     pub fn bool(self, k: &str, v: bool) -> Self {
         let mut s = self.key(k);
         s.buf.push_str(if v { "true" } else { "false" });
+        s
+    }
+
+    /// Add a pre-rendered JSON value (a nested object or array built with
+    /// [`JsonLine::finish`] / joined with commas). The caller is
+    /// responsible for `v` being valid JSON.
+    pub fn raw(self, k: &str, v: &str) -> Self {
+        let mut s = self.key(k);
+        s.buf.push_str(v);
         s
     }
 

@@ -105,6 +105,38 @@ fn library_models_stay_exact_under_incremental_updates() {
     }
 }
 
+/// T-PNDCA (the Ω×T algorithm) with and without the compiled kernel must
+/// produce bit-identical trajectories over ≥1000 steps — including the
+/// weighted-chunk arm, whose per-subset propensity caches are maintained
+/// *through* the kernel (`apply_changes_with_kernel`) on the compiled side
+/// and by naive rescans on the other. The enabled check consumes no RNG
+/// either way, so lattice, clock, and stream position must all agree.
+#[test]
+fn tpndca_trajectories_bit_identical_for_1000_steps() {
+    use psr_ca::tpndca::{axis_type_partition, TPndca};
+    use psr_dmc::events::NoHook;
+    use psr_dmc::rsm::TimeMode;
+    use psr_dmc::sim::SimState;
+
+    let model = zgb_ziff(0.45, 10.0);
+    let dims = Dims::square(10);
+    for weighted in [false, true] {
+        for mode in [TimeMode::Discretized, TimeMode::Stochastic] {
+            let run = |naive: bool| {
+                let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+                let mut rng = psr_rng::rng_from_seed(0xD1CE);
+                TPndca::new(&model, axis_type_partition(&model, dims))
+                    .with_time_mode(mode)
+                    .with_weighted_chunks(weighted)
+                    .with_naive_matching(naive)
+                    .run_steps(&mut state, &mut rng, 1000, None, &mut NoHook);
+                (state.lattice, state.time, rng.f64())
+            };
+            assert_eq!(run(true), run(false), "weighted {weighted}, mode {mode:?}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -61,6 +61,21 @@ pub fn zgb_model(rates: ZgbRates) -> Model {
         .build()
 }
 
+/// Indices of the four `RtCO+O` reaction versions — the CO₂-producing
+/// group. Firing counts over this group give the CO₂ turnover rate, the
+/// activity observable of the paper's Fig 2/3 phase diagram.
+///
+/// # Panics
+///
+/// Panics if `model` is not a ZGB model (no `RtCO+O` reactions).
+pub fn co2_reaction_indices(model: &Model) -> Vec<usize> {
+    let indices: Vec<usize> = (0..model.num_reactions())
+        .filter(|&i| model.reaction(i).name().starts_with("RtCO+O"))
+        .collect();
+    assert!(!indices.is_empty(), "model has no RtCO+O reactions");
+    indices
+}
+
 /// The classic single-parameter ZGB parameterization.
 ///
 /// `y` is the CO fraction in the gas phase: CO impinges with rate `y`, O₂
@@ -87,6 +102,16 @@ pub fn zgb_ziff(y: f64, k_react: f64) -> Model {
 mod tests {
     use super::*;
     use psr_lattice::{Dims, Lattice, Offset};
+
+    #[test]
+    fn co2_group_is_the_four_reaction_versions() {
+        let m = zgb_ziff(0.4, 5.0);
+        let group = co2_reaction_indices(&m);
+        assert_eq!(group.len(), 4);
+        for (q, &i) in group.iter().enumerate() {
+            assert_eq!(m.reaction(i).name(), format!("RtCO+O[{q}]"));
+        }
+    }
 
     #[test]
     fn zgb_has_seven_reaction_types() {

@@ -65,6 +65,32 @@ impl EnsembleSeries {
 }
 
 /// Run `replicas` independent simulations concurrently on a pool of
+/// `threads` workers, collecting whatever each replica returns, in replica
+/// order (results are deterministic regardless of scheduling).
+///
+/// The closure receives the replica index (use it to derive the seed).
+/// This is the generic engine under [`run_ensemble`]; the `psr-validate`
+/// harness uses it directly for replica distributions that are not time
+/// series.
+///
+/// # Panics
+///
+/// Panics if `replicas == 0` or `threads == 0`.
+pub fn run_replicas<T, F>(replicas: u64, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    assert!(replicas > 0, "need at least one replica");
+    assert!(threads > 0, "need at least one thread");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool");
+    pool.install(|| (0..replicas).into_par_iter().map(&run).collect())
+}
+
+/// Run `replicas` independent simulations concurrently on a pool of
 /// `threads` workers and average the series each returns.
 ///
 /// The closure receives the replica index (use it to derive the seed) and
@@ -78,14 +104,7 @@ pub fn run_ensemble<F>(replicas: u64, threads: usize, run: F) -> EnsembleSeries
 where
     F: Fn(u64) -> TimeSeries + Sync,
 {
-    assert!(replicas > 0, "need at least one replica");
-    assert!(threads > 0, "need at least one thread");
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build thread pool");
-    let series: Vec<TimeSeries> =
-        pool.install(|| (0..replicas).into_par_iter().map(&run).collect());
+    let series = run_replicas(replicas, threads, run);
     EnsembleSeries::from_series(&series)
 }
 

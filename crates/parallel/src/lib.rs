@@ -29,7 +29,7 @@ pub mod shared;
 pub mod speedup;
 pub mod tpndca_parallel;
 
-pub use ensemble::{run_ensemble, EnsembleSeries};
+pub use ensemble::{run_ensemble, run_replicas, EnsembleSeries};
 pub use executor::ParallelPndca;
 pub use machine::{MachineParams, SimulatedMachine};
 pub use segers::SegersDecomposition;

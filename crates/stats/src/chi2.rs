@@ -1,0 +1,159 @@
+//! Chi-square goodness-of-fit test.
+//!
+//! Segers' second correctness criterion (paper §6) asks that reaction types
+//! fire with frequencies proportional to their rates; this module turns the
+//! observed type counts into a chi-square verdict against the expected
+//! proportions. The validation harness also uses it to pin empirical state
+//! distributions against Master-Equation probabilities.
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| < 1.5·10⁻⁷).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChiSquare {
+    /// The statistic `Σ (observed − expected)² / expected`.
+    pub statistic: f64,
+    /// Degrees of freedom (`categories − 1`).
+    pub df: usize,
+    /// Upper-tail probability via the Wilson–Hilferty cube-root
+    /// approximation (accurate to ~10⁻² at df = 1, better above).
+    pub p_value: f64,
+}
+
+impl ChiSquare {
+    /// Accept the hypothesised proportions at significance `alpha`
+    /// (`p_value >= alpha`).
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Wilson–Hilferty upper-tail probability for a chi-square statistic.
+fn chi_square_p(statistic: f64, df: usize) -> f64 {
+    let k = df as f64;
+    let c = 2.0 / (9.0 * k);
+    let z = ((statistic / k).cbrt() - (1.0 - c)) / c.sqrt();
+    1.0 - normal_cdf(z)
+}
+
+/// Chi-square test of observed counts against expected counts.
+///
+/// `expected` carries the hypothesised *counts* (caller scales proportions
+/// by the total); categories with tiny expectations should be merged by the
+/// caller before testing.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than two categories,
+/// or any expected count is not strictly positive.
+pub fn chi_square_counts(observed: &[u64], expected: &[f64]) -> ChiSquare {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    assert!(observed.len() >= 2, "need at least two categories");
+    let mut statistic = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e > 0.0 && e.is_finite(), "expected counts must be positive");
+        let d = o as f64 - e;
+        statistic += d * d / e;
+    }
+    let df = observed.len() - 1;
+    ChiSquare {
+        statistic,
+        df,
+        p_value: chi_square_p(statistic, df),
+    }
+}
+
+/// Chi-square test of observed counts against expected *proportions*
+/// (normalised internally and scaled by the observed total).
+///
+/// # Panics
+///
+/// As [`chi_square_counts`]; additionally panics if the proportions sum to
+/// zero or the observed total is zero.
+pub fn chi_square_proportions(observed: &[u64], proportions: &[f64]) -> ChiSquare {
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let norm: f64 = proportions.iter().sum();
+    assert!(norm > 0.0, "proportions must not sum to zero");
+    let expected: Vec<f64> = proportions
+        .iter()
+        .map(|p| p / norm * total as f64)
+        .collect();
+    chi_square_counts(observed, &expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // observed (8, 12) vs expected (10, 10): (4 + 4)/10 = 0.8.
+        let r = chi_square_counts(&[8, 12], &[10.0, 10.0]);
+        assert!((r.statistic - 0.8).abs() < 1e-12);
+        assert_eq!(r.df, 1);
+    }
+
+    #[test]
+    fn p_values_match_tabulated_quantiles() {
+        // Classic table entries: (df, critical value, tail probability).
+        for &(df, x, p) in &[
+            (1, 3.841, 0.05),
+            (5, 11.070, 0.05),
+            (10, 23.209, 0.01),
+            (3, 6.251, 0.10),
+        ] {
+            let approx = chi_square_p(x, df);
+            assert!(
+                (approx - p).abs() < 0.01,
+                "df {df}: p({x}) = {approx}, table {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_agreement_accepted() {
+        let r = chi_square_proportions(&[100, 200, 300], &[1.0, 2.0, 3.0]);
+        assert!(r.statistic < 1e-12);
+        assert!(r.p_value > 0.99);
+        assert!(r.accepts(0.05));
+    }
+
+    #[test]
+    fn gross_disagreement_rejected() {
+        let r = chi_square_proportions(&[300, 200, 100], &[1.0, 2.0, 3.0]);
+        assert!(!r.accepts(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.6449) - 0.95).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_expected_panics() {
+        chi_square_counts(&[1, 2], &[0.0, 3.0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! TOST-style equivalence testing: "agree within ε", not just "differ".
+//!
+//! A plain significance test can only ever *fail to detect* a difference —
+//! with few replicas everything "passes". The validation harness instead
+//! demands positive evidence of agreement: the two one-sided tests (TOST)
+//! procedure declares two ensembles equivalent on an observable only when
+//! the (1 − 2α) confidence interval of the mean difference lies entirely
+//! inside the equivalence margin `(−ε, ε)`.
+
+use crate::chi2::normal_cdf;
+
+/// Outcome of an equivalence test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The CI of the difference lies inside `(−ε, ε)`: agreement shown.
+    Equivalent,
+    /// The CI lies entirely outside `[−ε, ε]`: a real difference larger
+    /// than the margin.
+    Different,
+    /// The CI straddles a margin boundary: too few replicas to decide.
+    Inconclusive,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Equivalent => "equivalent",
+            Verdict::Different => "different",
+            Verdict::Inconclusive => "inconclusive",
+        })
+    }
+}
+
+/// Result of a TOST mean-difference equivalence test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EquivalenceResult {
+    /// `mean(a) − mean(b)`.
+    pub diff: f64,
+    /// Welch standard error of the difference.
+    pub se: f64,
+    /// Lower end of the (1 − 2α) CI of the difference.
+    pub ci_lo: f64,
+    /// Upper end of the (1 − 2α) CI of the difference.
+    pub ci_hi: f64,
+    /// The equivalence margin ε.
+    pub margin: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// One-sided standard normal critical value for the supported alphas.
+fn z_one_sided(alpha: f64) -> f64 {
+    let z = if (alpha - 0.10).abs() < 1e-9 {
+        1.2816
+    } else if (alpha - 0.05).abs() < 1e-9 {
+        1.6449
+    } else if (alpha - 0.025).abs() < 1e-9 {
+        1.9600
+    } else if (alpha - 0.01).abs() < 1e-9 {
+        2.3263
+    } else {
+        panic!("unsupported alpha {alpha}; use 0.10, 0.05, 0.025 or 0.01")
+    };
+    debug_assert!((normal_cdf(z) - (1.0 - alpha)).abs() < 1e-3);
+    z
+}
+
+fn mean_var(s: &[f64]) -> (f64, f64) {
+    let n = s.len() as f64;
+    let mean = s.iter().sum::<f64>() / n;
+    let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// TOST equivalence test on the difference of means of two ensembles,
+/// using the normal approximation with the Welch standard error (replica
+/// counts in the harness are large enough that t-quantiles change nothing
+/// at the margins we gate on).
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two points, `margin` is not
+/// positive, or `alpha` is unsupported (use 0.10, 0.05, 0.025 or 0.01).
+pub fn tost_mean_difference(a: &[f64], b: &[f64], margin: f64, alpha: f64) -> EquivalenceResult {
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "equivalence test needs at least two replicas per side"
+    );
+    assert!(
+        margin > 0.0 && margin.is_finite(),
+        "margin must be positive"
+    );
+    let z = z_one_sided(alpha);
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let diff = ma - mb;
+    let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    let (ci_lo, ci_hi) = (diff - z * se, diff + z * se);
+    let verdict = if ci_lo > -margin && ci_hi < margin {
+        Verdict::Equivalent
+    } else if ci_lo > margin || ci_hi < -margin {
+        Verdict::Different
+    } else {
+        Verdict::Inconclusive
+    };
+    EquivalenceResult {
+        diff,
+        se,
+        ci_lo,
+        ci_hi,
+        margin,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constantish(center: f64, n: usize) -> Vec<f64> {
+        // Tiny symmetric jitter so the sample variance is non-degenerate.
+        (0..n)
+            .map(|i| center + 1e-3 * ((i % 2) as f64 * 2.0 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn close_means_equivalent() {
+        let r = tost_mean_difference(&constantish(0.500, 20), &constantish(0.502, 20), 0.01, 0.05);
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert!(r.ci_lo > -0.01 && r.ci_hi < 0.01);
+    }
+
+    #[test]
+    fn far_means_different() {
+        let r = tost_mean_difference(&constantish(0.50, 20), &constantish(0.60, 20), 0.01, 0.05);
+        assert_eq!(r.verdict, Verdict::Different);
+        assert!((r.diff - (-0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_small_samples_inconclusive() {
+        // Two replicas with spread comparable to the margin: the CI cannot
+        // resolve either way.
+        let r = tost_mean_difference(&[0.40, 0.60], &[0.45, 0.55], 0.02, 0.05);
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn identical_constant_samples_equivalent() {
+        let r = tost_mean_difference(&[0.5, 0.5, 0.5], &[0.5, 0.5, 0.5], 0.01, 0.05);
+        assert_eq!(r.se, 0.0);
+        assert_eq!(r.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "two replicas")]
+    fn single_replica_panics() {
+        tost_mean_difference(&[0.5], &[0.5, 0.6], 0.01, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn bad_alpha_panics() {
+        tost_mean_difference(&[0.5, 0.6], &[0.5, 0.6], 0.01, 0.2);
+    }
+}

@@ -1,9 +1,26 @@
-//! Kolmogorov–Smirnov test against the exponential distribution.
+//! Kolmogorov–Smirnov tests: one-sample against the exponential
+//! distribution, and two-sample between replica ensembles.
 //!
 //! Segers' first correctness criterion (paper §6): "the waiting time for a
 //! reaction of type i has an exponential probability distribution
-//! exp(−k_i t)". `psr-dmc` records empirical waiting times; this test
-//! decides whether they are consistent with `Exp(rate)`.
+//! exp(−k_i t)". `psr-dmc` records empirical waiting times; the one-sample
+//! test decides whether they are consistent with `Exp(rate)`. The
+//! two-sample test asks whether two replica distributions (e.g. DMC vs.
+//! PNDCA steady coverages) could share a common, unknown distribution.
+
+/// Asymptotic Kolmogorov-distribution critical value for a significance
+/// level. Supported levels: 0.10 (c=1.224), 0.05 (c=1.358), 0.01 (c=1.628).
+fn kolmogorov_critical(level: f64) -> f64 {
+    if (level - 0.10).abs() < 1e-9 {
+        1.224
+    } else if (level - 0.05).abs() < 1e-9 {
+        1.358
+    } else if (level - 0.01).abs() < 1e-9 {
+        1.628
+    } else {
+        panic!("unsupported significance level {level}; use 0.10, 0.05 or 0.01")
+    }
+}
 
 /// Result of a Kolmogorov–Smirnov test.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,16 +43,76 @@ impl KsResult {
     ///
     /// Panics on an unsupported level.
     pub fn accepts(&self, level: f64) -> bool {
-        let critical = if (level - 0.10).abs() < 1e-9 {
-            1.224
-        } else if (level - 0.05).abs() < 1e-9 {
-            1.358
-        } else if (level - 0.01).abs() < 1e-9 {
-            1.628
-        } else {
-            panic!("unsupported significance level {level}; use 0.10, 0.05 or 0.01")
+        self.scaled <= kolmogorov_critical(level)
+    }
+}
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsTwoSample {
+    /// The statistic `D_{n,m} = sup |F_a − F_b|`.
+    pub statistic: f64,
+    /// Size of the first sample.
+    pub n: usize,
+    /// Size of the second sample.
+    pub m: usize,
+    /// `sqrt(nm/(n+m)) · D_{n,m}`, the asymptotically pivotal quantity.
+    pub scaled: f64,
+}
+
+impl KsTwoSample {
+    /// Accept the common-distribution hypothesis at roughly the given
+    /// significance level (same asymptotic critical values as [`KsResult`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported level (use 0.10, 0.05 or 0.01).
+    pub fn accepts(&self, level: f64) -> bool {
+        self.scaled <= kolmogorov_critical(level)
+    }
+}
+
+/// Two-sample KS test: `D = sup_x |F_a(x) − F_b(x)|` over the empirical
+/// CDFs of `a` and `b`. Ties (within and across samples) are handled by
+/// evaluating both CDFs strictly *after* each distinct value.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTwoSample {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS test needs at least one sample on each side"
+    );
+    let sort = |s: &[f64]| {
+        let mut v = s.to_vec();
+        v.sort_by(|x, y| x.partial_cmp(y).expect("non-NaN samples"));
+        v
+    };
+    let (sa, sb) = (sort(a), sort(b));
+    let (n, m) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n || j < m {
+        let x = match (sa.get(i), sb.get(j)) {
+            (Some(&xa), Some(&xb)) => xa.min(xb),
+            (Some(&xa), None) => xa,
+            (None, Some(&xb)) => xb,
+            (None, None) => unreachable!(),
         };
-        self.scaled <= critical
+        while i < n && sa[i] <= x {
+            i += 1;
+        }
+        while j < m && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / n as f64 - j as f64 / m as f64).abs());
+    }
+    KsTwoSample {
+        statistic: d,
+        n,
+        m,
+        scaled: ((n * m) as f64 / (n + m) as f64).sqrt() * d,
     }
 }
 
@@ -129,5 +206,129 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_sample_panics() {
         ks_exponential(&[-0.5], 1.0);
+    }
+
+    /// Reference vector: a single sample at the exponential median has
+    /// F(x) = 1/2, so D = max(1/2 − 0, 1 − 1/2) = 1/2 exactly.
+    #[test]
+    fn one_sample_reference_vector() {
+        let r = ks_exponential(&[std::f64::consts::LN_2], 1.0);
+        assert!((r.statistic - 0.5).abs() < 1e-12, "D = {}", r.statistic);
+    }
+
+    /// Uniform grid vs. the same grid shifted by exactly 0.2: both CDFs are
+    /// staircases with the same step positions offset by 0.2, so
+    /// D = 0.2 exactly — the analytic sup-distance between U(0,1) and
+    /// U(0.2, 1.2) restricted to matching grids.
+    #[test]
+    fn two_sample_uniform_vs_shifted_uniform() {
+        let n = 100;
+        // b is a shifted by exactly 20 grid steps (0.2), computed with the
+        // same formula so overlapping points tie bit-for-bit.
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 + 20.5) / n as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.2).abs() < 1e-12, "D = {}", r.statistic);
+        assert_eq!((r.n, r.m), (100, 100));
+        // sqrt(100·100/200)·0.2 = sqrt(50)·0.2 ≈ 1.414 > 1.358: rejected at
+        // 0.05, accepted at 0.01.
+        assert!(!r.accepts(0.05));
+        assert!(r.accepts(0.01));
+    }
+
+    /// Hand-computed reference vector with unequal sizes and interleaving.
+    #[test]
+    fn two_sample_reference_vector() {
+        // a = {1,2,3}, b = {2.5, 3.5}: the sup is reached just after 2,
+        // where F_a = 2/3 and F_b = 0.
+        let r = ks_two_sample(&[1.0, 2.0, 3.0], &[2.5, 3.5]);
+        assert!(
+            (r.statistic - 2.0 / 3.0).abs() < 1e-12,
+            "D = {}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    fn two_sample_extremes() {
+        // Disjoint supports: D = 1. Identical samples: D = 0.
+        assert_eq!(ks_two_sample(&[1.0, 2.0], &[5.0, 6.0]).statistic, 1.0);
+        assert_eq!(ks_two_sample(&[1.0, 2.0], &[1.0, 2.0]).statistic, 0.0);
+    }
+
+    /// Exact small-n null distribution: for n = m = 2 distinct values, the
+    /// 6 equally likely interleavings give D = 1 twice (aabb, bbaa) and
+    /// D = 1/2 four times — so the exact critical value at level 1/3 is 1.
+    #[test]
+    fn two_sample_exact_small_n_distribution() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let mut counts = [0usize; 2]; // [D = 1/2, D = 1]
+                                      // Choose which two positions of the pooled order belong to `a`.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let a = [vals[i], vals[j]];
+                let b: Vec<f64> = (0..4)
+                    .filter(|&k| k != i && k != j)
+                    .map(|k| vals[k])
+                    .collect();
+                let d = ks_two_sample(&a, &b).statistic;
+                if (d - 1.0).abs() < 1e-12 {
+                    counts[1] += 1;
+                } else if (d - 0.5).abs() < 1e-12 {
+                    counts[0] += 1;
+                } else {
+                    panic!("impossible D = {d} for n = m = 2");
+                }
+            }
+        }
+        assert_eq!(counts, [4, 2], "exact null distribution of D for n=m=2");
+    }
+
+    #[test]
+    fn two_sample_handles_ties_across_samples() {
+        // All mass tied: the CDFs agree after every distinct value.
+        let r = ks_two_sample(&[1.0, 1.0, 2.0], &[1.0, 2.0, 2.0]);
+        assert!(
+            (r.statistic - 1.0 / 3.0).abs() < 1e-12,
+            "D = {}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "each side")]
+    fn two_sample_empty_panics() {
+        ks_two_sample(&[1.0], &[]);
+    }
+
+    mod prop {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The two-sample statistic is symmetric in its arguments —
+            // |F_a − F_b| = |F_b − F_a| at every evaluation point.
+            #[test]
+            fn two_sample_statistic_is_symmetric(
+                a in proptest::collection::vec(-1e6f64..1e6, 1..40),
+                b in proptest::collection::vec(-1e6f64..1e6, 1..40),
+            ) {
+                let fwd = ks_two_sample(&a, &b);
+                let rev = ks_two_sample(&b, &a);
+                prop_assert_eq!(fwd.statistic, rev.statistic);
+                prop_assert_eq!(fwd.scaled, rev.scaled);
+                prop_assert_eq!((fwd.n, fwd.m), (rev.m, rev.n));
+            }
+
+            // D is a probability-scale distance: always within [0, 1].
+            #[test]
+            fn two_sample_statistic_in_unit_interval(
+                a in proptest::collection::vec(-1e6f64..1e6, 1..40),
+                b in proptest::collection::vec(-1e6f64..1e6, 1..40),
+            ) {
+                let d = ks_two_sample(&a, &b).statistic;
+                prop_assert!((0.0..=1.0).contains(&d));
+            }
+        }
     }
 }

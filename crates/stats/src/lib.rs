@@ -8,8 +8,12 @@
 //! - [`TimeSeries`] — sampled observables with resampling/interpolation;
 //! - [`compare`] — L2/L∞/MAE deviation between curves on a common grid;
 //! - [`oscillation`] — peak detection, period and amplitude estimation;
-//! - [`ks`] — Kolmogorov–Smirnov test against an exponential distribution
-//!   (criterion 1 of Segers, paper §6);
+//! - [`ks`] — Kolmogorov–Smirnov tests: one-sample against an exponential
+//!   distribution (criterion 1 of Segers, paper §6) and two-sample between
+//!   replica ensembles;
+//! - [`chi2`] — chi-square goodness-of-fit (criterion 2 of Segers);
+//! - [`equivalence`] — TOST-style "agree within ε" verdicts for the
+//!   validation harness;
 //! - [`summary`] — Welford running mean/variance;
 //! - [`histogram`] — fixed-width binning;
 //! - [`ascii_plot`] — terminal line plots for the examples.
@@ -17,16 +21,20 @@
 #![warn(missing_docs)]
 
 pub mod ascii_plot;
+pub mod chi2;
 pub mod compare;
+pub mod equivalence;
 pub mod histogram;
 pub mod ks;
 pub mod oscillation;
 pub mod summary;
 pub mod timeseries;
 
+pub use chi2::{chi_square_counts, chi_square_proportions, ChiSquare};
 pub use compare::{linf_deviation, mae_deviation, rms_deviation};
+pub use equivalence::{tost_mean_difference, EquivalenceResult, Verdict};
 pub use histogram::Histogram;
-pub use ks::{ks_exponential, KsResult};
+pub use ks::{ks_exponential, ks_two_sample, KsResult, KsTwoSample};
 pub use oscillation::{detect_peaks, OscillationSummary};
 pub use summary::Summary;
 pub use timeseries::TimeSeries;

@@ -141,6 +141,57 @@ impl TimeSeries {
             values: self.values[start..].to_vec(),
         }
     }
+
+    /// Serialise as `time,value` CSV lines (shortest round-trip float
+    /// formatting, so `from_csv` reproduces the series bit-for-bit). Used
+    /// for committed trajectory fixtures.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 24);
+        for (&t, &v) in self.times.iter().zip(&self.values) {
+            out.push_str(&format!("{t:?},{v:?}\n"));
+        }
+        out
+    }
+
+    /// Parse the `time,value` CSV produced by [`TimeSeries::to_csv`].
+    /// Blank lines and lines starting with `#` are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line; construction
+    /// panics from non-increasing times are reported as errors too.
+    pub fn from_csv(text: &str) -> Result<TimeSeries, String> {
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (t, v) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: expected `time,value`", lineno + 1))?;
+            let t: f64 = t
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad time: {e}", lineno + 1))?;
+            let v: f64 = v
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+            if let Some(&last) = times.last() {
+                if t <= last {
+                    return Err(format!(
+                        "line {}: times must be strictly increasing ({t} <= {last})",
+                        lineno + 1
+                    ));
+                }
+            }
+            times.push(t);
+            values.push(v);
+        }
+        Ok(TimeSeries { times, values })
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +273,29 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn interpolate_empty_panics() {
         TimeSeries::new().interpolate(0.0);
+    }
+
+    #[test]
+    fn csv_round_trips_bit_for_bit() {
+        let s = TimeSeries::from_points(
+            vec![0.1, 0.2 + 1e-16, std::f64::consts::PI],
+            vec![1.0 / 3.0, -0.0, 2e-308],
+        );
+        let back = TimeSeries::from_csv(&s.to_csv()).unwrap();
+        assert_eq!(s.times().len(), back.times().len());
+        for (a, b) in s.times().iter().zip(back.times()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s.values().iter().zip(back.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn csv_skips_comments_and_rejects_garbage() {
+        let s = TimeSeries::from_csv("# header\n0.0,1.0\n\n1.0,2.0\n").unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(TimeSeries::from_csv("0.0;1.0\n").is_err());
+        assert!(TimeSeries::from_csv("1.0,0.0\n0.5,0.0\n").is_err());
     }
 }

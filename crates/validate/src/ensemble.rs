@@ -1,0 +1,279 @@
+//! Replica ensembles with sequential stopping.
+//!
+//! The paper's accuracy experiments (§6) average "a large number of
+//! small, independent simulations". How large is "large"? This module
+//! makes that adaptive: replicas are added in batches until every
+//! targeted observable's bootstrap CI is tighter than its precision
+//! target (or the replica budget runs out). That keeps the smoke tier
+//! fast and the full tier honest — precision is a measured property,
+//! not a hope.
+
+use crate::bootstrap::{bootstrap_mean_ci, BootstrapCi};
+use psr_parallel::run_replicas;
+use std::collections::BTreeMap;
+
+/// Budget and precision parameters of a sequential ensemble.
+#[derive(Clone, Debug)]
+pub struct SequentialConfig {
+    /// Replicas always run before the first convergence check.
+    pub min_replicas: u64,
+    /// Hard replica budget.
+    pub max_replicas: u64,
+    /// Replicas added per round.
+    pub batch: u64,
+    /// Worker threads for the replica pool.
+    pub workers: usize,
+    /// Bootstrap resamples per CI.
+    pub resamples: usize,
+    /// CI confidence level.
+    pub ci_level: f64,
+    /// Master seed; replica `i` sees seed `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl SequentialConfig {
+    /// Defaults tuned for the full validation tier.
+    pub fn full(base_seed: u64, workers: usize) -> Self {
+        SequentialConfig {
+            min_replicas: 12,
+            max_replicas: 48,
+            batch: 8,
+            workers,
+            resamples: 400,
+            ci_level: 0.95,
+            base_seed,
+        }
+    }
+
+    /// Cheaper defaults for the CI smoke tier. Replicas of the smoke
+    /// jobs are cheap, so the budget still allows the sequential loop
+    /// to actually refine (the smoke precision targets need ~20–30
+    /// replicas of the 20×20 ZGB job).
+    pub fn smoke(base_seed: u64, workers: usize) -> Self {
+        SequentialConfig {
+            min_replicas: 8,
+            max_replicas: 40,
+            batch: 8,
+            workers,
+            resamples: 200,
+            ci_level: 0.95,
+            base_seed,
+        }
+    }
+}
+
+/// One observable's replica distribution and its bootstrap CI.
+#[derive(Clone, Debug)]
+pub struct ObservableSummary {
+    /// Observable name (as returned by the replica closure).
+    pub name: String,
+    /// One value per replica, in replica order. Non-finite values
+    /// (e.g. "no period detected") are kept here but excluded from the
+    /// CI.
+    pub samples: Vec<f64>,
+    /// Bootstrap CI over the finite samples (`None` if fewer than 2).
+    pub ci: Option<BootstrapCi>,
+}
+
+impl ObservableSummary {
+    /// The finite samples only — what the CI and the downstream
+    /// two-sample tests operate on.
+    pub fn finite_samples(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect()
+    }
+
+    /// Fraction of replicas that produced a finite value.
+    pub fn finite_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.finite_samples().len() as f64 / self.samples.len() as f64
+    }
+}
+
+/// Result of a sequential ensemble run.
+#[derive(Clone, Debug)]
+pub struct EnsembleOutcome {
+    /// Total replicas executed.
+    pub replicas: u64,
+    /// Per-observable distributions, sorted by name.
+    pub observables: Vec<ObservableSummary>,
+    /// True if every precision target was met within the budget.
+    pub converged: bool,
+}
+
+impl EnsembleOutcome {
+    /// Look up one observable by name.
+    pub fn observable(&self, name: &str) -> Option<&ObservableSummary> {
+        self.observables.iter().find(|o| o.name == name)
+    }
+}
+
+/// Run replicas in sequential batches until every `(name, target)`
+/// precision target is met or `max_replicas` is reached.
+///
+/// The closure receives a replica seed (already offset by
+/// `base_seed`) and returns named observables; every replica must
+/// return the same set of names. Convergence means: for each targeted
+/// observable, the bootstrap CI half-width over the finite samples is
+/// `<= target`. Untargeted observables are collected but never gate.
+///
+/// # Panics
+///
+/// Panics on an empty/zero budget, on replicas that disagree about the
+/// observable set, or on a target naming an unknown observable.
+pub fn run_sequential<F>(cfg: &SequentialConfig, targets: &[(&str, f64)], run: F) -> EnsembleOutcome
+where
+    F: Fn(u64) -> Vec<(String, f64)> + Sync,
+{
+    assert!(cfg.min_replicas > 0, "need at least one replica");
+    assert!(cfg.max_replicas >= cfg.min_replicas, "budget below minimum");
+    assert!(cfg.batch > 0, "batch must be positive");
+
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut done: u64 = 0;
+    let mut converged = false;
+
+    while done < cfg.max_replicas {
+        let want = if done < cfg.min_replicas {
+            cfg.min_replicas - done
+        } else {
+            cfg.batch.min(cfg.max_replicas - done)
+        };
+        let base = cfg.base_seed + done;
+        let batch = run_replicas(want, cfg.workers, |i| run(base + i));
+        for replica in batch {
+            for (name, value) in replica {
+                samples.entry(name).or_default().push(value);
+            }
+        }
+        done += want;
+        let count = samples.values().map(Vec::len).max().unwrap_or(0);
+        for (name, values) in &samples {
+            assert_eq!(
+                values.len(),
+                count,
+                "replica observable sets disagree at {name:?}"
+            );
+        }
+        converged = targets.iter().all(|(name, target)| {
+            let values = samples
+                .get(*name)
+                .unwrap_or_else(|| panic!("target names unknown observable {name:?}"));
+            ci_over(values, cfg).is_some_and(|ci| ci.half_width() <= *target)
+        });
+        if converged && done >= cfg.min_replicas {
+            break;
+        }
+    }
+
+    let observables = samples
+        .into_iter()
+        .map(|(name, samples)| {
+            let ci = ci_over(&samples, cfg);
+            ObservableSummary { name, samples, ci }
+        })
+        .collect();
+    EnsembleOutcome {
+        replicas: done,
+        observables,
+        converged,
+    }
+}
+
+fn ci_over(samples: &[f64], cfg: &SequentialConfig) -> Option<BootstrapCi> {
+    let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return None;
+    }
+    Some(bootstrap_mean_ci(
+        &finite,
+        cfg.resamples,
+        cfg.ci_level,
+        cfg.base_seed ^ 0x9E37_79B9_7F4A_7C15,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_rng::rng_from_seed;
+
+    fn cfg() -> SequentialConfig {
+        SequentialConfig {
+            min_replicas: 4,
+            max_replicas: 64,
+            batch: 8,
+            workers: 2,
+            resamples: 200,
+            ci_level: 0.95,
+            base_seed: 100,
+        }
+    }
+
+    fn noisy_replica(seed: u64) -> Vec<(String, f64)> {
+        let mut rng = rng_from_seed(seed);
+        vec![("mean_half".into(), rng.f64()), ("constant".into(), 2.5)]
+    }
+
+    #[test]
+    fn stops_early_once_targets_are_met() {
+        // The constant observable converges instantly; with only that
+        // target, the run stops at min_replicas.
+        let out = run_sequential(&cfg(), &[("constant", 0.01)], noisy_replica);
+        assert!(out.converged);
+        assert_eq!(out.replicas, 4);
+        assert!(out.observable("mean_half").is_some());
+    }
+
+    #[test]
+    fn adds_batches_until_a_tight_target_is_met() {
+        // Uniform(0,1) has se ≈ 0.29/√n: half-width ≤ 0.1 needs n ≳ 32.
+        let out = run_sequential(&cfg(), &[("mean_half", 0.1)], noisy_replica);
+        assert!(out.converged, "ran {} replicas", out.replicas);
+        assert!(out.replicas > 4, "converged suspiciously early");
+        let ci = out.observable("mean_half").unwrap().ci.unwrap();
+        assert!(ci.half_width() <= 0.1);
+        assert!(ci.contains(0.5), "CI [{}, {}] misses 0.5", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn exhausts_the_budget_on_an_impossible_target() {
+        let out = run_sequential(&cfg(), &[("mean_half", 1e-6)], noisy_replica);
+        assert!(!out.converged);
+        assert_eq!(out.replicas, 64);
+    }
+
+    #[test]
+    fn non_finite_samples_are_excluded_from_the_ci() {
+        let out = run_sequential(&cfg(), &[], |seed| {
+            let v = if seed % 2 == 0 { 1.0 } else { f64::NAN };
+            vec![("period".into(), v)]
+        });
+        let obs = out.observable("period").unwrap();
+        assert!((obs.finite_fraction() - 0.5).abs() < 0.3);
+        let ci = obs.ci.unwrap();
+        assert_eq!(ci.mean, 1.0);
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_deterministic() {
+        let record = |seed: u64| vec![("seed".into(), seed as f64)];
+        let a = run_sequential(&cfg(), &[], record);
+        let b = run_sequential(&cfg(), &[], record);
+        let seeds_a = &a.observable("seed").unwrap().samples;
+        assert_eq!(seeds_a, &b.observable("seed").unwrap().samples);
+        let expected: Vec<f64> = (100..104).map(|s| s as f64).collect();
+        assert_eq!(seeds_a, &expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown observable")]
+    fn unknown_target_panics() {
+        run_sequential(&cfg(), &[("nope", 0.1)], noisy_replica);
+    }
+}

@@ -1,0 +1,382 @@
+//! Exact cross-checks against the integrated Master Equation.
+//!
+//! On a 2×2 ZGB torus the Master Equation (81 states) is integrable to
+//! machine precision, so the stochastic algorithms can be held to the
+//! *distribution* it predicts, not just a mean:
+//!
+//! - RSM/VSSM/FRM replicas are binned by their final `(n_CO, n_O)`
+//!   occupation and chi-square-tested against the exact category
+//!   probabilities (small-expectation categories merged);
+//! - every CA variant's replica-mean CO and O coverage is z-scored
+//!   against the exact expectation — the CA family discretises time, so
+//!   its per-replica *distribution* at a fixed clock differs slightly,
+//!   but its coverages must still land on the ME curve;
+//! - a power control verifies the chi-square would reject a wrong
+//!   distribution (the ME at a different time), so a pass is evidence,
+//!   not a vacuous acceptance.
+
+use crate::verdict::Check;
+use psr_core::{Algorithm, PartitionSpec, Simulator};
+use psr_dmc::master_equation::MasterEquation;
+use psr_lattice::{Dims, Lattice};
+use psr_model::library::zgb::zgb_ziff;
+use psr_model::Model;
+use psr_parallel::run_replicas;
+use psr_stats::chi_square_counts;
+use std::collections::BTreeMap;
+
+const TIER: &str = "exact";
+
+/// Budget of the exact tier.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactConfig {
+    /// Replicas per algorithm.
+    pub replicas: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Base seed; each algorithm offsets it differently.
+    pub base_seed: u64,
+    /// Chi-square / z-test significance level.
+    pub alpha: f64,
+}
+
+impl ExactConfig {
+    /// Full-tier budget.
+    pub fn full(base_seed: u64, workers: usize) -> Self {
+        ExactConfig {
+            replicas: 600,
+            workers,
+            base_seed,
+            alpha: 0.01,
+        }
+    }
+
+    /// Smoke-tier budget.
+    pub fn smoke(base_seed: u64, workers: usize) -> Self {
+        ExactConfig {
+            replicas: 200,
+            workers,
+            base_seed,
+            alpha: 0.01,
+        }
+    }
+}
+
+/// The tiny ZGB instance: y = 0.5, k_react = 2 on a 2×2 torus, from
+/// the empty surface to t = 1.5 (mid-transient, so the distribution is
+/// genuinely spread over many categories).
+fn setup() -> (Model, Dims, f64) {
+    (zgb_ziff(0.5, 2.0), Dims::square(2), 1.5)
+}
+
+fn integrate_me(model: &Model, dims: Dims, t_end: f64) -> MasterEquation {
+    let mut me = MasterEquation::new(model, &Lattice::filled(dims, 0));
+    let steps = (t_end / 0.01).round() as u64;
+    for _ in 0..steps {
+        me.rk4_step(0.01);
+    }
+    me
+}
+
+/// Bin index of a lattice: occupation counts `(n_CO, n_O)`.
+fn category(lattice: &Lattice) -> (usize, usize) {
+    (lattice.count(1), lattice.count(2))
+}
+
+/// Exact category probabilities from the ME distribution.
+fn me_category_probs(me: &MasterEquation, dims: Dims) -> BTreeMap<(usize, usize), f64> {
+    let mut probs = BTreeMap::new();
+    let mut scratch = Lattice::filled(dims, 0);
+    for (state, &p) in me.probabilities().iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        me.decode_state(state, &mut scratch);
+        *probs.entry(category(&scratch)).or_insert(0.0) += p;
+    }
+    probs
+}
+
+/// Merge categories whose expected count under `replicas` would fall
+/// below 5 (the usual chi-square validity rule) into a trailing
+/// "other" bucket. Returns per-category `(expected, observed)` pairs.
+fn merged_counts(
+    probs: &BTreeMap<(usize, usize), f64>,
+    observed: &BTreeMap<(usize, usize), u64>,
+    replicas: u64,
+) -> (Vec<f64>, Vec<u64>) {
+    let mut expected = Vec::new();
+    let mut counts = Vec::new();
+    let mut other_expected = 0.0;
+    let mut other_count = 0u64;
+    for (cat, &p) in probs {
+        let e = p * replicas as f64;
+        let c = observed.get(cat).copied().unwrap_or(0);
+        if e >= 5.0 {
+            expected.push(e);
+            counts.push(c);
+        } else {
+            other_expected += e;
+            other_count += c;
+        }
+    }
+    // Replicas landing in categories of ME-probability ~0 (possible
+    // only through a simulator bug) belong to "other" too.
+    for (cat, &c) in observed {
+        if !probs.contains_key(cat) {
+            other_count += c;
+        }
+    }
+    if other_expected > 0.0 {
+        expected.push(other_expected);
+        counts.push(other_count);
+    }
+    (expected, counts)
+}
+
+fn final_lattice(
+    model: &Model,
+    dims: Dims,
+    algorithm: &Algorithm,
+    t_end: f64,
+    seed: u64,
+) -> Lattice {
+    Simulator::new(model.clone())
+        .dims(dims)
+        .seed(seed)
+        .algorithm(algorithm.clone())
+        .sample_dt(t_end)
+        .run_until(t_end)
+        .state()
+        .lattice
+        .clone()
+}
+
+fn observed_categories(
+    model: &Model,
+    dims: Dims,
+    algorithm: &Algorithm,
+    t_end: f64,
+    cfg: &ExactConfig,
+    offset: u64,
+) -> BTreeMap<(usize, usize), u64> {
+    let lattices = run_replicas(cfg.replicas, cfg.workers, |i| {
+        final_lattice(
+            model,
+            dims,
+            algorithm,
+            t_end,
+            cfg.base_seed + offset * 1_000_000 + i,
+        )
+    });
+    let mut observed = BTreeMap::new();
+    for l in &lattices {
+        *observed.entry(category(l)).or_insert(0u64) += 1;
+    }
+    observed
+}
+
+/// The DMC algorithms held to the full ME distribution.
+fn dmc_algorithms() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("rsm", Algorithm::Rsm),
+        ("vssm", Algorithm::Vssm),
+        ("frm", Algorithm::Frm),
+    ]
+}
+
+/// The CA variants held to the ME mean coverages. The 2×2 torus rules
+/// out the five-coloring, so the partitioned variants use the greedy
+/// conflict-graph partition. T-PNDCA is deliberately absent: its
+/// per-sweep type correlation spans a checkerboard chunk *plus* the
+/// pair-reaction halo, which on a 2×2 torus is the whole lattice — an
+/// O(1) small-lattice artifact, not a kinetics bug. Its accuracy gate
+/// is the production-size statistical tier (and Segers covers it at
+/// the sweep level).
+fn ca_algorithms() -> Vec<(&'static str, Algorithm)> {
+    use psr_ca::lpndca::ChunkVisit;
+    use psr_ca::pndca::ChunkSelection;
+    vec![
+        ("ndca", Algorithm::Ndca { shuffled: false }),
+        ("ndca-shuffled", Algorithm::Ndca { shuffled: true }),
+        (
+            "pndca",
+            Algorithm::Pndca {
+                partition: PartitionSpec::Greedy,
+                selection: ChunkSelection::RandomOrder,
+            },
+        ),
+        (
+            "lpndca",
+            Algorithm::LPndca {
+                partition: PartitionSpec::Greedy,
+                l: 1,
+                visit: ChunkVisit::SizeWeighted,
+            },
+        ),
+    ]
+}
+
+/// Run the exact tier and return one [`Check`] per gate.
+pub fn exact_checks(cfg: &ExactConfig) -> Vec<Check> {
+    let (model, dims, t_end) = setup();
+    let me = integrate_me(&model, dims, t_end);
+    let probs = me_category_probs(&me, dims);
+    let mut checks = Vec::new();
+
+    // Gate 0: the integrator itself conserves probability.
+    let total = me.total_probability();
+    checks.push(Check::new(
+        TIER,
+        "me-total-probability",
+        (total - 1.0).abs() < 1e-6,
+        format!("sum P = {total:.12} after RK4 to t = {t_end}"),
+    ));
+
+    // Gate 1: DMC final-state distributions match the ME (chi-square).
+    for (offset, (name, algorithm)) in dmc_algorithms().into_iter().enumerate() {
+        let observed = observed_categories(&model, dims, &algorithm, t_end, cfg, offset as u64);
+        let (expected, counts) = merged_counts(&probs, &observed, cfg.replicas);
+        let chi2 = chi_square_counts(&counts, &expected);
+        checks.push(
+            Check::new(
+                TIER,
+                format!("distribution-{name}"),
+                chi2.accepts(cfg.alpha),
+                format!(
+                    "chi2 = {:.2} (df {}), p = {:.4} over {} categories, {} replicas",
+                    chi2.statistic,
+                    chi2.df,
+                    chi2.p_value,
+                    counts.len(),
+                    cfg.replicas
+                ),
+            )
+            .metric("chi2", chi2.statistic)
+            .metric("p_value", chi2.p_value),
+        );
+    }
+
+    // Gate 2: power control — the same test must reject the ME
+    // distribution of an earlier time (t/3), or the acceptances above
+    // mean nothing.
+    {
+        let wrong = integrate_me(&model, dims, t_end / 3.0);
+        let wrong_probs = me_category_probs(&wrong, dims);
+        let observed = observed_categories(&model, dims, &Algorithm::Rsm, t_end, cfg, 0);
+        let (expected, counts) = merged_counts(&wrong_probs, &observed, cfg.replicas);
+        let chi2 = chi_square_counts(&counts, &expected);
+        checks.push(
+            Check::new(
+                TIER,
+                "distribution-power-control",
+                !chi2.accepts(cfg.alpha),
+                format!(
+                    "RSM at t = {t_end} vs ME at t = {:.2}: chi2 = {:.2}, p = {:.4} (must reject)",
+                    t_end / 3.0,
+                    chi2.statistic,
+                    chi2.p_value
+                ),
+            )
+            .metric("chi2", chi2.statistic)
+            .metric("p_value", chi2.p_value),
+        );
+    }
+
+    // Gate 3: CA variant mean coverages sit on the ME expectation.
+    let sites = dims.sites() as f64;
+    for (offset, (name, algorithm)) in ca_algorithms().into_iter().enumerate() {
+        let lattices = run_replicas(cfg.replicas, cfg.workers, |i| {
+            final_lattice(
+                &model,
+                dims,
+                &algorithm,
+                t_end,
+                cfg.base_seed + (10 + offset as u64) * 1_000_000 + i,
+            )
+        });
+        let mut pass = true;
+        let mut details = Vec::new();
+        let mut check = Check::new(TIER, format!("coverage-{name}"), true, String::new());
+        for (species, label) in [(1u8, "CO"), (2u8, "O")] {
+            let exact = me.expected_coverage(species);
+            let samples: Vec<f64> = lattices
+                .iter()
+                .map(|l| l.count(species) as f64 / sites)
+                .collect();
+            let n = samples.len() as f64;
+            let mean = samples.iter().sum::<f64>() / n;
+            let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let se = (var / n).sqrt().max(1e-12);
+            let z = (mean - exact) / se;
+            // 4 sigma two-sided: false-alarm ~6e-5 per gate, while a
+            // genuine kinetics bug (coverage off by ≳0.02) shows up at
+            // z ≳ 15 with this replica budget.
+            pass &= z.abs() < 4.0;
+            details.push(format!(
+                "θ_{label} = {mean:.4} vs exact {exact:.4} (z = {z:+.2})"
+            ));
+            check = check.metric(format!("z_{label}"), z);
+        }
+        check.pass = pass;
+        check.detail = details.join("; ");
+        checks.push(check);
+    }
+
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_probabilities_sum_to_one() {
+        let (model, dims, _) = setup();
+        let me = integrate_me(&model, dims, 0.2);
+        let probs = me_category_probs(&me, dims);
+        let total: f64 = probs.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Impossible occupations never appear: n_CO + n_O <= 4.
+        assert!(probs.keys().all(|&(c, o)| c + o <= 4));
+    }
+
+    #[test]
+    fn merging_respects_totals_and_minimum_expectation() {
+        let (model, dims, t_end) = setup();
+        let me = integrate_me(&model, dims, t_end);
+        let probs = me_category_probs(&me, dims);
+        let cfg = ExactConfig::smoke(5, 2);
+        let observed = observed_categories(&model, dims, &Algorithm::Rsm, t_end, &cfg, 0);
+        let (expected, counts) = merged_counts(&probs, &observed, cfg.replicas);
+        assert!(expected.len() >= 2, "need at least two categories");
+        assert_eq!(counts.iter().sum::<u64>(), cfg.replicas);
+        let total_expected: f64 = expected.iter().sum();
+        assert!((total_expected - cfg.replicas as f64).abs() < 1e-6);
+        // All but the merged tail meet the rule of five.
+        for &e in &expected[..expected.len() - 1] {
+            assert!(e >= 5.0);
+        }
+    }
+
+    #[test]
+    fn rsm_distribution_check_passes_on_a_small_budget() {
+        let cfg = ExactConfig {
+            replicas: 120,
+            workers: 2,
+            base_seed: 42,
+            alpha: 0.01,
+        };
+        let checks = exact_checks(&cfg);
+        let rsm = checks
+            .iter()
+            .find(|c| c.name == "distribution-rsm")
+            .expect("rsm check present");
+        assert!(rsm.pass, "{}", rsm.detail);
+        let power = checks
+            .iter()
+            .find(|c| c.name == "distribution-power-control")
+            .expect("power control present");
+        assert!(power.pass, "{}", power.detail);
+    }
+}

@@ -1,0 +1,242 @@
+//! ZGB phase-boundary reproduction (Fig 2 of Ziff, Gulari & Barshad).
+//!
+//! The ZGB model has two kinetic phase transitions in the CO gas-phase
+//! fraction `y`: a continuous O-poisoning transition at `y₁ ≈ 0.3874`
+//! and a discontinuous CO-poisoning transition at `y₂ ≈ 0.5256`. This
+//! module locates both by bisection on a *classifier*: run the DMC
+//! reference (tree-indexed VSSM — event-driven, so the near-infinite
+//! reaction rate costs nothing) to a horizon and label the surface
+//! O-poisoned, CO-poisoned or reactive by its final coverages, with a
+//! majority vote over seeds to tame the stochastic boundary.
+//!
+//! Finite lattices and horizons blur both transitions (metastability
+//! near `y₂` especially), so the gate tolerance is an input calibrated
+//! per lattice size, not a hard-coded universal constant.
+
+use crate::verdict::Check;
+use psr_core::{Algorithm, Simulator};
+use psr_lattice::Dims;
+use psr_model::library::zgb::zgb_ziff;
+
+const TIER: &str = "kink";
+
+/// Published kink locations (Ziff, Gulari & Barshad 1986).
+pub const Y1_PUBLISHED: f64 = 0.3874;
+/// CO-poisoning kink.
+pub const Y2_PUBLISHED: f64 = 0.5256;
+
+/// Phase labels of a classified run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Surface ended (almost) all oxygen.
+    OPoisoned,
+    /// Surface stayed catalytically active.
+    Reactive,
+    /// Surface ended (almost) all CO.
+    CoPoisoned,
+}
+
+/// Budget and geometry of the kink search.
+#[derive(Clone, Copy, Debug)]
+pub struct KinkConfig {
+    /// Lattice side.
+    pub side: u32,
+    /// Horizon per classification run.
+    pub t_end: f64,
+    /// CO+O reaction rate (large ≈ the instantaneous ZGB reaction).
+    pub k_react: f64,
+    /// Seeds per majority vote.
+    pub votes: u64,
+    /// Bisection iterations per kink.
+    pub iterations: u32,
+    /// Gate: |found − published| must be below this.
+    pub tolerance: f64,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl KinkConfig {
+    /// Full-tier search: resolves both kinks to ±0.01 of the published
+    /// values on a 40×40 lattice.
+    pub fn full(base_seed: u64) -> Self {
+        KinkConfig {
+            side: 40,
+            t_end: 300.0,
+            k_react: 100.0,
+            votes: 5,
+            iterations: 12,
+            tolerance: 0.01,
+            base_seed,
+        }
+    }
+
+    /// Smoke-tier search: coarse brackets only, loose gate.
+    pub fn smoke(base_seed: u64) -> Self {
+        KinkConfig {
+            side: 20,
+            t_end: 80.0,
+            k_react: 50.0,
+            votes: 3,
+            iterations: 6,
+            tolerance: 0.04,
+            base_seed,
+        }
+    }
+}
+
+/// Classify one run at CO fraction `y`.
+pub fn classify(cfg: &KinkConfig, y: f64, seed: u64) -> Phase {
+    let out = Simulator::new(zgb_ziff(y, cfg.k_react))
+        .dims(Dims::square(cfg.side))
+        .seed(seed)
+        .algorithm(Algorithm::VssmTree)
+        .sample_dt(cfg.t_end)
+        .run_until(cfg.t_end);
+    let cov = &out.state().coverage;
+    if cov.fraction(2) >= 0.95 {
+        Phase::OPoisoned
+    } else if cov.fraction(1) >= 0.95 {
+        Phase::CoPoisoned
+    } else {
+        Phase::Reactive
+    }
+}
+
+/// Majority phase over `cfg.votes` seeds (ties resolved toward the
+/// poisoned label, which only shifts the boundary by less than one
+/// bisection step).
+pub fn majority(cfg: &KinkConfig, y: f64) -> Phase {
+    let mut counts = [0u64; 3];
+    for v in 0..cfg.votes {
+        let phase = classify(cfg, y, cfg.base_seed + v * 104_729 + (y * 1e6) as u64);
+        counts[match phase {
+            Phase::OPoisoned => 0,
+            Phase::Reactive => 1,
+            Phase::CoPoisoned => 2,
+        }] += 1;
+    }
+    if counts[1] > counts[0] && counts[1] > counts[2] {
+        Phase::Reactive
+    } else if counts[0] >= counts[2] {
+        Phase::OPoisoned
+    } else {
+        Phase::CoPoisoned
+    }
+}
+
+/// Bisect a phase boundary inside `[lo, hi]`: `lo` must classify as
+/// `lo_phase` and `hi` as `hi_phase`, or an error names the failing
+/// endpoint (the physics is wrong, not the search).
+fn bisect(
+    cfg: &KinkConfig,
+    mut lo: f64,
+    mut hi: f64,
+    lo_phase: Phase,
+    hi_phase: Phase,
+) -> Result<f64, String> {
+    let at_lo = majority(cfg, lo);
+    if at_lo != lo_phase {
+        return Err(format!(
+            "expected {lo_phase:?} at y = {lo}, found {at_lo:?}"
+        ));
+    }
+    let at_hi = majority(cfg, hi);
+    if at_hi != hi_phase {
+        return Err(format!(
+            "expected {hi_phase:?} at y = {hi}, found {at_hi:?}"
+        ));
+    }
+    for _ in 0..cfg.iterations {
+        let mid = 0.5 * (lo + hi);
+        if majority(cfg, mid) == lo_phase {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Locate both kinks. `y₁` is bracketed by `[0.33, 0.45]`
+/// (O-poisoned → reactive), `y₂` by `[0.48, 0.60]`
+/// (reactive → CO-poisoned).
+pub fn find_kinks(cfg: &KinkConfig) -> Result<(f64, f64), String> {
+    let y1 = bisect(cfg, 0.33, 0.45, Phase::OPoisoned, Phase::Reactive)?;
+    let y2 = bisect(cfg, 0.48, 0.60, Phase::Reactive, Phase::CoPoisoned)?;
+    Ok((y1, y2))
+}
+
+/// Run the kink tier and return its checks.
+pub fn kink_checks(cfg: &KinkConfig) -> Vec<Check> {
+    match find_kinks(cfg) {
+        Ok((y1, y2)) => vec![
+            Check::new(
+                TIER,
+                "zgb-y1",
+                (y1 - Y1_PUBLISHED).abs() <= cfg.tolerance,
+                format!(
+                    "found y1 = {y1:.4}, published {Y1_PUBLISHED} (tolerance ±{})",
+                    cfg.tolerance
+                ),
+            )
+            .metric("y1", y1)
+            .metric("error", y1 - Y1_PUBLISHED),
+            Check::new(
+                TIER,
+                "zgb-y2",
+                (y2 - Y2_PUBLISHED).abs() <= cfg.tolerance,
+                format!(
+                    "found y2 = {y2:.4}, published {Y2_PUBLISHED} (tolerance ±{})",
+                    cfg.tolerance
+                ),
+            )
+            .metric("y2", y2)
+            .metric("error", y2 - Y2_PUBLISHED),
+        ],
+        Err(e) => vec![Check::new(
+            TIER,
+            "zgb-kink-brackets",
+            false,
+            format!("bisection bracket failed: {e}"),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> KinkConfig {
+        KinkConfig {
+            side: 12,
+            t_end: 30.0,
+            k_react: 50.0,
+            votes: 1,
+            iterations: 4,
+            tolerance: 0.1,
+            base_seed: 7,
+        }
+    }
+
+    #[test]
+    fn extreme_compositions_poison_as_expected() {
+        let cfg = tiny();
+        // y = 0.05: oxygen floods the surface. y = 0.95: CO does.
+        assert_eq!(classify(&cfg, 0.05, 1), Phase::OPoisoned);
+        assert_eq!(classify(&cfg, 0.95, 1), Phase::CoPoisoned);
+    }
+
+    #[test]
+    fn mid_window_composition_stays_reactive() {
+        let cfg = tiny();
+        assert_eq!(majority(&cfg, 0.45), Phase::Reactive);
+    }
+
+    #[test]
+    fn bisect_rejects_a_bad_bracket() {
+        let cfg = tiny();
+        let err = bisect(&cfg, 0.45, 0.05, Phase::OPoisoned, Phase::Reactive)
+            .expect_err("0.45 is reactive, not O-poisoned");
+        assert!(err.contains("expected OPoisoned"));
+    }
+}

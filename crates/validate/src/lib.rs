@@ -1,0 +1,45 @@
+//! Statistical validation harness: paper-figure accuracy gates.
+//!
+//! The algorithm crates each assert *local* invariants (caches match
+//! scans, trajectories are seed-reproducible, compiled kernels agree
+//! with naive matching). What none of them pin down is the claim the
+//! paper actually makes: that every CA variant samples the *same
+//! physics* as the DMC reference — the same coverages, the same CO₂
+//! turnover, the same oscillations, the same Master-Equation
+//! distribution. This crate is that gate, organised as four tiers:
+//!
+//! - [`exact`] — small-lattice cross-checks against the exactly
+//!   integrated Master Equation ([`psr_dmc::master_equation`]): the
+//!   final-state distribution of RSM/VSSM/FRM replicas must pass a
+//!   chi-square test against the ME, and every CA variant's mean
+//!   coverage must sit on the ME expectation;
+//! - [`segers`] — the paper's §6 correctness criteria applied to every
+//!   algorithm: exponential waiting times (KS) and rate-proportional
+//!   type frequencies (chi-square), plus a power control proving the
+//!   tests can reject a wrong rate;
+//! - [`ensemble`]/[`observables`] — replica ensembles of the ZGB and
+//!   Kuzovkov models on production-sized lattices, with [`bootstrap`]
+//!   confidence intervals, sequential stopping, and TOST equivalence
+//!   verdicts of each CA variant against the DMC reference;
+//! - [`kink`] — reproduction of the ZGB phase boundaries: bisection
+//!   locates the O-poisoning kink `y₁ ≈ 0.3874` and the CO-poisoning
+//!   kink `y₂ ≈ 0.5256` (Ziff, Gulari & Barshad 1986).
+//!
+//! Every check lands in a [`verdict::Report`] which renders both a
+//! terminal summary and the machine-readable `VALIDATE.json` consumed
+//! by CI (`scripts/validate.sh`).
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod ensemble;
+pub mod exact;
+pub mod kink;
+pub mod observables;
+pub mod segers;
+pub mod statistical;
+pub mod verdict;
+
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use ensemble::{run_sequential, EnsembleOutcome, ObservableSummary, SequentialConfig};
+pub use verdict::{Check, Report};

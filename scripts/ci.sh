@@ -42,4 +42,7 @@ cargo test -q --release -p psr-dmc --test kernel_identity
 echo "==> bench_kernel --smoke (compiled vs naive, small lattice)"
 target/release/bench_kernel --smoke
 
+echo "==> validate --smoke (statistical accuracy gates, small budgets)"
+scripts/validate.sh --smoke
+
 echo "CI green."

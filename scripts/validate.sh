@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Statistical validation harness: paper-figure accuracy gates.
+#
+#   scripts/validate.sh            full gate, writes VALIDATE.json (~1 min)
+#   scripts/validate.sh --smoke    CI tier, writes VALIDATE_smoke.json (~2 s)
+#
+# All arguments are forwarded to psr-validate (see `psr-validate` docs:
+# --tier exact|segers|statistical|kink, --out, --seed, --workers,
+# --quiet). Exit code 2 means at least one accuracy check failed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p psr-validate
+exec target/release/psr-validate "$@"
