@@ -1,0 +1,272 @@
+//! Batch-vs-single bit-identity: slot `r` of a batch seeded `(seed, r)`
+//! must match a single-replica run with the same seed exactly — lattice,
+//! clock bits, RNG words, trial/executed counts — for every supported
+//! algorithm, and independently of batch width.
+
+use proptest::prelude::*;
+use psr_batch::engine::NoBatchHook;
+use psr_batch::{BatchAlgorithm, BatchSim};
+use psr_ca::ndca::SweepOrder;
+use psr_ca::pndca::ChunkSelection;
+use psr_ca::{five_coloring, Ndca, Pndca};
+use psr_dmc::events::NoHook;
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams};
+use psr_model::library::zgb::zgb_ziff;
+use psr_model::Model;
+use psr_rng::rng_from_seed;
+
+/// Everything a trajectory comparison needs, bit-exact.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    cells: Vec<u8>,
+    time_bits: u64,
+    rng_words: [u64; 2],
+    trials: u64,
+    executed: u64,
+}
+
+fn single_snapshot(
+    model: &Model,
+    dims: Dims,
+    algorithm: &BatchAlgorithm,
+    seed: u64,
+    steps: u64,
+) -> Snapshot {
+    let mut state = SimState::new(Lattice::filled(dims, 0), model);
+    let mut rng = rng_from_seed(seed);
+    let stats = match algorithm {
+        BatchAlgorithm::Ndca { shuffled } => {
+            let order = if *shuffled {
+                SweepOrder::Shuffled
+            } else {
+                SweepOrder::RowMajor
+            };
+            Ndca::new(model).with_order(order).run_steps(
+                &mut state,
+                &mut rng,
+                steps,
+                None,
+                &mut NoHook,
+            )
+        }
+        BatchAlgorithm::Pndca {
+            partition,
+            selection,
+        } => Pndca::new(model, partition)
+            .with_selection(*selection)
+            .run_steps(&mut state, &mut rng, steps, None, &mut NoHook),
+    };
+    Snapshot {
+        cells: state.lattice.cells().to_vec(),
+        time_bits: state.time.to_bits(),
+        rng_words: rng.state(),
+        trials: stats.trials,
+        executed: stats.executed,
+    }
+}
+
+fn batch_snapshot(sim: &BatchSim, slot: usize) -> Snapshot {
+    Snapshot {
+        cells: sim.lattice_of(slot).cells().to_vec(),
+        time_bits: sim.time(slot).to_bits(),
+        rng_words: sim.rng_words(slot),
+        trials: sim.trials(slot),
+        executed: sim.executed(slot),
+    }
+}
+
+fn assert_batch_matches_single(
+    model: &Model,
+    dims: Dims,
+    algorithm: BatchAlgorithm,
+    seeds: &[u64],
+    steps: u64,
+) {
+    let mut sim = BatchSim::new(model, dims, algorithm.clone(), seeds);
+    sim.run_steps(steps, &mut NoBatchHook);
+    for (slot, &seed) in seeds.iter().enumerate() {
+        let want = single_snapshot(model, dims, &algorithm, seed, steps);
+        let got = batch_snapshot(&sim, slot);
+        assert_eq!(
+            got, want,
+            "slot {slot} (seed {seed}) diverged from the single-replica run"
+        );
+    }
+}
+
+#[test]
+fn ndca_rowmajor_zgb_slots_match_single() {
+    let model = zgb_ziff(0.5, 10.0);
+    let seeds: Vec<u64> = (100..112).collect(); // 12 replicas pad to 16 slots
+    assert_batch_matches_single(
+        &model,
+        Dims::square(10),
+        BatchAlgorithm::Ndca { shuffled: false },
+        &seeds,
+        300,
+    );
+}
+
+#[test]
+fn ndca_shuffled_zgb_slots_match_single() {
+    let model = zgb_ziff(0.45, 5.0);
+    let seeds: Vec<u64> = (7..16).collect();
+    assert_batch_matches_single(
+        &model,
+        Dims::square(10),
+        BatchAlgorithm::Ndca { shuffled: true },
+        &seeds,
+        200,
+    );
+}
+
+#[test]
+fn pndca_every_selection_matches_single() {
+    let model = zgb_ziff(0.52, 10.0);
+    let dims = Dims::square(10);
+    let partition = five_coloring(dims);
+    for selection in [
+        ChunkSelection::InOrder,
+        ChunkSelection::RandomOrder,
+        ChunkSelection::RandomWithReplacement,
+        ChunkSelection::WeightedByRates,
+    ] {
+        let seeds: Vec<u64> = (40..46).collect();
+        assert_batch_matches_single(
+            &model,
+            dims,
+            BatchAlgorithm::Pndca {
+                partition: partition.clone(),
+                selection,
+            },
+            &seeds,
+            150,
+        );
+    }
+}
+
+#[test]
+fn kuzovkov_ndca_and_weighted_pndca_match_single() {
+    let model = kuzovkov_model(KuzovkovParams::default());
+    let dims = Dims::square(10);
+    let seeds: Vec<u64> = (900..905).collect();
+    assert_batch_matches_single(
+        &model,
+        dims,
+        BatchAlgorithm::Ndca { shuffled: false },
+        &seeds,
+        100,
+    );
+    assert_batch_matches_single(
+        &model,
+        dims,
+        BatchAlgorithm::Pndca {
+            partition: five_coloring(dims),
+            selection: ChunkSelection::WeightedByRates,
+        },
+        &seeds,
+        80,
+    );
+}
+
+/// Batch width must not change any slot's trajectory: the same seed gives
+/// the same snapshot whether it shares the batch with 0, 7, or 31 others.
+#[test]
+fn batch_width_does_not_change_trajectories() {
+    let model = zgb_ziff(0.5, 10.0);
+    let dims = Dims::square(10);
+    let algorithm = BatchAlgorithm::Ndca { shuffled: false };
+    let steps = 250;
+    let seed = 1234u64;
+    let mut reference = None;
+    for width in [1usize, 5, 8, 17, 32] {
+        // Place the probed seed at a different slot each time.
+        let at = (width - 1) / 2;
+        let seeds: Vec<u64> = (0..width as u64)
+            .map(|i| if i == at as u64 { seed } else { 5000 + i })
+            .collect();
+        let mut sim = BatchSim::new(&model, dims, algorithm.clone(), &seeds);
+        sim.run_steps(steps, &mut NoBatchHook);
+        let snap = batch_snapshot(&sim, at);
+        match &reference {
+            None => reference = Some(snap),
+            Some(want) => assert_eq!(
+                &snap, want,
+                "width {width} changed the trajectory of seed {seed}"
+            ),
+        }
+    }
+}
+
+/// The AVX-512 sweep must be bit-identical to the scalar lockstep path,
+/// including frozen-lane handling.
+#[test]
+fn simd_sweep_matches_scalar_sweep() {
+    let model = zgb_ziff(0.5, 10.0);
+    let dims = Dims::square(20);
+    let seeds: Vec<u64> = (0..16).collect();
+    let algorithm = BatchAlgorithm::Ndca { shuffled: false };
+    let mut simd = BatchSim::new(&model, dims, algorithm.clone(), &seeds);
+    if !simd.simd_active() {
+        eprintln!("avx512 not available; simd arm not exercised");
+        return;
+    }
+    let mut scalar = BatchSim::new(&model, dims, algorithm, &seeds);
+    scalar.set_simd(false);
+    assert!(!scalar.simd_active());
+    for sim in [&mut simd, &mut scalar] {
+        sim.run_steps(120, &mut NoBatchHook);
+        // Freeze a ragged subset mid-run: frozen lanes must hold their
+        // clock and RNG words bit-still through masked updates.
+        for slot in [0usize, 3, 8, 15] {
+            sim.set_active(slot, false);
+        }
+        sim.run_steps(80, &mut NoBatchHook);
+        for slot in [0usize, 3, 8, 15] {
+            sim.set_active(slot, true);
+        }
+        sim.run_steps(40, &mut NoBatchHook);
+    }
+    for slot in 0..seeds.len() {
+        assert_eq!(
+            batch_snapshot(&simd, slot),
+            batch_snapshot(&scalar, slot),
+            "slot {slot} diverged between SIMD and scalar sweeps"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // ≥1000-step identity over (model, side, batch width, replica index).
+    #[test]
+    fn slot_matches_single_replica(
+        kuzovkov in proptest::bool::ANY,
+        side_sel in 0u32..2,
+        width in 1usize..10,
+        slot_frac in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+        steps in 1000u64..1300,
+    ) {
+        let model = if kuzovkov {
+            kuzovkov_model(KuzovkovParams::default())
+        } else {
+            zgb_ziff(0.5, 10.0)
+        };
+        // Kuzovkov's 52 reaction types make debug-mode trials ~10x dearer;
+        // the step floor still holds.
+        let steps = if kuzovkov { steps / 4 + 1000 } else { steps };
+        let side = [5u32, 10][side_sel as usize];
+        let dims = Dims::square(side);
+        let slot = ((width as f64 * slot_frac) as usize).min(width - 1);
+        let seeds: Vec<u64> = (0..width as u64).map(|i| seed + i).collect();
+        let algorithm = BatchAlgorithm::Ndca { shuffled: false };
+        let mut sim = BatchSim::new(&model, dims, algorithm.clone(), &seeds);
+        sim.run_steps(steps, &mut NoBatchHook);
+        let want = single_snapshot(&model, dims, &algorithm, seeds[slot], steps);
+        prop_assert_eq!(batch_snapshot(&sim, slot), want);
+    }
+}

@@ -1,0 +1,231 @@
+//! Benchmark: batched lockstep replicas vs looping the single-replica
+//! kernel.
+//!
+//! The validate statistical tier estimates ZGB observables from replica
+//! ensembles; before `psr-batch`, each replica looped the compiled
+//! single-replica NDCA kernel through a session with a `RateMeter` hook
+//! and per-block coverage sampling ([`zgb_replica`]). The batch engine
+//! steps 32–64 replicas of that exact job in SoA lockstep instead
+//! ([`zgb_replicas_batch`]), sharing one compiled model and running the
+//! per-trial chain eight replicas per instruction stream on AVX-512.
+//!
+//! Two things are measured:
+//!
+//! * **Bit-identity** — the batched runner's per-replica observables are
+//!   compared `==` against `zgb_replica` for every slot (same seeds).
+//!   Downstream this is what lets validate route its ensembles through
+//!   the batch engine without changing a single verdict.
+//! * **Replica throughput** — replicas/second of the serial loop vs the
+//!   batch engine at widths 32 and 64, measured interleaved best-of-N
+//!   like `bench_kernel` (alternating short windows, best window kept),
+//!   because this host's wall clock is shared and noisy.
+//!
+//! Writes `BENCH_replica.json` at the repo root (`--smoke` writes
+//! `BENCH_replica_smoke.json` on the smoke-sized job instead).
+//!
+//! Usage: `bench_replica [min_sample_secs]` or `bench_replica --smoke`.
+
+use psr_batch::{BatchAlgorithm, BatchSim};
+use psr_core::Algorithm;
+use psr_lattice::Dims;
+use psr_model::library::zgb::zgb_ziff;
+use psr_validate::observables::{zgb_replica, zgb_replicas_batch, ZgbJob};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One timed arm: a closure running `k` quanta of `quantum` replicas
+/// each. The serial arm's quantum is one replica; a batch arm's quantum
+/// is its whole width (the engine always steps the full batch).
+struct Timed<'a> {
+    run: Box<dyn FnMut(u64) + 'a>,
+    quantum: u64,
+    best: f64,
+    replicas: u64,
+    elapsed: f64,
+}
+
+impl<'a> Timed<'a> {
+    fn new(quantum: u64, mut run: Box<dyn FnMut(u64) + 'a>) -> Self {
+        // Warm-up quantum absorbs one-off table builds and page faults.
+        run(1);
+        Timed {
+            run,
+            quantum,
+            best: 0.0,
+            replicas: 0,
+            elapsed: 0.0,
+        }
+    }
+
+    fn window(&mut self, quanta: u64) {
+        let start = Instant::now();
+        (self.run)(quanta);
+        let dt = start.elapsed().as_secs_f64();
+        let reps = quanta * self.quantum;
+        self.best = self.best.max(reps as f64 / dt);
+        self.replicas += reps;
+        self.elapsed += dt;
+    }
+}
+
+/// Replicas/sec for every arm: alternate short windows between the arms
+/// until each has `min_secs` of wall clock, report each arm's best
+/// window. Interleaving makes slow drifts hit all arms symmetrically;
+/// best-of-N discards windows that caught an interference spike.
+fn replicas_per_sec(arms: &mut [Timed<'_>], min_secs: f64) -> Vec<(f64, u64)> {
+    let mut window_quanta = vec![1u64; arms.len()];
+    for (t, w) in arms.iter_mut().zip(&mut window_quanta) {
+        let probe = Instant::now();
+        t.window(1);
+        let qps = 1.0 / probe.elapsed().as_secs_f64().max(1e-9);
+        // ~12 windows per arm over the requested sample time.
+        *w = ((qps * min_secs / 12.0).ceil() as u64).max(1);
+    }
+    while arms.iter().any(|t| t.elapsed < min_secs) {
+        for (t, &w) in arms.iter_mut().zip(&window_quanta) {
+            t.window(w);
+        }
+    }
+    arms.iter().map(|t| (t.best, t.replicas)).collect()
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let min_secs: f64 = if smoke {
+        0.3
+    } else {
+        arg.map(|s| s.parse().expect("min_sample_secs must be a number"))
+            .unwrap_or(3.0)
+    };
+    let job = if smoke {
+        ZgbJob::smoke()
+    } else {
+        ZgbJob::full()
+    };
+    let algorithm = Algorithm::Ndca { shuffled: false };
+    let widths: [u64; 2] = [32, 64];
+    let base_seed = 7000u64;
+
+    let simd = {
+        let model = zgb_ziff(job.y, job.k_react);
+        let seeds: Vec<u64> = (0..64).collect();
+        BatchSim::new(
+            &model,
+            Dims::square(job.side),
+            BatchAlgorithm::Ndca { shuffled: false },
+            &seeds,
+        )
+        .simd_active()
+    };
+
+    println!("Batched lockstep replicas vs looping the single-replica kernel");
+    println!(
+        "ZGB y={}, k={}, L={}, t_end={}, min sample {min_secs} s, simd={simd}",
+        job.y, job.k_react, job.side, job.t_end
+    );
+    println!("baseline = serial zgb_replica loop (session + RateMeter + sampling)\n");
+
+    // Bit-identity first: every slot of every width must reproduce the
+    // single-replica observables exactly. This doubles as warm-up.
+    let mut identical = Vec::new();
+    for &width in &widths {
+        let rows = zgb_replicas_batch(&job, &algorithm, width, base_seed)
+            .expect("NDCA is lockstep-capable");
+        let ok = rows.iter().enumerate().all(|(i, row)| {
+            let single = zgb_replica(&job, &algorithm, base_seed + i as u64);
+            row == &single
+        });
+        identical.push(ok);
+        assert!(ok, "batch width {width} diverged from single-replica runs");
+    }
+
+    // Interleaved timing: serial loop vs each batch width. Seeds advance
+    // per window so no arm replays a cached trajectory, and all arms
+    // draw from the same seed range.
+    let mut serial_seed = base_seed;
+    let mut batch_seeds: Vec<u64> = widths.iter().map(|_| base_seed).collect();
+    let (b32, rest) = batch_seeds.split_at_mut(1);
+    let mut arms = vec![
+        Timed::new(
+            1,
+            Box::new(|quanta| {
+                for _ in 0..quanta {
+                    std::hint::black_box(zgb_replica(&job, &algorithm, serial_seed));
+                    serial_seed += 1;
+                }
+            }),
+        ),
+        Timed::new(
+            widths[0],
+            Box::new(|quanta| {
+                for _ in 0..quanta {
+                    std::hint::black_box(
+                        zgb_replicas_batch(&job, &algorithm, widths[0], b32[0]).unwrap(),
+                    );
+                    b32[0] += widths[0];
+                }
+            }),
+        ),
+        Timed::new(
+            widths[1],
+            Box::new(|quanta| {
+                for _ in 0..quanta {
+                    std::hint::black_box(
+                        zgb_replicas_batch(&job, &algorithm, widths[1], rest[0]).unwrap(),
+                    );
+                    rest[0] += widths[1];
+                }
+            }),
+        ),
+    ];
+    let timings = replicas_per_sec(&mut arms, min_secs);
+    let (serial_rps, serial_timed) = timings[0];
+
+    println!("  arm        replicas/s   timed   speedup   identical");
+    println!("  serial    {serial_rps:>11.2}   {serial_timed:>5}");
+    let mut entries = Vec::new();
+    for (i, &width) in widths.iter().enumerate() {
+        let (batch_rps, batch_timed) = timings[1 + i];
+        let speedup = batch_rps / serial_rps;
+        println!(
+            "  batch x{width:<3}{batch_rps:>11.2}   {batch_timed:>5}   {speedup:>6.2}x   {}",
+            identical[i]
+        );
+        entries.push(format!(
+            "    {{\"replicas\": {width}, \"batch_replicas_per_sec\": {batch_rps:.3}, \
+             \"batch_replicas_timed\": {batch_timed}, \"speedup\": {speedup:.3}, \
+             \"trajectories_identical\": {}}}",
+            identical[i]
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"batched lockstep replicas vs looping the single-replica kernel \
+         (ZGB NDCA)\",\n  \
+         \"baseline\": \"serial zgb_replica loop (session + RateMeter + coverage sampling)\",\n  \
+         \"model_id\": \"zgb_ziff({}, {})\",\n  \"side\": {},\n  \"t_end\": {},\n  \
+         \"smoke\": {smoke},\n  \"min_sample_secs\": {min_secs},\n  \"simd\": {simd},\n  \
+         \"serial_replicas_per_sec\": {serial_rps:.3},\n  \
+         \"serial_replicas_timed\": {serial_timed},\n  \"results\": [\n{}\n  ]\n}}\n",
+        job.y,
+        job.k_react,
+        job.side,
+        job.t_end,
+        entries.join(",\n")
+    );
+    // Smoke mode gets its own file so CI never clobbers the committed
+    // full-size benchmark record.
+    let file = if smoke {
+        "BENCH_replica_smoke.json"
+    } else {
+        "BENCH_replica.json"
+    };
+    let path = repo_root().join(file);
+    std::fs::write(&path, json).expect("cannot write BENCH_replica.json");
+    println!("\nwrote {}", path.display());
+}

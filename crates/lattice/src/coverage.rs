@@ -63,6 +63,14 @@ impl Coverage {
             .collect()
     }
 
+    /// All fractions written into `out` (cleared first), reusing its
+    /// capacity — for sampling loops that would otherwise allocate a
+    /// fresh `Vec` per observation.
+    pub fn fractions_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.counts.iter().map(|&c| c as f64 / self.total as f64));
+    }
+
     /// Total number of sites.
     pub fn total(&self) -> usize {
         self.total
@@ -130,6 +138,15 @@ mod tests {
         let c = Coverage::from_lattice(&l, 3);
         let sum: f64 = c.fractions().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_into_reuses_the_buffer() {
+        let l = Lattice::from_cells(Dims::new(5, 1), vec![0, 1, 2, 1, 0]);
+        let c = Coverage::from_lattice(&l, 3);
+        let mut buf = vec![9.0; 8]; // stale contents and excess length
+        c.fractions_into(&mut buf);
+        assert_eq!(buf, c.fractions());
     }
 
     #[test]

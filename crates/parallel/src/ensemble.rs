@@ -9,8 +9,31 @@
 //! coverage series pointwise.
 
 use rayon::prelude::*;
+use rayon::ThreadPool;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use psr_stats::{Summary, TimeSeries};
+
+/// Worker pools cached per thread count. `run_replicas` is called once
+/// per sequential-sampling round — dozens of times per validation tier —
+/// and building a fresh `ThreadPool` spawns and later joins that many OS
+/// threads each call. The pools are tiny (threads, no queues to speak of
+/// between calls), so keeping one per distinct `threads` value for the
+/// process lifetime trades a few idle threads for zero rebuild cost.
+fn pool_for(threads: usize) -> Arc<ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().expect("pool cache poisoned");
+    Arc::clone(map.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build thread pool"),
+        )
+    }))
+}
 
 /// Mean ± standard error of an observable across replicas, per time point.
 #[derive(Clone, Debug)]
@@ -83,11 +106,7 @@ where
 {
     assert!(replicas > 0, "need at least one replica");
     assert!(threads > 0, "need at least one thread");
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build thread pool");
-    pool.install(|| (0..replicas).into_par_iter().map(&run).collect())
+    pool_for(threads).install(|| (0..replicas).into_par_iter().map(&run).collect())
 }
 
 /// Run `replicas` independent simulations concurrently on a pool of
@@ -170,6 +189,13 @@ mod tests {
             se_many < se_few,
             "SE should fall with replicas: {se_few} vs {se_many}"
         );
+    }
+
+    #[test]
+    fn pools_are_cached_per_thread_count() {
+        assert!(Arc::ptr_eq(&pool_for(2), &pool_for(2)));
+        assert!(!Arc::ptr_eq(&pool_for(2), &pool_for(3)));
+        assert_eq!(pool_for(3).current_num_threads(), 3);
     }
 
     #[test]

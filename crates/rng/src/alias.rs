@@ -110,6 +110,16 @@ impl AliasTable {
         self.total
     }
 
+    /// The packed `alias << 32 | threshold` word per bucket.
+    ///
+    /// Exposed for samplers that replicate [`sample`](Self::sample) outside
+    /// this struct (the batched lockstep engine keeps the table in a vector
+    /// register): bucket `i` accepts iff the high 32 draw bits are below
+    /// `entries()[i] & 0xFFFF_FFFF`, else yields `entries()[i] >> 32`.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
     /// Draw a category index with probability proportional to its weight.
     ///
     /// One 64-bit draw per sample: the low 32 bits pick the bucket (Lemire

@@ -130,6 +130,35 @@ pub fn run_sequential<F>(cfg: &SequentialConfig, targets: &[(&str, f64)], run: F
 where
     F: Fn(u64) -> Vec<(String, f64)> + Sync,
 {
+    run_sequential_inner(cfg, targets, |want, base| {
+        run_replicas(want, cfg.workers, |i| run(base + i))
+    })
+}
+
+/// [`run_sequential`] over a *batch* replica runner: each round asks
+/// `batch_run(want, base_seed)` for `want` whole replicas at once instead
+/// of mapping a per-seed closure over a worker pool. This is how the
+/// lockstep batch engine (`psr-batch`) plugs into sequential sampling —
+/// replica `i` of a round is still seeded `base_seed + i`, so a batched
+/// ensemble consumes exactly the seed sequence the per-replica one does,
+/// and (because the engine is bit-identical per slot) produces exactly
+/// the same observables, convergence decisions and replica counts.
+pub fn run_sequential_batched<F>(
+    cfg: &SequentialConfig,
+    targets: &[(&str, f64)],
+    batch_run: F,
+) -> EnsembleOutcome
+where
+    F: FnMut(u64, u64) -> Vec<Vec<(String, f64)>>,
+{
+    run_sequential_inner(cfg, targets, batch_run)
+}
+
+fn run_sequential_inner(
+    cfg: &SequentialConfig,
+    targets: &[(&str, f64)],
+    mut next_batch: impl FnMut(u64, u64) -> Vec<Vec<(String, f64)>>,
+) -> EnsembleOutcome {
     assert!(cfg.min_replicas > 0, "need at least one replica");
     assert!(cfg.max_replicas >= cfg.min_replicas, "budget below minimum");
     assert!(cfg.batch > 0, "batch must be positive");
@@ -145,7 +174,12 @@ where
             cfg.batch.min(cfg.max_replicas - done)
         };
         let base = cfg.base_seed + done;
-        let batch = run_replicas(want, cfg.workers, |i| run(base + i));
+        let batch = next_batch(want, base);
+        assert_eq!(
+            batch.len() as u64,
+            want,
+            "batch runner returned wrong count"
+        );
         for replica in batch {
             for (name, value) in replica {
                 samples.entry(name).or_default().push(value);
@@ -275,5 +309,30 @@ mod tests {
     #[should_panic(expected = "unknown observable")]
     fn unknown_target_panics() {
         run_sequential(&cfg(), &[("nope", 0.1)], noisy_replica);
+    }
+
+    #[test]
+    fn batched_runner_reproduces_the_per_replica_ensemble() {
+        let targets = [("mean_half", 0.1)];
+        let per = run_sequential(&cfg(), &targets, noisy_replica);
+        let batched = run_sequential_batched(&cfg(), &targets, |want, base| {
+            (0..want).map(|i| noisy_replica(base + i)).collect()
+        });
+        assert_eq!(per.replicas, batched.replicas);
+        assert_eq!(per.converged, batched.converged);
+        for (a, b) in per.observables.iter().zip(&batched.observables) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong count")]
+    fn short_batch_panics() {
+        run_sequential_batched(&cfg(), &[], |want, base| {
+            (0..want.saturating_sub(1))
+                .map(|i| noisy_replica(base + i))
+                .collect()
+        });
     }
 }

@@ -15,6 +15,7 @@
 //! that [`run_sequential`](crate::ensemble::run_sequential) can
 //! bootstrap.
 
+use psr_batch::{BatchAlgorithm, BatchEnsemble, BatchRateMeter};
 use psr_ca::lpndca::ChunkVisit;
 use psr_ca::pndca::ChunkSelection;
 use psr_core::{Algorithm, PartitionSpec, Simulator};
@@ -22,6 +23,7 @@ use psr_dmc::rate_meter::RateMeter;
 use psr_lattice::Dims;
 use psr_model::library::kuzovkov::{co_coverage, kuzovkov_model, KuzovkovParams};
 use psr_model::library::zgb::{co2_reaction_indices, zgb_ziff};
+use psr_model::Model;
 use psr_stats::{detect_peaks, TimeSeries};
 
 /// The CA variants gated for *equivalence* against the DMC reference,
@@ -153,6 +155,93 @@ pub fn zgb_replica(job: &ZgbJob, algorithm: &Algorithm, seed: u64) -> Vec<(Strin
     ]
 }
 
+/// The lockstep-batch equivalent of `algorithm`, when the batch engine
+/// supports it (NDCA and PNDCA — the step-driven CA variants whose RNG
+/// consumption the engine replicates exactly). `None` routes the
+/// algorithm through the single-replica path.
+pub fn batch_algorithm_for(
+    algorithm: &Algorithm,
+    dims: Dims,
+    model: &Model,
+) -> Option<BatchAlgorithm> {
+    match algorithm {
+        Algorithm::Ndca { shuffled } => Some(BatchAlgorithm::Ndca {
+            shuffled: *shuffled,
+        }),
+        Algorithm::Pndca {
+            partition,
+            selection,
+        } => Some(BatchAlgorithm::Pndca {
+            partition: partition.build(dims, model),
+            selection: *selection,
+        }),
+        _ => None,
+    }
+}
+
+/// Run `count` ZGB replicas seeded `base_seed..base_seed + count` through
+/// the lockstep batch engine and reduce each to the same observables as
+/// [`zgb_replica`] — bit-identically: slot `i` samples coverages on the
+/// same block grid and meters CO₂ events in the same windows as a
+/// single-replica run with seed `base_seed + i`, so every returned value
+/// is `==` the single-replica one (pinned by the
+/// `zgb_batch_matches_single_replicas_bit_exactly` test).
+///
+/// Returns `None` when `algorithm` has no lockstep equivalent.
+pub fn zgb_replicas_batch(
+    job: &ZgbJob,
+    algorithm: &Algorithm,
+    count: u64,
+    base_seed: u64,
+) -> Option<Vec<Vec<(String, f64)>>> {
+    let model = zgb_ziff(job.y, job.k_react);
+    let dims = Dims::square(job.side);
+    let batch_algorithm = batch_algorithm_for(algorithm, dims, &model)?;
+    let co2_group = co2_reaction_indices(&model);
+    let sites = (job.side as usize).pow(2);
+    let slots = BatchEnsemble::slots_for(count);
+    let mut meter = BatchRateMeter::new(model.num_reactions(), sites, 0.5, &co2_group, slots);
+    let block = (0.25 * model.total_rate()).ceil().max(1.0) as u64;
+    let ensemble = BatchEnsemble::new(&model, dims, batch_algorithm, block, job.t_end);
+
+    // Per slot: (θ_CO, θ_O, θ_*) series on the per-stride grid.
+    let mut series = vec![[(); 3].map(|_| TimeSeries::new()); slots];
+    let final_times = ensemble.run(
+        count,
+        base_seed,
+        &mut meter,
+        |sim, slot| {
+            let t = sim.time(slot);
+            series[slot][0].push(t, sim.coverage_fraction(slot, 1));
+            series[slot][1].push(t, sim.coverage_fraction(slot, 2));
+            series[slot][2].push(t, sim.coverage_fraction(slot, 0));
+        },
+        |sim, slot| sim.time(slot),
+    );
+
+    let tail = job.t_end * 0.5;
+    let tail_mean = |s: &TimeSeries| s.after(tail).mean().unwrap_or(f64::NAN);
+    Some(
+        final_times
+            .iter()
+            .enumerate()
+            .map(|(slot, &final_time)| {
+                let co2_rate = meter
+                    .rate_series(slot, final_time)
+                    .after(tail)
+                    .mean()
+                    .unwrap_or(0.0);
+                vec![
+                    ("theta_co".into(), tail_mean(&series[slot][0])),
+                    ("theta_o".into(), tail_mean(&series[slot][1])),
+                    ("theta_vacant".into(), tail_mean(&series[slot][2])),
+                    ("co2_rate".into(), co2_rate),
+                ]
+            })
+            .collect(),
+    )
+}
+
 /// Parameters of one Kuzovkov oscillation job.
 #[derive(Clone, Copy, Debug)]
 pub struct OscillationJob {
@@ -199,9 +288,14 @@ pub fn oscillation_replica(
 
     let block = (0.5 * k_total).ceil().max(1.0) as u64;
     let mut co = TimeSeries::new();
+    // One fractions buffer for the whole run: the 52-state Kuzovkov model
+    // samples thousands of blocks per replica, and a fresh Vec per sample
+    // is the kind of ensemble-loop allocation the batch engine exists to
+    // avoid.
+    let mut fractions = Vec::new();
     while session.time() < job.t_end {
         session.run_blocks(block, &mut psr_dmc::events::NoHook);
-        let fractions = session.state().coverage.fractions();
+        session.state().coverage.fractions_into(&mut fractions);
         co.push(session.time(), co_coverage(&fractions));
     }
 
@@ -273,6 +367,48 @@ mod tests {
             let obs = zgb_replica(&job, &algorithm, 1);
             assert_eq!(obs.len(), 4, "{name}");
             assert!(obs.iter().all(|(_, v)| v.is_finite()), "{name}");
+        }
+    }
+
+    /// The batched ZGB runner must agree with `zgb_replica` *exactly* —
+    /// not statistically: same seeds, same sampling grid, same windows,
+    /// bit-identical trajectories, so `==` on every observable.
+    #[test]
+    fn zgb_batch_matches_single_replicas_bit_exactly() {
+        let job = ZgbJob {
+            y: 0.5,
+            k_react: 5.0,
+            side: 10,
+            t_end: 2.0,
+        };
+        let algorithms = [
+            Algorithm::Ndca { shuffled: false },
+            Algorithm::Ndca { shuffled: true },
+            Algorithm::Pndca {
+                partition: PartitionSpec::FiveColoring,
+                selection: ChunkSelection::RandomOrder,
+            },
+        ];
+        for algorithm in algorithms {
+            let rows = zgb_replicas_batch(&job, &algorithm, 10, 400).expect("lockstep-capable");
+            assert_eq!(rows.len(), 10);
+            for (i, row) in rows.iter().enumerate() {
+                let single = zgb_replica(&job, &algorithm, 400 + i as u64);
+                assert_eq!(row, &single, "replica {i} of {algorithm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_lockstep_algorithms_fall_back() {
+        let job = ZgbJob {
+            y: 0.5,
+            k_react: 5.0,
+            side: 10,
+            t_end: 1.0,
+        };
+        for algorithm in [Algorithm::Rsm, deviation_algorithms()[0].1.clone()] {
+            assert!(zgb_replicas_batch(&job, &algorithm, 2, 1).is_none());
         }
     }
 

@@ -21,13 +21,15 @@
 //! requires the TOST verdict `Different` (see [`deviation_checks`]'s
 //! doc comment and `tests/equivalence.rs`).
 
-use crate::ensemble::{run_sequential, EnsembleOutcome, SequentialConfig};
+use crate::ensemble::{run_sequential, run_sequential_batched, EnsembleOutcome, SequentialConfig};
 use crate::observables::{
-    deviation_algorithms, oscillation_replica, reference_algorithm, variant_algorithms,
-    zgb_replica, OscillationJob, ZgbJob,
+    batch_algorithm_for, deviation_algorithms, oscillation_replica, reference_algorithm,
+    variant_algorithms, zgb_replica, zgb_replicas_batch, OscillationJob, ZgbJob,
 };
 use crate::verdict::Check;
 use psr_core::Algorithm;
+use psr_lattice::Dims;
+use psr_model::library::zgb::zgb_ziff;
 use psr_stats::{ks_two_sample, tost_mean_difference, Verdict};
 
 const TIER: &str = "statistical";
@@ -114,9 +116,20 @@ fn run_zgb_ensemble(cfg: &StatisticalConfig, algorithm: &Algorithm, salt: u64) -
     let mut seq = cfg.seq.clone();
     seq.base_seed = cfg.seq.base_seed + salt * 1_000_000;
     let targets = zgb_targets(&cfg.margins);
-    run_sequential(&seq, &targets, |seed| {
-        zgb_replica(&cfg.zgb, algorithm, seed)
-    })
+    // Lockstep-capable variants (NDCA, PNDCA) run through the batch
+    // engine: same seeds, bit-identical per-replica observables (pinned
+    // by `zgb_batch_matches_single_replicas_bit_exactly`), so routing
+    // cannot change any verdict — only the wall clock.
+    let model = zgb_ziff(cfg.zgb.y, cfg.zgb.k_react);
+    if batch_algorithm_for(algorithm, Dims::square(cfg.zgb.side), &model).is_some() {
+        run_sequential_batched(&seq, &targets, |count, base| {
+            zgb_replicas_batch(&cfg.zgb, algorithm, count, base).expect("lockstep-capable")
+        })
+    } else {
+        run_sequential(&seq, &targets, |seed| {
+            zgb_replica(&cfg.zgb, algorithm, seed)
+        })
+    }
 }
 
 fn equivalence_check(

@@ -42,6 +42,14 @@ cargo test -q --release -p psr-dmc --test kernel_identity
 echo "==> bench_kernel --smoke (compiled vs naive, small lattice)"
 target/release/bench_kernel --smoke
 
+echo "==> bench_replica --smoke (batched lockstep vs serial replica loop)"
+target/release/bench_replica --smoke
+
+# Smoke thresholds sit below the committed full-size numbers: the small
+# jobs are noisier and this host's wall clock is shared.
+MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 \
+    scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json
+
 echo "==> validate --smoke (statistical accuracy gates, small budgets)"
 scripts/validate.sh --smoke
 

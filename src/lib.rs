@@ -5,13 +5,14 @@
 //! `use surface_reactions::prelude::*;`.
 //!
 //! See the individual crates for the layered architecture:
-//! `psr-lattice` → `psr-model` → (`psr-dmc`, `psr-ca`) → `psr-parallel`
-//! → `psr-core`.
+//! `psr-lattice` → `psr-model` → (`psr-dmc`, `psr-ca`) →
+//! (`psr-parallel`, `psr-batch`) → `psr-core`.
 
 pub use psr_core::*;
 
 /// Direct access to the layered crates for advanced use.
 pub mod crates {
+    pub use psr_batch as batch;
     pub use psr_ca as ca;
     pub use psr_dmc as dmc;
     pub use psr_lattice as lattice;
