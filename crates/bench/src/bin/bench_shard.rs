@@ -1,0 +1,235 @@
+//! Strong-scaling benchmark for the sharded PNDCA executor.
+//!
+//! Measures sweep throughput of `psr-shard`'s domain-decomposed executor
+//! at 1 and 4 workers on the ZGB model, and gates the 4-worker speedup.
+//! The host has a single core, so the timing basis is the Inline
+//! scheduler's *critical path*: Σ over protocol phases of the slowest
+//! worker's time — the wall clock a machine with one core per worker
+//! would need. Halo encode/decode, write-back application, and count
+//! folding are all inside the measured phases, so communication overhead
+//! is charged to the parallel arm, not hidden.
+//!
+//! Before timing, the 1- and 4-worker arms are run from the same
+//! thermalised state and their lattices compared: the sharded protocol
+//! promises trajectories that are a pure function of (seed, partition),
+//! independent of the worker grid, and the benchmark re-verifies that on
+//! the production lattice sizes rather than trusting the unit tests'
+//! small ones.
+//!
+//! Output: `BENCH_shard.json` at the repo root (`--smoke` writes
+//! `BENCH_shard_smoke.json` on a small lattice), gated by
+//! `scripts/check_bench.sh`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use psr_ca::greedy_coloring;
+use psr_ca::partition::Partition;
+use psr_ca::pndca::ChunkSelection;
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::library::zgb::zgb_ziff;
+use psr_model::Model;
+use psr_parallel::SegersDecomposition;
+use psr_shard::{ScheduleMode, ShardGrid, ShardedPndca};
+
+const SEED: u64 = 20260808;
+const SELECTION: ChunkSelection = ChunkSelection::RandomOrder;
+
+/// One timed arm: a persistent executor + state, measured by the delta of
+/// the executor's accumulated critical path across each window. Windows
+/// are interleaved between arms (see [`sweeps_per_cp_sec`]) so slow
+/// drifts hit both arms symmetrically, and best-of-N discards windows
+/// that caught an interference spike.
+struct Arm<'m, 'p> {
+    exec: ShardedPndca<'m, 'p>,
+    state: SimState,
+    best: f64,
+    cp_sampled: f64,
+}
+
+impl<'m, 'p> Arm<'m, 'p> {
+    fn new(
+        model: &'m Model,
+        partition: &'p Partition,
+        workers: u32,
+        warm: &SimState,
+        warm_steps: u64,
+    ) -> Self {
+        let mut exec = ShardedPndca::new(model, partition, ShardGrid::for_workers(workers), SEED)
+            .with_selection(SELECTION)
+            .with_mode(ScheduleMode::Inline);
+        exec.set_start_step(warm_steps);
+        // One warm-up window absorbs the scatter/allocation cold start.
+        let mut arm = Arm {
+            exec,
+            state: warm.clone(),
+            best: 0.0,
+            cp_sampled: 0.0,
+        };
+        arm.window(1);
+        arm.best = 0.0;
+        arm.cp_sampled = 0.0;
+        arm
+    }
+
+    fn window(&mut self, steps: u64) {
+        let mark = self.exec.critical_path_seconds();
+        self.exec.run_steps(&mut self.state, steps, None);
+        let dt = (self.exec.critical_path_seconds() - mark).max(1e-9);
+        self.best = self.best.max(steps as f64 / dt);
+        self.cp_sampled += dt;
+    }
+}
+
+/// Best sweeps per critical-path second for every arm: alternate short
+/// windows until each arm has `min_secs` of sampled critical path.
+fn sweeps_per_cp_sec(arms: &mut [Arm<'_, '_>], min_secs: f64) -> Vec<f64> {
+    // ~12 windows per arm regardless of the requested sample time.
+    let mut window_steps = vec![1u64; arms.len()];
+    for (a, w) in arms.iter_mut().zip(&mut window_steps) {
+        let mark = a.exec.critical_path_seconds();
+        a.window(1);
+        let sps = 1.0 / (a.exec.critical_path_seconds() - mark).max(1e-9);
+        *w = ((sps * min_secs / 12.0).ceil() as u64).max(1);
+    }
+    while arms.iter().any(|a| a.cp_sampled < min_secs) {
+        for (a, &w) in arms.iter_mut().zip(&window_steps) {
+            a.window(w);
+        }
+    }
+    arms.iter().map(|a| a.best).collect()
+}
+
+/// Thermalise from the empty surface with the 1-worker sharded executor
+/// so both arms start from an identical representative coverage mix.
+fn prepared_state(model: &Model, partition: &Partition, dims: Dims, warm_steps: u64) -> SimState {
+    let mut state = SimState::new(Lattice::filled(dims, 0), model);
+    let mut exec = ShardedPndca::new(model, partition, ShardGrid::for_workers(1), SEED)
+        .with_selection(SELECTION)
+        .with_mode(ScheduleMode::Inline);
+    exec.run_steps(&mut state, warm_steps, None);
+    state
+}
+
+/// Continue the warm trajectory on a `workers`-wide grid for a few steps.
+fn continued(
+    model: &Model,
+    partition: &Partition,
+    warm: &SimState,
+    warm_steps: u64,
+    ident_steps: u64,
+    workers: u32,
+) -> SimState {
+    let mut exec = ShardedPndca::new(model, partition, ShardGrid::for_workers(workers), SEED)
+        .with_selection(SELECTION)
+        .with_mode(ScheduleMode::Inline);
+    exec.set_start_step(warm_steps);
+    let mut state = warm.clone();
+    exec.run_steps(&mut state, ident_steps, None);
+    state
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let min_secs: f64 = if smoke {
+        0.05
+    } else {
+        arg.map(|s| s.parse().expect("min_sample_secs must be a number"))
+            .unwrap_or(2.0)
+    };
+    let sides: &[u32] = if smoke { &[64] } else { &[1024, 2048] };
+    let warm_steps: u64 = if smoke { 10 } else { 40 };
+    let ident_steps: u64 = if smoke { 5 } else { 3 };
+    let model = zgb_ziff(0.5, 2.0);
+
+    println!("Sharded PNDCA strong scaling (Inline critical path, 4 workers vs 1)");
+    println!(
+        "ZGB y=0.5 k=2, greedy coloring, random-order chunks, min sample {min_secs} s of \
+         critical path per arm\n"
+    );
+
+    let mut entries = Vec::new();
+    for &side in sides {
+        let dims = Dims::square(side);
+        // Greedy coloring works on any side (five-coloring needs side % 5).
+        let partition = greedy_coloring(dims, &model);
+        let warm = prepared_state(&model, &partition, dims, warm_steps);
+
+        // Grid invariance on the production size: 4 workers must continue
+        // the warm trajectory to exactly the same lattice as 1 worker.
+        let one = continued(&model, &partition, &warm, warm_steps, ident_steps, 1);
+        let four = continued(&model, &partition, &warm, warm_steps, ident_steps, 4);
+        let identical = one.lattice == four.lattice && one.time.to_bits() == four.time.to_bits();
+        assert!(
+            identical,
+            "L={side}: 4-worker trajectory diverged from the 1-worker one"
+        );
+
+        let wall = Instant::now();
+        let mut arms =
+            [1u32, 4].map(|workers| Arm::new(&model, &partition, workers, &warm, warm_steps));
+        let timings = sweeps_per_cp_sec(&mut arms, min_secs);
+        let (sps_1w, sps_4w) = (timings[0], timings[1]);
+        let speedup = sps_4w / sps_1w;
+
+        // Measured communication of the 4-worker arm, plus the Segers
+        // model's prediction for this decomposition with a nominal 1 µs
+        // frame latency and the per-trial cost measured on the 1-worker arm.
+        let comm = arms[1].exec.comm_stats();
+        let steps_4w = arms[1].exec.steps_done() - warm_steps;
+        let grid = arms[1].exec.grid();
+        let t_site = 1.0 / (sps_1w * f64::from(dims.sites()));
+        let modeled = SegersDecomposition::new(&model, dims, grid.gx(), grid.gy())
+            .modeled_speedup(&comm, steps_4w, t_site, 1e-6);
+
+        println!(
+            "  L={side:<5} grid {}x{}: {sps_1w:>8.3} sweeps/s (1w)  {sps_4w:>8.3} sweeps/s (4w)  \
+             speedup {speedup:.2}x  modeled {modeled:.2}x  boundary {:.1}%  identical {identical}  \
+             [{:.1}s wall]",
+            grid.gx(),
+            grid.gy(),
+            100.0 * comm.boundary_fraction(),
+            wall.elapsed().as_secs_f64()
+        );
+
+        entries.push(format!(
+            "    {{\"side\": {side}, \"workers\": 4, \"grid\": \"{}x{}\", \
+             \"sweeps_per_cp_sec_1w\": {sps_1w:.4}, \"sweeps_per_cp_sec_4w\": {sps_4w:.4}, \
+             \"speedup\": {speedup:.3}, \"modeled_speedup\": {modeled:.3}, \
+             \"boundary_fraction\": {:.4}, \"halo_bytes_per_step\": {}, \
+             \"halo_messages_per_step\": {}, \"trajectories_identical\": {identical}}}",
+            grid.gx(),
+            grid.gy(),
+            comm.boundary_fraction(),
+            comm.halo_bytes / steps_4w.max(1),
+            comm.halo_messages / steps_4w.max(1),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sharded PNDCA strong scaling: 4 workers vs the 1-worker sharded \
+         baseline\",\n  \
+         \"basis\": \"Inline-scheduler critical path: sum over protocol phases of the slowest \
+         worker, including halo encode/decode and write-back application\",\n  \
+         \"model_id\": \"zgb_ziff(0.5, 2.0)\",\n  \"partition\": \"greedy_coloring\",\n  \
+         \"selection\": \"random-order chunks\",\n  \"smoke\": {smoke},\n  \
+         \"min_sample_secs\": {min_secs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Smoke mode gets its own file so CI never clobbers the committed
+    // full-size benchmark record.
+    let file = if smoke {
+        "BENCH_shard_smoke.json"
+    } else {
+        "BENCH_shard.json"
+    };
+    let path = repo_root().join(file);
+    std::fs::write(&path, json).expect("cannot write BENCH_shard.json");
+    println!("\nwrote {}", path.display());
+}

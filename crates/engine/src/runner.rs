@@ -14,10 +14,10 @@
 use crate::checkpoint::CheckpointStore;
 use crate::journal::{Journal, JsonLine};
 use crate::metrics::Registry;
+use crate::shard_session::JobSession;
 use crate::spec::JobSpec;
-use psr_core::{Checkpointable, Simulator};
+use psr_core::Checkpointable;
 use psr_dmc::events::Event;
-use psr_lattice::Dims;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -121,11 +121,7 @@ impl JobRun<'_> {
         if self.store.is_done(&spec.name) {
             return Ok(RunOutcome::Completed);
         }
-        let mut session = Simulator::new(spec.model.build())
-            .dims(Dims::square(spec.side))
-            .seed(spec.seed)
-            .algorithm(spec.algorithm.clone())
-            .into_session()?;
+        let mut session = JobSession::build(spec)?;
         let mut resumed_from = None;
         if let Some(ck) = self
             .store
@@ -166,6 +162,28 @@ impl JobRun<'_> {
             };
             let stats = session.run_blocks(block, &mut hook);
             debug_assert!(stats.trials >= stats.executed);
+            if matches!(session, JobSession::Sharded(_)) {
+                // The sharded executor reports aggregate counts (the hook
+                // never fires) and measured communication.
+                trials.add(stats.trials);
+                executed.add(stats.executed);
+                let comm = session.take_comm();
+                self.metrics
+                    .counter("shard_halo_messages")
+                    .add(comm.halo_messages);
+                self.metrics
+                    .counter("shard_halo_bytes")
+                    .add(comm.halo_bytes);
+                self.metrics
+                    .counter("shard_local_trials")
+                    .add(comm.local_trials);
+                self.metrics
+                    .counter("shard_boundary_trials")
+                    .add(comm.boundary_trials);
+                self.metrics
+                    .gauge(&format!("job.{}.boundary_fraction", spec.name))
+                    .set(comm.boundary_fraction());
+            }
             block_ms.record(t0.elapsed().as_millis() as u64);
             steps.add(block);
             let now = session.steps_done();

@@ -1,0 +1,275 @@
+//! Sharded job sessions: the `shards = N` execution path.
+//!
+//! Jobs with `shards > 1` bypass the in-process [`SimSession`] and run on
+//! `psr-shard`'s domain-decomposed executor instead: the lattice is tiled
+//! over a [`ShardGrid`] of workers, each with its own sub-lattice, kernel,
+//! and RNG streams, exchanging boundary state through the halo-frame
+//! protocol. Because the sharded executor keys every draw stream by the
+//! *absolute* step number, a block is resumable from nothing but
+//! `(lattice, time, steps)` — the executor is rebuilt per block with
+//! `set_start_step`, and the trajectory is bit-identical to an
+//! uninterrupted run (pinned by `psr-shard`'s differential tests).
+//!
+//! [`JobSession`] is the runner-facing abstraction: either flavour, with
+//! uniform `run_blocks` / checkpoint semantics plus the sharded path's
+//! measured communication counters for the metrics registry.
+
+use crate::spec::JobSpec;
+use psr_ca::partition::Partition;
+use psr_ca::pndca::ChunkSelection;
+use psr_core::{Algorithm, Checkpointable, SessionCheckpoint, SimSession, Simulator};
+use psr_dmc::events::EventHook;
+use psr_dmc::rsm::RunStats;
+use psr_dmc::sim::SimState;
+use psr_lattice::{Dims, Lattice};
+use psr_model::Model;
+use psr_rng::rng_from_seed;
+use psr_shard::{CommStats, ShardGrid, ShardedPndca};
+
+/// A resumable sharded run: configuration plus the mutable trajectory
+/// state. The executor itself is rebuilt each block (it borrows the model
+/// and partition), which is exactly what makes checkpoints this small.
+pub struct ShardSession {
+    model: Model,
+    partition: Partition,
+    grid: ShardGrid,
+    selection: ChunkSelection,
+    seed: u64,
+    dims: Dims,
+    state: SimState,
+    steps_done: u64,
+    /// Communication accumulated since the last [`take_comm`]
+    /// (Self::take_comm) — the runner drains this into the registry.
+    comm: CommStats,
+}
+
+impl ShardSession {
+    /// Build a sharded session from a job spec with `shards > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-PNDCA algorithms and worker grids that do not tile the
+    /// lattice (or leave domains smaller than the interaction radius
+    /// requires).
+    pub fn from_spec(spec: &JobSpec) -> Result<Self, String> {
+        let Algorithm::Pndca {
+            partition: pspec,
+            selection,
+        } = &spec.algorithm
+        else {
+            return Err(format!(
+                "job {}: shards = {} requires a pndca algorithm (got {:?})",
+                spec.name, spec.shards, spec.algorithm
+            ));
+        };
+        let model = spec.model.build();
+        let dims = Dims::square(spec.side);
+        let grid = ShardGrid::for_workers(spec.shards);
+        grid.check(dims, model.interaction_radius())
+            .map_err(|e| format!("job {}: {e}", spec.name))?;
+        let partition = pspec.build(dims, &model);
+        let state = SimState::new(Lattice::filled(dims, 0), &model);
+        Ok(ShardSession {
+            model,
+            partition,
+            grid,
+            selection: *selection,
+            seed: spec.seed,
+            dims,
+            state,
+            steps_done: 0,
+            comm: CommStats::default(),
+        })
+    }
+
+    /// Steps completed since the initial state (survives restore).
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Advance by `steps` whole steps.
+    pub fn run_blocks(&mut self, steps: u64) -> RunStats {
+        let mut exec = ShardedPndca::new(&self.model, &self.partition, self.grid, self.seed)
+            .with_selection(self.selection);
+        exec.set_start_step(self.steps_done);
+        let stats = exec.run_steps(&mut self.state, steps, None);
+        self.steps_done += steps;
+        self.comm += exec.comm_stats();
+        stats
+    }
+
+    /// Drain the communication counters accumulated since the last call.
+    pub fn take_comm(&mut self) -> CommStats {
+        std::mem::take(&mut self.comm)
+    }
+}
+
+impl Checkpointable for ShardSession {
+    fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            lattice: self.state.lattice.clone(),
+            time: self.state.time,
+            steps: self.steps_done,
+            // The sharded executor derives every stream from (seed, step);
+            // there is no free-running generator to serialise. Stored so
+            // the checkpoint format stays uniform.
+            rng: rng_from_seed(self.seed).state(),
+        }
+    }
+
+    fn restore(&mut self, ck: &SessionCheckpoint) -> Result<(), String> {
+        if ck.lattice.dims() != self.dims {
+            return Err(format!(
+                "checkpoint lattice is {:?}, session dims are {:?}",
+                ck.lattice.dims(),
+                self.dims
+            ));
+        }
+        self.state = SimState::new(ck.lattice.clone(), &self.model);
+        self.state.time = ck.time;
+        self.steps_done = ck.steps;
+        self.comm = CommStats::default();
+        Ok(())
+    }
+}
+
+/// The runner's session: the in-process core session or the sharded one.
+pub enum JobSession {
+    /// `shards = 1`: the checkpointed `psr-core` session.
+    Core(Box<SimSession>),
+    /// `shards > 1`: the domain-decomposed executor.
+    Sharded(Box<ShardSession>),
+}
+
+impl JobSession {
+    /// Build the session a job spec asks for.
+    ///
+    /// # Errors
+    ///
+    /// Configuration problems (unsupported algorithm, bad shard grid).
+    pub fn build(spec: &JobSpec) -> Result<Self, String> {
+        if spec.shards > 1 {
+            Ok(JobSession::Sharded(Box::new(ShardSession::from_spec(
+                spec,
+            )?)))
+        } else {
+            Ok(JobSession::Core(Box::new(
+                Simulator::new(spec.model.build())
+                    .dims(Dims::square(spec.side))
+                    .seed(spec.seed)
+                    .algorithm(spec.algorithm.clone())
+                    .into_session()?,
+            )))
+        }
+    }
+
+    /// Steps completed since the initial state.
+    pub fn steps_done(&self) -> u64 {
+        match self {
+            JobSession::Core(s) => s.steps_done(),
+            JobSession::Sharded(s) => s.steps_done(),
+        }
+    }
+
+    /// Advance by `steps` whole steps. The per-trial `hook` only fires on
+    /// the core path — the sharded executor reports aggregate counts, which
+    /// the runner reads from the returned stats instead.
+    pub fn run_blocks(&mut self, steps: u64, hook: &mut impl EventHook) -> RunStats {
+        match self {
+            JobSession::Core(s) => s.run_blocks(steps, hook),
+            JobSession::Sharded(s) => s.run_blocks(steps),
+        }
+    }
+
+    /// Communication accumulated since the last call (zero on the core
+    /// path).
+    pub fn take_comm(&mut self) -> CommStats {
+        match self {
+            JobSession::Core(_) => CommStats::default(),
+            JobSession::Sharded(s) => s.take_comm(),
+        }
+    }
+}
+
+impl Checkpointable for JobSession {
+    fn checkpoint(&self) -> SessionCheckpoint {
+        match self {
+            JobSession::Core(s) => s.checkpoint(),
+            JobSession::Sharded(s) => s.checkpoint(),
+        }
+    }
+
+    fn restore(&mut self, ck: &SessionCheckpoint) -> Result<(), String> {
+        match self {
+            JobSession::Core(s) => s.restore(ck),
+            JobSession::Sharded(s) => s.restore(ck),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use psr_core::PartitionSpec;
+
+    fn sharded_spec(shards: u32) -> JobSpec {
+        let mut spec = JobSpec::new(
+            "sh",
+            ModelSpec::Zgb { y: 0.5, k: 2.0 },
+            Algorithm::Pndca {
+                partition: PartitionSpec::FiveColoring,
+                selection: ChunkSelection::RandomOrder,
+            },
+            20,
+            9,
+            30,
+        );
+        spec.shards = shards;
+        spec
+    }
+
+    #[test]
+    fn sharded_session_resumes_bit_identically() {
+        let spec = sharded_spec(4);
+        let mut whole = JobSession::build(&spec).expect("build");
+        whole.run_blocks(30, &mut psr_dmc::events::NoHook);
+
+        let mut split = JobSession::build(&spec).expect("build");
+        split.run_blocks(12, &mut psr_dmc::events::NoHook);
+        let ck = split.checkpoint();
+        assert_eq!(ck.steps, 12);
+        let mut resumed = JobSession::build(&spec).expect("rebuild");
+        resumed.restore(&ck).expect("restore");
+        resumed.run_blocks(18, &mut psr_dmc::events::NoHook);
+
+        let (a, b) = (whole.checkpoint(), resumed.checkpoint());
+        assert_eq!(a.lattice, b.lattice, "resumed trajectory diverged");
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn sharded_session_measures_communication() {
+        let spec = sharded_spec(4);
+        let mut session = JobSession::build(&spec).expect("build");
+        let stats = session.run_blocks(10, &mut psr_dmc::events::NoHook);
+        assert!(stats.trials > 0);
+        let comm = session.take_comm();
+        assert!(comm.halo_messages > 0, "2x2 grid must exchange frames");
+        assert!(comm.boundary_trials > 0);
+        assert_eq!(comm.local_trials + comm.boundary_trials, stats.trials);
+        // Drained: a second take returns zeros.
+        assert_eq!(session.take_comm(), CommStats::default());
+    }
+
+    #[test]
+    fn bad_shard_grids_are_rejected_at_build() {
+        // 20×20 over 3 workers: 3 does not divide 20.
+        let err = match JobSession::build(&sharded_spec(3)) {
+            Err(e) => e,
+            Ok(_) => panic!("3-worker grid on a 20-side lattice must fail"),
+        };
+        assert!(err.contains("does not divide"), "got {err}");
+    }
+}

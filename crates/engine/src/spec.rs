@@ -162,6 +162,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// Whole algorithm steps to run.
     pub steps: u64,
+    /// Sharded-executor worker count (1 = the in-process session). Values
+    /// above 1 route the job through `psr-shard`'s domain-decomposed
+    /// executor; only `pndca` algorithms support it.
+    pub shards: u32,
     /// Checkpoint every this many steps.
     pub checkpoint_every: u64,
     /// Fault injection: panic once when the first attempt reaches this step.
@@ -189,6 +193,7 @@ impl JobSpec {
             side,
             seed,
             steps,
+            shards: 1,
             checkpoint_every: (steps / 10).max(1),
             fail_at_step: None,
             abort_at_step: None,
@@ -223,6 +228,15 @@ impl JobSpec {
             return Err(format!(
                 "job {}: checkpoint_every must be positive",
                 self.name
+            ));
+        }
+        if self.shards == 0 {
+            return Err(format!("job {}: shards must be positive", self.name));
+        }
+        if self.shards > 1 && !matches!(self.algorithm, Algorithm::Pndca { .. }) {
+            return Err(format!(
+                "job {}: shards = {} requires a pndca algorithm (got {:?})",
+                self.name, self.shards, self.algorithm
             ));
         }
         for (key, v) in [
@@ -395,6 +409,7 @@ impl BatchSpec {
         let mut side = None;
         let mut seed = 0u64;
         let mut steps = None;
+        let mut shards = 1u32;
         let mut checkpoint_every = None;
         let mut fail_at_step = None;
         let mut abort_at_step = None;
@@ -406,6 +421,7 @@ impl BatchSpec {
                 "side" => side = Some(value.parse().map_err(|e| err(format!("side: {e}")))?),
                 "seed" => seed = value.parse().map_err(|e| err(format!("seed: {e}")))?,
                 "steps" => steps = Some(value.parse().map_err(|e| err(format!("steps: {e}")))?),
+                "shards" => shards = value.parse().map_err(|e| err(format!("shards: {e}")))?,
                 "checkpoint_every" => {
                     checkpoint_every = Some(
                         value
@@ -439,6 +455,7 @@ impl BatchSpec {
             seed,
             steps,
         );
+        job.shards = shards;
         if let Some(ce) = checkpoint_every {
             job.checkpoint_every = ce;
         }
@@ -475,6 +492,13 @@ algorithm = ndca
 side = 30
 steps = 40
 fail_at_step = 9
+
+[job c]
+model = zgb 0.5 2
+algorithm = pndca five in-order
+side = 20
+steps = 30
+shards = 4
 ";
 
     #[test]
@@ -483,7 +507,7 @@ fail_at_step = 9
         assert_eq!(batch.engine.workers, 2);
         assert_eq!(batch.engine.max_retries, 3);
         assert_eq!(batch.engine.deadline_ms, Some(60000));
-        assert_eq!(batch.jobs.len(), 2);
+        assert_eq!(batch.jobs.len(), 3);
         let a = &batch.jobs[0];
         assert_eq!(a.name, "a");
         assert_eq!(a.model, ModelSpec::Zgb { y: 0.51, k: 5.0 });
@@ -500,6 +524,8 @@ fail_at_step = 9
         assert_eq!(b.seed, 0);
         assert_eq!(b.checkpoint_every, 4); // steps/10 default
         assert_eq!(b.fail_at_step, Some(9));
+        assert_eq!(b.shards, 1); // default: in-process session
+        assert_eq!(batch.jobs[2].shards, 4);
     }
 
     #[test]
@@ -529,6 +555,18 @@ fail_at_step = 9
             (
                 "[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10\nsteps = 5\nfail_at_step = 5",
                 "strictly inside",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 2\nalgorithm = pndca five in-order\nside = 10\nsteps = 5\nshards = 0",
+                "shards must be positive",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 2\nalgorithm = pndca five in-order\nside = 10\nsteps = 5\nshards = two",
+                "shards:",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = ndca\nside = 10\nsteps = 5\nshards = 4",
+                "requires a pndca algorithm",
             ),
         ] {
             let err = BatchSpec::parse(snippet).unwrap_err();

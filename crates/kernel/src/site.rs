@@ -382,6 +382,37 @@ mod tests {
     }
 
     #[test]
+    fn halo_diffs_keep_codes_fresh_across_domain_edges() {
+        // The sharded executor maintains one kernel per worker on a
+        // halo-padded sub-lattice and folds *halo-cell* diffs (from a
+        // neighbor's strip) exactly like owned writes. Codes of owned sites
+        // near the edge must come out identical to a fresh scan.
+        use psr_lattice::SubLattice;
+        let model = zgb_ziff(0.5, 2.0);
+        let global = checker_lattice(Dims::new(8, 8));
+        let mut sub = SubLattice::scatter(&global, 4, 4, 4, 4, 1);
+        let mut kernel = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), sub.lattice());
+        // A remote reaction changed global cells that live in our halo
+        // ring: apply the strip diff and fold it through the kernel.
+        let mut changes = Vec::new();
+        let strip: Vec<u8> = (0..6).map(|i| (i % 2 + 1) as u8).collect();
+        sub.unpack_rect_diff(0, 0, 6, 1, &strip, &mut changes);
+        assert!(!changes.is_empty(), "diff must report the halo writes");
+        kernel.apply_changes(sub.lattice(), &changes);
+        let fresh = SiteKernel::new(Arc::new(CompiledModel::compile(&model)), sub.lattice());
+        for ly in 1..5u32 {
+            for lx in 1..5u32 {
+                let site = sub.lattice().dims().site_at(lx as i64, ly as i64);
+                assert_eq!(
+                    kernel.enabled_mask(site),
+                    fresh.enabled_mask(site),
+                    "stale code at owned ({lx},{ly}) after halo diff"
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "outside the compiled domain")]
     fn out_of_domain_state_panics() {
         let model = zgb_ziff(0.5, 2.0);

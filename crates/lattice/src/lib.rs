@@ -15,6 +15,8 @@
 //! - [`journal`] — change journal recording mutated sites plus the
 //!   affected-neighborhood expansion used by incremental propensity caches;
 //! - [`cluster`] — connected-component analysis of same-state islands;
+//! - [`halo`] — halo-padded sub-lattice views with pack/unpack strips for
+//!   sharded domain decomposition;
 //! - [`region`] — rectangular blocks for block partitions and domain
 //!   decomposition;
 //! - [`render`] — ASCII visualisation used by the examples.
@@ -25,6 +27,7 @@ pub mod cluster;
 pub mod correlation;
 pub mod coverage;
 pub mod geometry;
+pub mod halo;
 pub mod io;
 pub mod journal;
 pub mod lattice;
@@ -37,6 +40,7 @@ pub use cluster::{ClusterStats, Clusters};
 pub use correlation::{correlation_profile, pair_correlation};
 pub use coverage::Coverage;
 pub use geometry::{Coord, Dims, Offset, Site};
+pub use halo::SubLattice;
 pub use journal::{affected_sites, Change, ChangeJournal};
 pub use lattice::{Lattice, State};
 pub use neighborhood::Neighborhood;

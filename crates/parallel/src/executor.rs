@@ -9,9 +9,14 @@
 //! mirroring the paper's "updates in the same partition can be done
 //! simultaneously".
 //!
-//! Determinism: every `(step, chunk, slice)` triple gets its own RNG stream
-//! derived from the master seed, so results are a pure function of
-//! `(seed, partition, thread count)` regardless of OS scheduling.
+//! Determinism: every *trial* gets its own RNG stream, keyed by
+//! `(step, sweep position, site)` and derived from the master seed. Within
+//! one chunk sweep the trials are order-independent (disjoint
+//! neighborhoods) and their draws are keyed by the site, not the executing
+//! thread — so results are a pure function of `(seed, partition)` alone,
+//! regardless of thread count, OS scheduling, or how a sharded executor
+//! splits the same partition across domains (psr-shard pins this with a
+//! differential test).
 
 use rayon::prelude::*;
 
@@ -147,10 +152,10 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
 
     /// Select any of the four §5 chunk-selection strategies. Every strategy
     /// keeps the executor deterministic: the chunk sequence is driven by
-    /// dedicated per-step RNG streams and the slice streams are keyed by
-    /// sweep *position*, so results remain a pure function of
-    /// `(seed, partition, thread count)` even when weighted selection
-    /// repeats a chunk within one step.
+    /// dedicated per-step RNG streams and the trial streams are keyed by
+    /// sweep *position* and site, so results remain a pure function of
+    /// `(seed, partition)` even when weighted selection repeats a chunk
+    /// within one step.
     pub fn with_selection(mut self, selection: ChunkSelection) -> Self {
         self.selection = selection;
         self
@@ -307,23 +312,26 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
         // Keyed by sweep *position*, not chunk id: weighted selection and
         // with-replacement draws can sweep the same chunk twice in a step,
         // and each sweep must consume fresh streams.
-        let base_stream = (self.step * self.partition.num_chunks() as u64 + position as u64)
-            * self.threads as u64;
+        let base_stream = trial_stream_base(
+            self.step,
+            self.partition.num_chunks(),
+            position,
+            self.partition.num_sites(),
+        );
         let factory = &self.factory;
         let shared_ref = &shared;
 
         let outcomes: Vec<SliceOutcome> = self.pool.install(|| {
             slices
                 .par_iter()
-                .enumerate()
-                .map(|(slice_idx, sites)| {
-                    let mut rng = factory.stream(1 + base_stream + slice_idx as u64);
+                .map(|sites| {
                     sweep_slice(
                         model,
                         alias,
                         shared_ref,
                         sites,
-                        &mut rng,
+                        factory,
+                        base_stream,
                         num_species,
                         if checked { claims } else { None },
                         journal,
@@ -353,19 +361,30 @@ impl<'m, 'p> ParallelPndca<'m, 'p> {
 }
 
 /// Stream id for the chunk-order shuffle of a step (the high bit keeps it
-/// disjoint from the slice streams, which grow from 1).
-fn shuffle_stream_id(step: u64) -> u64 {
+/// disjoint from the trial streams, which grow from 1).
+pub fn shuffle_stream_id(step: u64) -> u64 {
     0x8000_0000_0000_0000 | step
 }
 
 /// Stream id for the per-step chunk draws (weighted or with-replacement);
-/// bits 63..62 keep it disjoint from both the shuffle and slice streams.
-fn draw_stream_id(step: u64) -> u64 {
+/// bits 63..62 keep it disjoint from both the shuffle and trial streams.
+pub fn draw_stream_id(step: u64) -> u64 {
     0xC000_0000_0000_0000 | step
 }
 
+/// First trial stream id of one chunk sweep: the trial at global `site`
+/// during sweep `position` of `step` draws from stream `base + site.0`.
+///
+/// Keying by `(step, position, site)` — never by thread or domain — is the
+/// determinism contract shared with the sharded executor: any executor
+/// sweeping the same `(seed, partition)` consumes identical randomness per
+/// site and therefore produces identical trajectories.
+pub fn trial_stream_base(step: u64, num_chunks: usize, position: usize, num_sites: usize) -> u64 {
+    1 + (step * num_chunks as u64 + position as u64) * num_sites as u64
+}
+
 /// Apply a net coverage delta vector (summing to zero) as transitions.
-pub(crate) fn apply_coverage_deltas(coverage: &mut psr_lattice::Coverage, deltas: &[i64]) {
+pub fn apply_coverage_deltas(coverage: &mut psr_lattice::Coverage, deltas: &[i64]) {
     debug_assert_eq!(deltas.iter().sum::<i64>(), 0, "deltas must balance");
     let mut gains: Vec<(u8, i64)> = Vec::new();
     let mut losses: Vec<(u8, i64)> = Vec::new();
@@ -393,14 +412,16 @@ pub(crate) fn apply_coverage_deltas(coverage: &mut psr_lattice::Coverage, deltas
     }
 }
 
-/// One slice sweep: one trial per site against the shared lattice.
+/// One slice sweep: one trial per site against the shared lattice, each
+/// trial on its own site-keyed stream.
 #[allow(clippy::too_many_arguments)]
 fn sweep_slice(
     model: &Model,
     alias: &AliasTable,
     shared: &SharedCells<'_>,
     sites: &[Site],
-    rng: &mut Pcg32,
+    factory: &StreamFactory,
+    base_stream: u64,
     num_species: usize,
     claims: Option<&ClaimTable>,
     journal: bool,
@@ -414,7 +435,8 @@ fn sweep_slice(
         changes: Vec::new(),
     };
     for &site in sites {
-        let reaction = alias.sample(rng);
+        let mut rng: Pcg32 = factory.stream(base_stream + site.0 as u64);
+        let reaction = alias.sample(&mut rng);
         let rt: &ReactionType = model.reaction(reaction);
         outcome.trials += 1;
 
@@ -510,6 +532,33 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn trajectories_invariant_of_thread_count() {
+        // Trial streams are keyed by (step, position, site), so the thread
+        // count changes only the work split, never the trajectory — the
+        // same contract the sharded executor relies on.
+        let model = zgb_ziff(0.5, 3.0);
+        let d = Dims::square(20);
+        let p = five_coloring(d);
+        let run = |threads: usize, selection: ChunkSelection| {
+            let mut exec = ParallelPndca::new(&model, &p, threads, 13).with_selection(selection);
+            let mut state = SimState::new(Lattice::filled(d, 0), &model);
+            exec.run_steps(&mut state, 12, None);
+            state.lattice
+        };
+        for selection in [
+            ChunkSelection::InOrder,
+            ChunkSelection::RandomOrder,
+            ChunkSelection::RandomWithReplacement,
+            ChunkSelection::WeightedByRates,
+        ] {
+            let reference = run(1, selection);
+            for threads in [2, 3, 8] {
+                assert_eq!(run(threads, selection), reference, "{selection:?}");
+            }
+        }
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub mod speedup;
 pub mod tpndca_parallel;
 
 pub use ensemble::{run_ensemble, run_replicas, EnsembleSeries};
-pub use executor::ParallelPndca;
+pub use executor::{
+    apply_coverage_deltas, draw_stream_id, shuffle_stream_id, trial_stream_base, ParallelPndca,
+};
 pub use machine::{MachineParams, SimulatedMachine};
-pub use segers::SegersDecomposition;
+pub use segers::{CommStats, SegersDecomposition};
 pub use speedup::{measure_speedup, SpeedupRow};
 pub use tpndca_parallel::ParallelTPndca;

@@ -23,12 +23,22 @@ use psr_model::Model;
 use psr_rng::SimRng;
 
 /// Communication statistics of a domain-decomposed run.
+///
+/// The Segers baseline fills only the *modeled* trial counters (it runs
+/// sequentially and counts the exchanges a block decomposition would
+/// force). The sharded executor (psr-shard) fills all four fields with
+/// *measured* values: every halo/write-back frame that crosses a worker
+/// boundary is counted with its encoded byte size.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Trials anchored strictly inside a block (no communication).
     pub local_trials: u64,
     /// Trials in a boundary strip (would require a halo exchange).
     pub boundary_trials: u64,
+    /// Frames actually sent between distinct workers (0 when modeled).
+    pub halo_messages: u64,
+    /// Encoded bytes of those frames, headers included (0 when modeled).
+    pub halo_bytes: u64,
 }
 
 impl CommStats {
@@ -40,6 +50,15 @@ impl CommStats {
         } else {
             self.boundary_trials as f64 / total as f64
         }
+    }
+}
+
+impl std::ops::AddAssign for CommStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.local_trials += rhs.local_trials;
+        self.boundary_trials += rhs.boundary_trials;
+        self.halo_messages += rhs.halo_messages;
+        self.halo_bytes += rhs.halo_bytes;
     }
 }
 
@@ -92,6 +111,15 @@ impl<'m> SegersDecomposition<'m> {
             blocks_x,
             blocks_y,
         }
+    }
+
+    /// Disable (or re-enable) the compiled reaction kernel and match
+    /// patterns with the naive per-reaction scan. The RSM trajectory is
+    /// bit-identical either way (the enabled check consumes no randomness);
+    /// this is the escape hatch and the identity-test baseline.
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.rsm = self.rsm.with_naive_matching(naive);
+        self
     }
 
     /// Number of processors (= blocks).
@@ -195,6 +223,32 @@ mod tests {
             "got {}",
             comm.boundary_fraction()
         );
+    }
+
+    #[test]
+    fn compiled_kernel_identity_with_naive_matching() {
+        // The Segers arm rides on Rsm, which routes enabled checks through
+        // the CompiledModel kernel by default. Pin that the compiled and
+        // naive arms stay bit-identical — trajectory AND communication
+        // accounting — over a long run.
+        let model = zgb_ziff(0.5, 2.0);
+        let d = Dims::new(20, 20);
+        let run = |naive: bool| {
+            let mut seg = SegersDecomposition::new(&model, d, 2, 2).with_naive_matching(naive);
+            let mut state = SimState::new(Lattice::filled(d, 0), &model);
+            let mut rng = rng_from_seed(23);
+            // 5 MC steps × 400 sites = 2000 trials ≥ the 1000-step identity
+            // budget used by the other kernel differential tests.
+            let (stats, comm) = seg.run_mc_steps(&mut state, &mut rng, 5, None, &mut NoHook);
+            (state.lattice, stats, comm)
+        };
+        let (lattice_c, stats_c, comm_c) = run(false);
+        let (lattice_n, stats_n, comm_n) = run(true);
+        assert_eq!(lattice_c, lattice_n);
+        assert_eq!(stats_c, stats_n);
+        assert_eq!(comm_c, comm_n);
+        assert_eq!(stats_c.trials, 2000);
+        assert!(stats_c.executed > 0);
     }
 
     #[test]

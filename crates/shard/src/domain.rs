@@ -1,0 +1,229 @@
+//! Shard-grid geometry: rectangular worker domains tiled over the torus.
+//!
+//! A [`ShardGrid`] splits the `W × H` global lattice into `gx × gy` equal
+//! rectangles, one per worker, numbered row-major (`id = gy_i · gx + gx_i`).
+//! Neighborhood is the full 8-direction Moore stencil on the *grid torus*:
+//! with small grids a worker can be its own neighbor (1×1, 1×N) or see the
+//! same worker in two directions (2×N). The exchange protocol never relies
+//! on neighbor ids being distinct — frames are keyed by the direction they
+//! travel, so wraps and self-sends resolve unambiguously.
+
+use psr_lattice::Dims;
+
+/// The eight halo-exchange directions, in protocol order. The array is
+/// centrally symmetric so [`opposite`] is an index involution.
+pub const DIRS: [(i32, i32); 8] = [
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (-1, 0),
+    (1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+];
+
+/// Index of the direction opposite to `dir` (sender's send direction →
+/// receiver-relative direction of the sender).
+pub fn opposite(dir: usize) -> usize {
+    7 - dir
+}
+
+/// Index of `(dx, dy)` in [`DIRS`].
+///
+/// # Panics
+///
+/// Panics when `(dx, dy)` is `(0, 0)` or out of range.
+pub fn dir_index(dx: i32, dy: i32) -> usize {
+    DIRS.iter()
+        .position(|&d| d == (dx, dy))
+        .expect("not a halo direction")
+}
+
+/// A `gx × gy` grid of rectangular worker domains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardGrid {
+    gx: u32,
+    gy: u32,
+}
+
+impl ShardGrid {
+    /// A grid of `gx × gy` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is zero.
+    pub fn new(gx: u32, gy: u32) -> Self {
+        assert!(gx > 0 && gy > 0, "shard grid must be non-empty");
+        ShardGrid { gx, gy }
+    }
+
+    /// Grid width (workers along x).
+    pub fn gx(&self) -> u32 {
+        self.gx
+    }
+
+    /// Grid height (workers along y).
+    pub fn gy(&self) -> u32 {
+        self.gy
+    }
+
+    /// Total worker count.
+    pub fn workers(&self) -> u32 {
+        self.gx * self.gy
+    }
+
+    /// The most square `gx × gy` factorisation of `workers` (gx ≥ gy).
+    /// Trajectories are grid-invariant, so the shape only affects the
+    /// boundary fraction — squarer is cheaper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn for_workers(workers: u32) -> Self {
+        assert!(workers > 0, "shard grid must be non-empty");
+        let mut gy = (workers as f64).sqrt() as u32;
+        while !workers.is_multiple_of(gy) {
+            gy -= 1;
+        }
+        ShardGrid::new(workers / gy, gy)
+    }
+
+    /// Check that the grid tiles `dims` evenly and every domain is wide
+    /// enough for a halo ring of width `radius` (each side strictly larger
+    /// than `2 · radius`, the same bound the one-frame-per-direction
+    /// exchange needs).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated condition.
+    pub fn check(&self, dims: Dims, radius: u32) -> Result<(), String> {
+        if !dims.width().is_multiple_of(self.gx) || !dims.height().is_multiple_of(self.gy) {
+            return Err(format!(
+                "shard grid {}x{} does not divide lattice {}x{}",
+                self.gx,
+                self.gy,
+                dims.width(),
+                dims.height()
+            ));
+        }
+        let bw = dims.width() / self.gx;
+        let bh = dims.height() / self.gy;
+        if bw <= 2 * radius || bh <= 2 * radius {
+            return Err(format!(
+                "domains of {bw}x{bh} are too small for interaction radius {radius}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`check`](Self::check).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either condition fails.
+    pub fn validate(&self, dims: Dims, radius: u32) {
+        if let Err(e) = self.check(dims, radius) {
+            panic!("{e}");
+        }
+    }
+
+    /// The owned rectangle of `worker`: `(x0, y0, w, h)` in global
+    /// coordinates.
+    pub fn domain_of(&self, dims: Dims, worker: u32) -> (u32, u32, u32, u32) {
+        assert!(worker < self.workers(), "worker {worker} out of range");
+        let bw = dims.width() / self.gx;
+        let bh = dims.height() / self.gy;
+        let gx_i = worker % self.gx;
+        let gy_i = worker / self.gx;
+        (gx_i * bw, gy_i * bh, bw, bh)
+    }
+
+    /// The worker in direction `dir` (index into [`DIRS`]) of `worker`,
+    /// wrapping on the grid torus.
+    pub fn neighbor(&self, worker: u32, dir: usize) -> u32 {
+        let (dx, dy) = DIRS[dir];
+        let gx_i = (worker % self.gx) as i64;
+        let gy_i = (worker / self.gx) as i64;
+        let nx = (gx_i + dx as i64).rem_euclid(self.gx as i64) as u32;
+        let ny = (gy_i + dy as i64).rem_euclid(self.gy as i64) as u32;
+        ny * self.gx + nx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_an_involution_matching_dirs() {
+        for (i, &(dx, dy)) in DIRS.iter().enumerate() {
+            assert_eq!(DIRS[opposite(i)], (-dx, -dy));
+            assert_eq!(opposite(opposite(i)), i);
+            assert_eq!(dir_index(dx, dy), i);
+        }
+    }
+
+    #[test]
+    fn domains_tile_the_lattice() {
+        let grid = ShardGrid::new(4, 2);
+        let dims = Dims::new(40, 20);
+        grid.validate(dims, 1);
+        let mut covered = vec![false; 800];
+        for w in 0..grid.workers() {
+            let (x0, y0, bw, bh) = grid.domain_of(dims, w);
+            assert_eq!((bw, bh), (10, 10));
+            for y in y0..y0 + bh {
+                for x in x0..x0 + bw {
+                    let i = (y * 40 + x) as usize;
+                    assert!(!covered[i], "site covered twice");
+                    covered[i] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn neighbors_wrap_on_the_grid_torus() {
+        let grid = ShardGrid::new(2, 2);
+        // Worker 0 at (0, 0): east neighbor is 1, west wraps to 1 as well.
+        assert_eq!(grid.neighbor(0, dir_index(1, 0)), 1);
+        assert_eq!(grid.neighbor(0, dir_index(-1, 0)), 1);
+        assert_eq!(grid.neighbor(0, dir_index(0, 1)), 2);
+        assert_eq!(grid.neighbor(0, dir_index(1, 1)), 3);
+        // 1×1 grid: every direction is a self-loop.
+        let solo = ShardGrid::new(1, 1);
+        for d in 0..8 {
+            assert_eq!(solo.neighbor(0, d), 0);
+        }
+    }
+
+    #[test]
+    fn for_workers_picks_the_squarest_factorisation() {
+        for (n, gx, gy) in [
+            (1, 1, 1),
+            (2, 2, 1),
+            (4, 2, 2),
+            (6, 3, 2),
+            (7, 7, 1),
+            (12, 4, 3),
+        ] {
+            let grid = ShardGrid::for_workers(n);
+            assert_eq!((grid.gx(), grid.gy()), (gx, gy), "workers = {n}");
+            assert_eq!(grid.workers(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn uneven_grid_rejected() {
+        ShardGrid::new(3, 1).validate(Dims::new(10, 10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_domains_rejected() {
+        ShardGrid::new(5, 5).validate(Dims::new(10, 10), 1);
+    }
+}

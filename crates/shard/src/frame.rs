@@ -1,0 +1,258 @@
+//! The wire format of the sharded executor.
+//!
+//! Everything that crosses a worker boundary is a byte frame: a fixed
+//! 22-byte header followed by a kind-specific payload. Workers never share
+//! lattice memory — the frames are self-contained and position-keyed, so
+//! the in-process channel transport could be swapped for sockets without
+//! touching the protocol.
+//!
+//! Header layout (little-endian):
+//!
+//! ```text
+//! [kind u8][dir u8][src u32][step u64][pos u32][payload_len u32] payload…
+//! ```
+//!
+//! `dir` is the *receiver-relative* direction of the sender (index into
+//! [`DIRS`](crate::domain::DIRS), [`NO_DIR`] for undirected frames). Keying
+//! receipt by direction instead of source id is what makes torus wraps
+//! unambiguous: on a 2×1 grid the same peer is both the east and the west
+//! neighbor, but its two frames per sweep carry different `dir` stamps.
+
+use psr_parallel::CommStats;
+
+/// Halo strip: the sender's post-sweep owned border, row-major cell states.
+pub const KIND_HALO: u8 = 0;
+/// Write-back: `(global_site u32, new_state u8)` entries for reactions the
+/// sender executed into cells the receiver owns.
+pub const KIND_WRITEBACK: u8 = 1;
+/// Propensity counts: the sender's owned per-(chunk, reaction) enabled-site
+/// counts, `u32` each, for the weighted chunk draw.
+pub const KIND_COUNTS: u8 = 2;
+/// Per-step report from a worker to the hub (see [`StepReport`]).
+pub const KIND_REPORT: u8 = 3;
+/// Final owned-rectangle state from a worker to the hub.
+pub const KIND_GATHER: u8 = 4;
+
+/// `dir` stamp of undirected frames (counts, reports, gathers).
+pub const NO_DIR: u8 = 0xFF;
+
+/// Encoded header size in bytes.
+pub const HEADER_LEN: usize = 22;
+
+/// Decoded frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind (`KIND_*`).
+    pub kind: u8,
+    /// Receiver-relative direction of the sender, or [`NO_DIR`].
+    pub dir: u8,
+    /// Sending worker id.
+    pub src: u32,
+    /// Step the frame belongs to.
+    pub step: u64,
+    /// Sweep position within the step.
+    pub pos: u32,
+}
+
+/// Demux key: everything a receiver needs to match a frame to the phase
+/// waiting for it.
+pub type FrameKey = (u8, u64, u32, u8, u32);
+
+impl FrameHeader {
+    /// The demux key of this header.
+    pub fn key(&self) -> FrameKey {
+        (self.kind, self.step, self.pos, self.dir, self.src)
+    }
+}
+
+/// Encode a frame.
+pub fn encode(kind: u8, dir: u8, src: u32, step: u64, pos: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(kind);
+    out.push(dir);
+    out.extend_from_slice(&src.to_le_bytes());
+    out.extend_from_slice(&step.to_le_bytes());
+    out.extend_from_slice(&pos.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode a frame into its header and payload.
+///
+/// # Panics
+///
+/// Panics when the buffer is shorter than a header or the payload length
+/// does not match — a frame is never partially delivered, so a mismatch is
+/// a protocol bug, not an I/O condition.
+pub fn decode(bytes: &[u8]) -> (FrameHeader, &[u8]) {
+    assert!(bytes.len() >= HEADER_LEN, "truncated frame header");
+    let header = FrameHeader {
+        kind: bytes[0],
+        dir: bytes[1],
+        src: u32::from_le_bytes(bytes[2..6].try_into().unwrap()),
+        step: u64::from_le_bytes(bytes[6..14].try_into().unwrap()),
+        pos: u32::from_le_bytes(bytes[14..18].try_into().unwrap()),
+    };
+    let payload_len = u32::from_le_bytes(bytes[18..22].try_into().unwrap()) as usize;
+    assert_eq!(
+        bytes.len(),
+        HEADER_LEN + payload_len,
+        "frame payload length mismatch"
+    );
+    (header, &bytes[HEADER_LEN..])
+}
+
+/// What one worker tells the hub after finishing a step: its share of the
+/// step's trials, the coverage it changed on cells *it owns*, per-reaction
+/// execution counts (observable rates), and the communication it paid.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Trials this worker ran (its owned sites, every sweep of the step).
+    pub trials: u64,
+    /// Reactions executed (anchored at this worker's owned sites).
+    pub executed: u64,
+    /// Net per-species coverage deltas of owned cells. Workers' vectors
+    /// only balance to zero *summed over the shard* — boundary reactions
+    /// split their writes across owners.
+    pub deltas: Vec<i64>,
+    /// Executions per reaction type (for rate observables).
+    pub reaction_executed: Vec<u64>,
+    /// Measured communication of the step.
+    pub comm: CommStats,
+}
+
+impl StepReport {
+    /// An all-zero report for a model with `species` species and
+    /// `reactions` reaction types.
+    pub fn zeroed(species: usize, reactions: usize) -> Self {
+        StepReport {
+            trials: 0,
+            executed: 0,
+            deltas: vec![0; species],
+            reaction_executed: vec![0; reactions],
+            comm: CommStats::default(),
+        }
+    }
+
+    /// Encode as a frame payload (self-describing lengths).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(24 + 8 * (self.deltas.len() + self.reaction_executed.len() + 4));
+        out.extend_from_slice(&self.trials.to_le_bytes());
+        out.extend_from_slice(&self.executed.to_le_bytes());
+        out.extend_from_slice(&(self.deltas.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.reaction_executed.len() as u32).to_le_bytes());
+        for d in &self.deltas {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        for r in &self.reaction_executed {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for v in [
+            self.comm.local_trials,
+            self.comm.boundary_trials,
+            self.comm.halo_messages,
+            self.comm.halo_bytes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`encode`](Self::encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed payload.
+    pub fn decode(payload: &[u8]) -> Self {
+        let trials = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        let executed = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+        let species = u32::from_le_bytes(payload[16..20].try_into().unwrap()) as usize;
+        let reactions = u32::from_le_bytes(payload[20..24].try_into().unwrap()) as usize;
+        assert_eq!(
+            payload.len(),
+            24 + 8 * (species + reactions + 4),
+            "report payload length mismatch"
+        );
+        let mut at = 24;
+        let mut read_u64 = |payload: &[u8]| {
+            let v = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
+            at += 8;
+            v
+        };
+        let deltas = (0..species).map(|_| read_u64(payload) as i64).collect();
+        let reaction_executed = (0..reactions).map(|_| read_u64(payload)).collect();
+        let comm = CommStats {
+            local_trials: read_u64(payload),
+            boundary_trials: read_u64(payload),
+            halo_messages: read_u64(payload),
+            halo_bytes: read_u64(payload),
+        };
+        StepReport {
+            trials,
+            executed,
+            deltas,
+            reaction_executed,
+            comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let bytes = encode(KIND_HALO, 3, 7, 12345, 2, &payload);
+        assert_eq!(bytes.len(), HEADER_LEN + 5);
+        let (header, body) = decode(&bytes);
+        assert_eq!(
+            header,
+            FrameHeader {
+                kind: KIND_HALO,
+                dir: 3,
+                src: 7,
+                step: 12345,
+                pos: 2
+            }
+        );
+        assert_eq!(body, &payload[..]);
+        assert_eq!(header.key(), (KIND_HALO, 12345, 2, 3, 7));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let bytes = encode(KIND_WRITEBACK, 0, 0, 0, 0, &[]);
+        let (header, body) = decode(&bytes);
+        assert_eq!(header.kind, KIND_WRITEBACK);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn report_roundtrip_with_negative_deltas() {
+        let report = StepReport {
+            trials: 400,
+            executed: 123,
+            deltas: vec![-5, 3, 2],
+            reaction_executed: vec![7, 0, 100, 16],
+            comm: CommStats {
+                local_trials: 350,
+                boundary_trials: 50,
+                halo_messages: 16,
+                halo_bytes: 2048,
+            },
+        };
+        let decoded = StepReport::decode(&report.encode());
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn truncated_payload_rejected() {
+        let bytes = encode(KIND_HALO, 0, 0, 0, 0, &[1, 2, 3]);
+        decode(&bytes[..bytes.len() - 1]);
+    }
+}

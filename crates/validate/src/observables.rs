@@ -242,6 +242,71 @@ pub fn zgb_replicas_batch(
     )
 }
 
+/// Run one ZGB replica on the *sharded* executor (`psr-shard`): the
+/// lattice tiled over `shards` domain-decomposed workers, PNDCA with
+/// random chunk order on the 5-coloring, boundary state moving through
+/// the halo-frame protocol. Reduces to the same observables as
+/// [`zgb_replica`].
+///
+/// The CO₂ rate comes from the executor's per-reaction execution
+/// counters instead of a per-event meter: cumulative counts are sampled
+/// at block boundaries and the tail rate is events / site / time over
+/// the tail window — the same expectation the reference's windowed
+/// meter estimates.
+pub fn zgb_replica_sharded(job: &ZgbJob, shards: u32, seed: u64) -> Vec<(String, f64)> {
+    use psr_dmc::sim::SimState;
+    use psr_lattice::Lattice;
+    use psr_shard::{ShardGrid, ShardedPndca};
+
+    let model = zgb_ziff(job.y, job.k_react);
+    let dims = Dims::square(job.side);
+    let grid = ShardGrid::for_workers(shards);
+    grid.validate(dims, model.interaction_radius());
+    let partition = PartitionSpec::FiveColoring.build(dims, &model);
+    let co2_group = co2_reaction_indices(&model);
+    let sites = (job.side as u64).pow(2) as f64;
+
+    let block = (0.25 * model.total_rate()).ceil().max(1.0) as u64;
+    let mut exec = ShardedPndca::new(&model, &partition, grid, seed)
+        .with_selection(ChunkSelection::RandomOrder);
+    let mut state = SimState::new(Lattice::filled(dims, 0), &model);
+
+    let mut co = TimeSeries::new();
+    let mut o = TimeSeries::new();
+    let mut vacant = TimeSeries::new();
+    let mut co2_cum = TimeSeries::new();
+    co2_cum.push(0.0, 0.0);
+    while state.time < job.t_end {
+        exec.run_steps(&mut state, block, None);
+        let cov = &state.coverage;
+        co.push(state.time, cov.fraction(1));
+        o.push(state.time, cov.fraction(2));
+        vacant.push(state.time, cov.fraction(0));
+        let events: u64 = co2_group
+            .iter()
+            .map(|&ri| exec.reaction_executions()[ri])
+            .sum();
+        co2_cum.push(state.time, events as f64);
+    }
+
+    let tail = job.t_end * 0.5;
+    let tail_mean = |s: &TimeSeries| s.after(tail).mean().unwrap_or(f64::NAN);
+    let tail_counts = co2_cum.after(tail);
+    let co2_rate = if tail_counts.len() >= 2 {
+        let (t, c) = (tail_counts.times(), tail_counts.values());
+        let span = t[t.len() - 1] - t[0];
+        (c[c.len() - 1] - c[0]) / sites / span
+    } else {
+        0.0
+    };
+    vec![
+        ("theta_co".into(), tail_mean(&co)),
+        ("theta_o".into(), tail_mean(&o)),
+        ("theta_vacant".into(), tail_mean(&vacant)),
+        ("co2_rate".into(), co2_rate),
+    ]
+}
+
 /// Parameters of one Kuzovkov oscillation job.
 #[derive(Clone, Copy, Debug)]
 pub struct OscillationJob {
@@ -397,6 +462,23 @@ mod tests {
                 assert_eq!(row, &single, "replica {i} of {algorithm:?}");
             }
         }
+    }
+
+    #[test]
+    fn sharded_replica_reports_all_observables_deterministically() {
+        let job = ZgbJob {
+            y: 0.5,
+            k_react: 5.0,
+            side: 10,
+            t_end: 2.0,
+        };
+        let obs = zgb_replica_sharded(&job, 4, 3);
+        let names: Vec<&str> = obs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["theta_co", "theta_o", "theta_vacant", "co2_rate"]);
+        let theta: f64 = obs[..3].iter().map(|(_, v)| v).sum();
+        assert!((theta - 1.0).abs() < 1e-9, "coverages must sum to 1");
+        assert!(obs[3].1 >= 0.0);
+        assert_eq!(obs, zgb_replica_sharded(&job, 4, 3), "seed determinism");
     }
 
     #[test]

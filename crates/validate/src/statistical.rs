@@ -24,7 +24,8 @@
 use crate::ensemble::{run_sequential, run_sequential_batched, EnsembleOutcome, SequentialConfig};
 use crate::observables::{
     batch_algorithm_for, deviation_algorithms, oscillation_replica, reference_algorithm,
-    variant_algorithms, zgb_replica, zgb_replicas_batch, OscillationJob, ZgbJob,
+    variant_algorithms, zgb_replica, zgb_replica_sharded, zgb_replicas_batch, OscillationJob,
+    ZgbJob,
 };
 use crate::verdict::Check;
 use psr_core::Algorithm;
@@ -234,6 +235,42 @@ pub fn statistical_checks(cfg: &StatisticalConfig) -> Vec<Check> {
             format!("zgb-{name}-ks-theta_co"),
             &reference,
             &variant,
+            "theta_co",
+        ));
+    }
+
+    // The sharded-executor arm: ZGB on `psr-shard`'s domain-decomposed
+    // PNDCA (4 workers, halo-frame boundary exchange). The protocol is
+    // pinned bit-identically against the shared-lattice executor by
+    // `psr-shard`'s differential tests; this gate asks the independent
+    // question — that the *physics* matches DMC within the margins.
+    {
+        let mut seq = cfg.seq.clone();
+        seq.base_seed = cfg.seq.base_seed + 50 * 1_000_000;
+        let targets = zgb_targets(&cfg.margins);
+        let zgb = cfg.zgb;
+        let sharded = run_sequential(&seq, &targets, move |seed| {
+            zgb_replica_sharded(&zgb, 4, seed)
+        });
+        for observable in ["theta_co", "theta_o", "co2_rate"] {
+            let margin = if observable == "co2_rate" {
+                cfg.margins.co2_rate
+            } else {
+                cfg.margins.coverage
+            };
+            checks.push(equivalence_check(
+                format!("zgb-sharded-{observable}"),
+                &reference,
+                &sharded,
+                observable,
+                margin,
+                cfg.alpha,
+            ));
+        }
+        checks.push(ks_check(
+            "zgb-sharded-ks-theta_co".to_owned(),
+            &reference,
+            &sharded,
             "theta_co",
         ));
     }

@@ -8,9 +8,14 @@
 #      must hold >= MIN_REPLICA_SPEEDUP replica throughput over looping
 #      the single-replica kernel at some width in 32-64, with
 #      bit-identical trajectories on every gated entry.
+#   3. Shard bench (BENCH_shard.json): the domain-decomposed executor
+#      must hold >= MIN_SHARD_SPEEDUP critical-path sweep throughput at
+#      4 workers over the 1-worker sharded baseline on every lattice
+#      size, with the 4-worker trajectory bit-identical to 1-worker.
 #
-# Regenerate with `target/release/bench_kernel` / `bench_replica` first.
-# Smoke callers pass the *_smoke.json files and looser thresholds.
+# Regenerate with `target/release/bench_kernel` / `bench_replica` /
+# `bench_shard` first. Smoke callers pass the *_smoke.json files and
+# looser thresholds.
 #
 # The replica default is 3.5x, not the 8x the batch work originally
 # aimed for: on this single-core host the AVX-512 sweep is port-bound at
@@ -23,8 +28,10 @@ cd "$(dirname "$0")/.."
 
 BENCH_FILE=${1:-BENCH_kernel.json}
 REPLICA_FILE=${2:-BENCH_replica.json}
+SHARD_FILE=${3:-BENCH_shard.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-3.0}
 MIN_REPLICA_SPEEDUP=${MIN_REPLICA_SPEEDUP:-3.5}
+MIN_SHARD_SPEEDUP=${MIN_SHARD_SPEEDUP:-2.5}
 
 if [ ! -f "$BENCH_FILE" ]; then
     echo "check_bench: $BENCH_FILE not found (run bench_kernel first)" >&2
@@ -85,3 +92,32 @@ if [ "$ok" -ne 1 ]; then
     exit 1
 fi
 echo "check_bench: batched replica speedup ${best}x >= ${MIN_REPLICA_SPEEDUP}x"
+
+if [ ! -f "$SHARD_FILE" ]; then
+    echo "check_bench: $SHARD_FILE not found (run bench_shard first)" >&2
+    exit 1
+fi
+
+# One `"side": <L>` result line per lattice size; every size must be
+# grid-invariant and clear the strong-scaling bar on its own.
+sizes=0
+while IFS= read -r line; do
+    sizes=$((sizes + 1))
+    side=$(sed -n 's/.*"side": \([0-9]*\).*/\1/p' <<<"$line")
+    s_speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' <<<"$line")
+    s_identical=$(sed -n 's/.*"trajectories_identical": \(true\|false\).*/\1/p' <<<"$line")
+    if [ "$s_identical" != "true" ]; then
+        echo "check_bench: L=$side 4-worker trajectory not identical to 1-worker" >&2
+        exit 1
+    fi
+    ok=$(awk -v s="$s_speedup" -v m="$MIN_SHARD_SPEEDUP" 'BEGIN { print (s >= m) ? 1 : 0 }')
+    if [ "$ok" -ne 1 ]; then
+        echo "check_bench: L=$side sharded speedup ${s_speedup}x < ${MIN_SHARD_SPEEDUP}x" >&2
+        exit 1
+    fi
+    echo "check_bench: L=$side sharded 4-worker speedup ${s_speedup}x >= ${MIN_SHARD_SPEEDUP}x"
+done < <(grep '"side": ' "$SHARD_FILE")
+if [ "$sizes" -eq 0 ]; then
+    echo "check_bench: no shard entries in $SHARD_FILE" >&2
+    exit 1
+fi

@@ -45,10 +45,15 @@ target/release/bench_kernel --smoke
 echo "==> bench_replica --smoke (batched lockstep vs serial replica loop)"
 target/release/bench_replica --smoke
 
+echo "==> bench_shard --smoke (sharded strong scaling, small lattice)"
+target/release/bench_shard --smoke
+
 # Smoke thresholds sit below the committed full-size numbers: the small
-# jobs are noisier and this host's wall clock is shared.
-MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 \
-    scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json
+# jobs are noisier and this host's wall clock is shared (the shard smoke
+# lattice is 64x64, where the halo is a much larger fraction of the
+# sweep than at the gated 1024/2048 sizes).
+MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 MIN_SHARD_SPEEDUP=2.0 \
+    scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json BENCH_shard_smoke.json
 
 echo "==> validate --smoke (statistical accuracy gates, small budgets)"
 scripts/validate.sh --smoke
