@@ -86,8 +86,8 @@ pub fn render(
     {
         let _ = writeln!(
             out,
-            "  checkpoint bytes: count {}  p50 {}  p95 {}",
-            summary.count, summary.p50, summary.p95
+            "  checkpoint bytes: count {}  p50 {}  p95 {}  p99 {}",
+            summary.count, summary.p50, summary.p95, summary.p99
         );
     }
     if rate_samples.len() >= 2 {

@@ -13,7 +13,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::dashboard::{self, JobProgress};
 use crate::journal::{Journal, JsonLine};
 use crate::metrics::Registry;
-use crate::runner::{Interrupt, JobRun, RunOutcome};
+use crate::runner::{Interrupt, JobRun, NoObserver, RunOutcome};
 use crate::spec::{BatchSpec, EngineConfig, JobSpec};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -299,6 +299,7 @@ impl Engine {
                 deadline: self.config.deadline_ms.map(Duration::from_millis),
                 ignore_faults: opts.ignore_faults,
                 attempt,
+                observer: &NoObserver,
             };
             let status = match catch_unwind(AssertUnwindSafe(|| run.run())) {
                 Ok(Ok(RunOutcome::Completed)) => JobStatus::Completed,

@@ -184,7 +184,8 @@ impl Journal {
             line = line
                 .u64(&format!("h.{k}.count"), s.count)
                 .u64(&format!("h.{k}.p50"), s.p50)
-                .u64(&format!("h.{k}.p95"), s.p95);
+                .u64(&format!("h.{k}.p95"), s.p95)
+                .u64(&format!("h.{k}.p99"), s.p99);
         }
         self.log(line);
     }

@@ -37,6 +37,6 @@ pub use checkpoint::CheckpointStore;
 pub use engine::{BatchReport, Engine, JobReport, JobStatus, RunOptions};
 pub use journal::{Journal, JsonLine};
 pub use metrics::{MetricsSnapshot, Registry};
-pub use runner::{Interrupt, RunOutcome};
+pub use runner::{BlockObserver, Interrupt, JobRun, NoObserver, RunOutcome};
 pub use shard_session::{JobSession, ShardSession};
 pub use spec::{BatchSpec, EngineConfig, JobSpec, ModelSpec};

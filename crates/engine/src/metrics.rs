@@ -98,6 +98,7 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             p50: self.quantile(0.5),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -113,6 +114,9 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// Upper-edge estimate of the 95th percentile.
     pub p95: u64,
+    /// Upper-edge estimate of the 99th percentile (the latency SLO figure
+    /// the serving layer reports).
+    pub p99: u64,
 }
 
 /// Cloneable, thread-shared registry of named metrics.
@@ -227,6 +231,7 @@ mod tests {
         // Median rank 4 lands on value 3 → bucket [2,4) → upper edge 4.
         assert_eq!(s.p50, 4);
         assert!(s.p95 >= 1000);
+        assert!(s.p99 >= s.p95);
         assert_eq!(h.quantile(1.0), h.quantile(0.99));
     }
 

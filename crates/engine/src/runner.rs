@@ -16,10 +16,32 @@ use crate::journal::{Journal, JsonLine};
 use crate::metrics::Registry;
 use crate::shard_session::JobSession;
 use crate::spec::JobSpec;
-use psr_core::Checkpointable;
+use psr_core::{Checkpointable, SessionCheckpoint};
 use psr_dmc::events::Event;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Observer of the durable checkpoints a job attempt writes.
+///
+/// This is the run-to-journal seam the serving layer builds on: the
+/// observer fires *after* each checkpoint (or the final snapshot) reaches
+/// disk, so anything it derives from the [`SessionCheckpoint`] — coverage
+/// observables, progress records — is never ahead of the durable state it
+/// would be resumed from. Checkpoint placement is deterministic (the
+/// `checkpoint_every` grid plus fault steps), so the observation stream is
+/// a pure function of the job spec, interrupted or not.
+pub trait BlockObserver: Sync {
+    /// A checkpoint for `job` was durably written. `done` is true for the
+    /// final snapshot (the job completed at `ck.steps`).
+    fn on_checkpoint(&self, job: &str, ck: &SessionCheckpoint, done: bool);
+}
+
+/// The default observer: ignore checkpoints.
+pub struct NoObserver;
+
+impl BlockObserver for NoObserver {
+    fn on_checkpoint(&self, _job: &str, _ck: &SessionCheckpoint, _done: bool) {}
+}
 
 /// Why a job attempt stopped before its final step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +97,9 @@ pub struct JobRun<'a> {
     pub ignore_faults: bool,
     /// Zero-based attempt number (faults only fire on attempt 0).
     pub attempt: u32,
+    /// Fires after every durably written checkpoint ([`NoObserver`] when
+    /// nobody is watching).
+    pub observer: &'a dyn BlockObserver,
 }
 
 impl JobRun<'_> {
@@ -213,6 +238,7 @@ impl JobRun<'_> {
                         .f64("time", ck.time)
                         .u64("bytes", bytes),
                 );
+                self.observer.on_checkpoint(&spec.name, &ck, false);
             }
 
             let interrupt = if self.fault(spec.abort_at_step) == Some(now) && start_steps < now {
@@ -257,6 +283,7 @@ impl JobRun<'_> {
                 .f64("time", ck.time)
                 .u64("bytes", bytes),
         );
+        self.observer.on_checkpoint(&spec.name, &ck, true);
         Ok(RunOutcome::Completed)
     }
 }
@@ -302,6 +329,7 @@ mod tests {
             deadline: None,
             ignore_faults: false,
             attempt,
+            observer: &NoObserver,
         }
         .run()
     }
@@ -321,6 +349,7 @@ mod tests {
             deadline: None,
             ignore_faults: false,
             attempt: 0,
+            observer: &NoObserver,
         };
         assert_eq!(jr.next_boundary(0), 6);
         assert_eq!(jr.next_boundary(6), 8); // clamped by fail_at_step
@@ -398,6 +427,41 @@ mod tests {
     }
 
     #[test]
+    fn observer_sees_every_durable_checkpoint_in_order() {
+        use std::sync::Mutex;
+        struct Collect(Mutex<Vec<(u64, bool)>>);
+        impl BlockObserver for Collect {
+            fn on_checkpoint(&self, job: &str, ck: &SessionCheckpoint, done: bool) {
+                assert_eq!(job, "t");
+                self.0.lock().unwrap().push((ck.steps, done));
+            }
+        }
+        let spec = base_spec(); // 20 steps, checkpoint_every = 6
+        let h = harness("observer");
+        let collect = Collect(Mutex::new(Vec::new()));
+        let out = JobRun {
+            spec: &spec,
+            store: &h.0,
+            journal: &h.1,
+            metrics: &h.2,
+            cancel: &h.3,
+            deadline: None,
+            ignore_faults: false,
+            attempt: 0,
+            observer: &collect,
+        }
+        .run()
+        .expect("run");
+        assert_eq!(out, RunOutcome::Completed);
+        let seen = collect.0.into_inner().unwrap();
+        assert_eq!(
+            seen,
+            vec![(6, false), (12, false), (18, false), (20, true)],
+            "observer must fire once per durable checkpoint plus the final snapshot"
+        );
+    }
+
+    #[test]
     fn cancel_flag_stops_at_the_next_boundary() {
         let spec = base_spec();
         let h = harness("cancel");
@@ -425,6 +489,7 @@ mod tests {
             deadline: Some(Duration::ZERO),
             ignore_faults: false,
             attempt: 0,
+            observer: &NoObserver,
         }
         .run()
         .expect("run");

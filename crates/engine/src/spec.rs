@@ -323,7 +323,8 @@ impl BatchSpec {
         type JobKeys = Vec<(String, String, usize)>;
         let mut engine = EngineConfig::default();
         let mut jobs: Vec<JobSpec> = Vec::new();
-        let mut partial: Vec<(String, JobKeys)> = Vec::new();
+        // (name, line number of the `[job …]` header, keys)
+        let mut partial: Vec<(String, usize, JobKeys)> = Vec::new();
         let mut section = Section::None;
 
         for (lineno, raw) in text.lines().enumerate() {
@@ -338,10 +339,10 @@ impl BatchSpec {
                     section = Section::Engine;
                 } else if let Some(name) = header.strip_prefix("job ") {
                     let name = name.trim().to_owned();
-                    if partial.iter().any(|(n, _)| *n == name) {
+                    if partial.iter().any(|(n, _, _)| *n == name) {
                         return Err(format!("line {lineno}: duplicate job {name:?}"));
                     }
-                    partial.push((name, Vec::new()));
+                    partial.push((name, lineno, Vec::new()));
                     section = Section::Job(partial.len() - 1);
                 } else {
                     return Err(format!("line {lineno}: unknown section [{header}]"));
@@ -360,18 +361,21 @@ impl BatchSpec {
                     Self::apply_engine_key(&mut engine, &key, &value)
                         .map_err(|e| format!("line {lineno}: {e}"))?;
                 }
-                Section::Job(i) => partial[i].1.push((key, value, lineno)),
+                Section::Job(i) => partial[i].2.push((key, value, lineno)),
             }
         }
 
-        for (name, keys) in partial {
-            jobs.push(Self::build_job(&name, keys)?);
+        let mut header_lines = Vec::new();
+        for (name, header_line, keys) in partial {
+            jobs.push(Self::build_job(&name, header_line, keys)?);
+            header_lines.push(header_line);
         }
         if jobs.is_empty() {
             return Err("batch declares no jobs".to_owned());
         }
-        for job in &jobs {
-            job.validate()?;
+        for (job, header_line) in jobs.iter().zip(&header_lines) {
+            job.validate()
+                .map_err(|e| format!("line {header_line}: {e}"))?;
         }
         Ok(BatchSpec { engine, jobs })
     }
@@ -403,7 +407,11 @@ impl BatchSpec {
         Ok(())
     }
 
-    fn build_job(name: &str, keys: Vec<(String, String, usize)>) -> Result<JobSpec, String> {
+    fn build_job(
+        name: &str,
+        header_line: usize,
+        keys: Vec<(String, String, usize)>,
+    ) -> Result<JobSpec, String> {
         let mut model = None;
         let mut algorithm = None;
         let mut side = None;
@@ -446,12 +454,13 @@ impl BatchSpec {
                 other => return Err(err(format!("unknown job key `{other}`"))),
             }
         }
-        let steps = steps.ok_or(format!("job {name}: missing steps"))?;
+        let missing = |what: &str| format!("line {header_line}: job {name}: missing {what}");
+        let steps = steps.ok_or_else(|| missing("steps"))?;
         let mut job = JobSpec::new(
             name,
-            model.ok_or(format!("job {name}: missing model"))?,
-            algorithm.ok_or(format!("job {name}: missing algorithm"))?,
-            side.ok_or(format!("job {name}: missing side"))?,
+            model.ok_or_else(|| missing("model"))?,
+            algorithm.ok_or_else(|| missing("algorithm"))?,
+            side.ok_or_else(|| missing("side"))?,
             seed,
             steps,
         );
@@ -567,6 +576,59 @@ shards = 4
             (
                 "[job a]\nmodel = kuzovkov\nalgorithm = ndca\nside = 10\nsteps = 5\nshards = 4",
                 "requires a pndca algorithm",
+            ),
+        ] {
+            let err = BatchSpec::parse(snippet).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "spec {snippet:?}: error {err:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_job_sections_report_line_numbers() {
+        // Server clients fixing a rejected spec need a position, so every
+        // job-section problem must cite a line: bad values cite their own
+        // line, missing keys and validation failures cite the `[job]`
+        // header line.
+        for (snippet, needle) in [
+            // Bad value on line 3 of the section body.
+            (
+                "[job a]\nmodel = zgb 0.5 5\nalgorithm = warp\nside = 10\nsteps = 5",
+                "line 3 (job a): unknown algorithm",
+            ),
+            (
+                "\n\n[job a]\nmodel = zgb nope 5\nalgorithm = rsm\nside = 10\nsteps = 5",
+                "line 4 (job a): zgb y",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = ten\nsteps = 5",
+                "line 4 (job a): side",
+            ),
+            // Missing keys cite the header line of the offending job.
+            ("[job a]\nsteps = 5", "line 1: job a: missing model"),
+            (
+                "\n[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10",
+                "line 2: job a: missing steps",
+            ),
+            (
+                "[job ok]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10\nsteps = 5\n\n[job b]\nmodel = kuzovkov\nsteps = 5",
+                "line 7: job b: missing algorithm",
+            ),
+            // Validation failures (out-of-range cross-field constraints)
+            // also cite the header line.
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = 0\nsteps = 5",
+                "line 1: job a: side must be positive",
+            ),
+            (
+                "\n\n\n[job a]\nmodel = kuzovkov\nalgorithm = rsm\nside = 10\nsteps = 5\nfail_at_step = 5",
+                "line 4: job a: fail_at_step = 5 must lie strictly inside",
+            ),
+            (
+                "[job a]\nmodel = zgb 2.0 5\nalgorithm = rsm\nside = 10\nsteps = 5",
+                "line 2 (job a): zgb parameters out of range",
             ),
         ] {
             let err = BatchSpec::parse(snippet).unwrap_err();

@@ -1,0 +1,265 @@
+//! Load-test driver: N concurrent clients against an in-process server.
+//!
+//! Clients submit a mix of *hot* specs (a small set repeated, so they hit
+//! the content-addressed cache after the first completion) and *cold* specs
+//! (unique seeds, every one a real simulation), then poll to completion and
+//! fetch the result. Per-request end-to-end latencies are recorded
+//! client-side and reported as exact p50/p99 over the sorted samples — no
+//! histogram buckets — because the acceptance gate compares hit p99 against
+//! cold p99.
+//!
+//! Output (JSON, for `scripts/check_bench.sh`):
+//!
+//! ```json
+//! {"clients":8,"requests":240,"throughput_rps":…,"cache_hit_rate":…,
+//!  "hit_p50_us":…,"hit_p99_us":…,"cold_p50_us":…,"cold_p99_us":…,
+//!  "hit_speedup_p99":…}
+//! ```
+
+use psr_serve::client;
+use psr_serve::json;
+use psr_serve::server::{start, ServerConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    hot_frac: f64,
+    side: u32,
+    steps: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        clients: 8,
+        requests: 30,
+        hot_frac: 0.5,
+        side: 40,
+        steps: 400,
+        out: "BENCH_serve.json".to_owned(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--clients" => a.clients = val()?.parse().map_err(|e| format!("clients: {e}"))?,
+            "--requests" => a.requests = val()?.parse().map_err(|e| format!("requests: {e}"))?,
+            "--hot-frac" => a.hot_frac = val()?.parse().map_err(|e| format!("hot-frac: {e}"))?,
+            "--side" => a.side = val()?.parse().map_err(|e| format!("side: {e}"))?,
+            "--steps" => a.steps = val()?.parse().map_err(|e| format!("steps: {e}"))?,
+            "--out" => a.out = val()?.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn spec(side: u32, steps: u64, seed: u64) -> String {
+    format!("model = zgb 0.51 5\nalgorithm = ndca\nside = {side}\nseed = {seed}\nsteps = {steps}\n")
+}
+
+struct Sample {
+    us: u64,
+    hit: bool,
+}
+
+/// Submit → wait → fetch one spec; returns the e2e latency and whether the
+/// submission was served from the cache.
+fn run_one(addr: &str, tenant: &str, body: &str) -> Result<Sample, String> {
+    let t0 = Instant::now();
+    let timeout = Duration::from_secs(60);
+    let resp = loop {
+        let r = client::post(
+            addr,
+            "/v1/jobs",
+            &[("x-tenant", tenant)],
+            body.as_bytes(),
+            timeout,
+        )?;
+        if r.status == 429 {
+            // Honour Retry-After: the server is telling us to back off.
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        if r.status != 200 && r.status != 202 {
+            return Err(format!("submit: {} {}", r.status, r.text()));
+        }
+        break r;
+    };
+    let v = json::parse(resp.text().trim()).map_err(|e| format!("submit body: {e}"))?;
+    let id = v
+        .get("id")
+        .and_then(json::Value::as_u64)
+        .ok_or("submit body lacks id")?;
+    let hit = v.get("cached").and_then(json::Value::as_bool) == Some(true);
+    let deadline = Instant::now() + timeout;
+    loop {
+        let st = client::get(addr, &format!("/v1/jobs/{id}"), timeout)?;
+        let status = json::parse(st.text().trim())
+            .ok()
+            .and_then(|v| {
+                v.get("status")
+                    .and_then(json::Value::as_str)
+                    .map(String::from)
+            })
+            .unwrap_or_default();
+        match status.as_str() {
+            "done" => break,
+            "failed" => return Err(format!("job {id} failed: {}", st.text())),
+            _ if Instant::now() > deadline => return Err(format!("job {id} timed out")),
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    let result = client::get(addr, &format!("/v1/jobs/{id}/result"), timeout)?;
+    if result.status != 200 || result.body.is_empty() {
+        return Err(format!("result: {}", result.status));
+    }
+    Ok(Sample {
+        us: t0.elapsed().as_micros() as u64,
+        hit,
+    })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadtest_serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let state_dir = std::env::temp_dir().join(format!("psr_loadtest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state_dir.clone(),
+        workers: 4,
+        queue_cap: 4096,
+        max_connections: 256,
+        ..ServerConfig::default()
+    };
+    let handle = match start(cfg, Arc::new(AtomicBool::new(false))) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("loadtest_serve: start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = handle.addr.to_string();
+    eprintln!(
+        "loadtest_serve: {} clients x {} requests (hot fraction {}) against {}",
+        args.clients, args.requests, args.hot_frac, addr
+    );
+
+    // Warm the hot set so hot requests measure the cache path, not the
+    // first computation of it.
+    let hot_specs: Vec<String> = (0..4)
+        .map(|i| spec(args.side, args.steps, 1000 + i))
+        .collect();
+    for s in &hot_specs {
+        if let Err(e) = run_one(&addr, "warmup", s) {
+            eprintln!("loadtest_serve: warmup: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let t_start = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..args.clients {
+        let addr = addr.clone();
+        let hot_specs = hot_specs.clone();
+        let samples = Arc::clone(&samples);
+        let errors = Arc::clone(&errors);
+        let (requests, hot_frac, side, steps) =
+            (args.requests, args.hot_frac, args.side, args.steps);
+        threads.push(std::thread::spawn(move || {
+            let tenant = format!("tenant-{c}");
+            for r in 0..requests {
+                // Deterministic hot/cold interleave per client: the first
+                // `hot_frac` of each window of 100 indices is hot.
+                let hot = ((r * 7919 + c * 104729) % 100) as f64 / 100.0 < hot_frac;
+                let body = if hot {
+                    hot_specs[(r + c) % hot_specs.len()].clone()
+                } else {
+                    // Unique seed: never cached before this run.
+                    spec(side, steps, 1_000_000 + (c * requests + r) as u64)
+                };
+                match run_one(&addr, &tenant, &body) {
+                    Ok(s) => samples.lock().expect("samples").push(s),
+                    Err(e) => errors.lock().expect("errors").push(e),
+                }
+            }
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall = t_start.elapsed();
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let errors = errors.lock().expect("errors");
+    if !errors.is_empty() {
+        eprintln!(
+            "loadtest_serve: {} request(s) failed: {}",
+            errors.len(),
+            errors[0]
+        );
+        return ExitCode::from(2);
+    }
+    let samples = samples.lock().expect("samples");
+    let mut hits: Vec<u64> = samples.iter().filter(|s| s.hit).map(|s| s.us).collect();
+    let mut colds: Vec<u64> = samples.iter().filter(|s| !s.hit).map(|s| s.us).collect();
+    hits.sort_unstable();
+    colds.sort_unstable();
+    let total = samples.len();
+    let hit_p99 = percentile(&hits, 0.99);
+    let cold_p99 = percentile(&colds, 0.99);
+    let speedup = if hit_p99 > 0 {
+        cold_p99 as f64 / hit_p99 as f64
+    } else {
+        0.0
+    };
+    let report = format!(
+        "{{\"clients\":{},\"requests\":{},\"wall_s\":{:.3},\"throughput_rps\":{:.2},\
+         \"hits\":{},\"colds\":{},\"cache_hit_rate\":{:.4},\
+         \"hit_p50_us\":{},\"hit_p99_us\":{},\"cold_p50_us\":{},\"cold_p99_us\":{},\
+         \"hit_speedup_p99\":{:.2}}}",
+        args.clients,
+        total,
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64(),
+        hits.len(),
+        colds.len(),
+        hits.len() as f64 / total.max(1) as f64,
+        percentile(&hits, 0.5),
+        hit_p99,
+        percentile(&colds, 0.5),
+        cold_p99,
+        speedup,
+    );
+    println!("{report}");
+    match std::fs::File::create(&args.out).and_then(|mut f| writeln!(f, "{report}")) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadtest_serve: writing {}: {e}", args.out);
+            ExitCode::from(2)
+        }
+    }
+}

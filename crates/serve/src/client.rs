@@ -1,0 +1,211 @@
+//! Minimal blocking HTTP client for the service's own API.
+//!
+//! One request per connection (the server always answers
+//! `Connection: close`), `Content-Length` and chunked response bodies, hard
+//! timeouts. Used by the CLI subcommands, the load-test driver, and the
+//! integration tests — all of which need *exact* bytes back, so the body is
+//! returned untouched.
+
+use crate::http::Request;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body bytes (chunked framing removed).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .ok_or("response head never terminated")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+    let rest = &raw[head_end..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.contains("chunked"));
+    let body = if chunked {
+        decode_chunked(rest)?
+    } else {
+        // Content-Length if present, else read-to-EOF semantics (the
+        // caller already read until close).
+        match headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+        {
+            Some(n) if rest.len() >= n => rest[..n].to_vec(),
+            Some(n) => return Err(format!("body truncated: {} of {n} bytes", rest.len())),
+            None => rest.to_vec(),
+        }
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn decode_chunked(mut rest: &[u8]) -> Result<Vec<u8>, String> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or("chunk size line never terminated")?;
+        let size_text = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| "chunk size is not UTF-8")?
+            .trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| format!("bad chunk size {size_text:?}"))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(body);
+        }
+        if rest.len() < size + 2 {
+            return Err("chunk truncated".to_owned());
+        }
+        body.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+    }
+}
+
+/// Send `req` to `addr` and read the full response.
+///
+/// # Errors
+///
+/// Connection, timeout, and malformed-response errors.
+pub fn send(addr: &str, req: &Request, timeout: Duration) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    stream
+        .write_all(&req.render())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    parse_response(&raw)
+}
+
+/// GET `path` from `addr`.
+///
+/// # Errors
+///
+/// See [`send`].
+pub fn get(addr: &str, path: &str, timeout: Duration) -> Result<Response, String> {
+    send(
+        addr,
+        &Request {
+            method: "GET".to_owned(),
+            target: path.to_owned(),
+            headers: vec![("host".to_owned(), addr.to_owned())],
+            body: Vec::new(),
+        },
+        timeout,
+    )
+}
+
+/// POST `body` to `path` at `addr` with extra headers.
+///
+/// # Errors
+///
+/// See [`send`].
+pub fn post(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<Response, String> {
+    let mut hs = vec![("host".to_owned(), addr.to_owned())];
+    for (k, v) in headers {
+        hs.push(((*k).to_owned(), (*v).to_owned()));
+    }
+    send(
+        addr,
+        &Request {
+            method: "POST".to_owned(),
+            target: path.to_owned(),
+            headers: hs,
+            body: body.to_vec(),
+        },
+        timeout,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_content_length_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let r = parse_response(raw).expect("parse");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let r = parse_response(raw).expect("parse");
+        assert_eq!(r.body, b"hello world");
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(parse_response(raw).is_err());
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nnope";
+        assert!(parse_response(raw).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Hand-rolled HTTP/1.1: request parsing and response rendering.
+//!
+//! The service speaks just enough HTTP for its JSON API — request line,
+//! headers, `Content-Length` bodies, chunked *responses* for streaming —
+//! with hard size caps so a hostile peer cannot balloon memory. No TLS, no
+//! chunked request bodies, no multipart: every endpoint is plain text or
+//! JSON. The parser is a pure function over a byte buffer (feed it the
+//! bytes read so far; it answers *complete*, *partial*, or an error), which
+//! is what makes it property-testable without sockets.
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target (path plus optional `?query`), as sent.
+    pub target: String,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (before any `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's query string (after the first `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// One value from a `k=v&k2=v2` query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query()?
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Render as wire bytes (the client side of the parser; `parse_request`
+    /// inverts it — pinned by proptest).
+    pub fn render(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        for (k, v) in &self.headers {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Outcome of feeding the bytes received so far to the parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Parse {
+    /// A full request, plus how many buffer bytes it consumed.
+    Complete(Request, usize),
+    /// Valid so far but incomplete — read more bytes and call again.
+    Partial,
+}
+
+fn is_token_char(b: u8) -> bool {
+    // RFC 7230 token characters.
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Parse one request from the front of `buf`.
+///
+/// # Errors
+///
+/// Malformed requests (bad request line, oversized head/body, non-numeric
+/// `Content-Length`, control bytes in headers) — the connection should
+/// answer 400 and close.
+pub fn parse_request(buf: &[u8]) -> Result<Parse, String> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(format!("header section exceeds {MAX_HEAD} bytes"));
+        }
+        return Ok(Parse::Partial);
+    };
+    if head_end > MAX_HEAD {
+        return Err(format!("header section exceeds {MAX_HEAD} bytes"));
+    }
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "head is not UTF-8".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(format!("malformed request line {request_line:?}")),
+    };
+    if !method.bytes().all(is_token_char) {
+        return Err(format!("malformed method {method:?}"));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(format!("unsupported version {version:?}"));
+    }
+    if target.bytes().any(|b| b.is_ascii_control()) {
+        return Err("control bytes in request target".to_owned());
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank line terminating the head
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line {line:?}"))?;
+        if name.is_empty() || !name.bytes().all(is_token_char) {
+            return Err(format!("malformed header name {name:?}"));
+        }
+        let value = value.trim();
+        if value.bytes().any(|b| b.is_ascii_control()) {
+            return Err(format!("control bytes in header {name:?}"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_owned()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err("chunked request bodies are not supported".to_owned());
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad content-length {v:?}"))?,
+    };
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+    }
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(Parse::Partial);
+    }
+    Ok(Parse::Complete(
+        Request {
+            method: method.to_owned(),
+            target: target.to_owned(),
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Index just past the `\r\n\r\n` ending the head, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Render a complete response with `Content-Length` and
+/// `Connection: close`.
+pub fn response(status: u16, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {}\r\n", reason(status)).as_bytes());
+    for (k, v) in headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(
+        format!(
+            "content-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// Render the head of a chunked streaming response (chunks follow via
+/// [`chunk`] and [`last_chunk`]).
+pub fn chunked_head(status: u16, headers: &[(&str, &str)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {}\r\n", reason(status)).as_bytes());
+    for (k, v) in headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"transfer-encoding: chunked\r\nconnection: close\r\n\r\n");
+    out
+}
+
+/// Render one non-empty chunk.
+pub fn chunk(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Render the terminating zero-length chunk.
+pub fn last_chunk() -> &'static [u8] {
+    b"0\r\n\r\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let wire = b"POST /v1/jobs?tenant=a HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let Parse::Complete(req, consumed) = parse_request(wire).expect("parse") else {
+            panic!("expected complete");
+        };
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/jobs");
+        assert_eq!(req.query_param("tenant"), Some("a"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn partial_reads_ask_for_more() {
+        let wire = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        for cut in 0..wire.len() {
+            match parse_request(&wire[..cut]).expect("no error on any prefix") {
+                Parse::Partial => {}
+                Parse::Complete(..) => panic!("prefix of {cut} bytes cannot be complete"),
+            }
+        }
+        assert!(matches!(
+            parse_request(wire).expect("full"),
+            Parse::Complete(..)
+        ));
+        // Body still outstanding: partial too.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert_eq!(parse_request(wire).expect("ok"), Parse::Partial);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (wire, needle) in [
+            (&b"GET\r\n\r\n"[..], "request line"),
+            (b"GET / HTTP/2\r\n\r\n", "version"),
+            (b"GET / HTTP/1.1\r\nbad header\r\n\r\n", "header line"),
+            (b"G T / HTTP/1.1\r\n\r\n", "request line"),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+                "content-length",
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                "chunked",
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+                "exceeds",
+            ),
+        ] {
+            let err = parse_request(wire).expect_err(&format!("{wire:?} must fail"));
+            assert!(err.contains(needle), "{wire:?}: {err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_even_unterminated() {
+        let wire = vec![b'A'; MAX_HEAD + 1];
+        assert!(parse_request(&wire).is_err());
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let req = Request {
+            method: "POST".into(),
+            target: "/v1/jobs".into(),
+            headers: vec![("x-tenant".into(), "acme".into())],
+            body: b"side = 20".to_vec(),
+        };
+        let wire = req.render();
+        let Parse::Complete(back, consumed) = parse_request(&wire).expect("parse") else {
+            panic!("expected complete");
+        };
+        assert_eq!(consumed, wire.len());
+        assert_eq!(back.method, req.method);
+        assert_eq!(back.target, req.target);
+        assert_eq!(back.header("x-tenant"), Some("acme"));
+        assert_eq!(back.body, req.body);
+    }
+
+    #[test]
+    fn response_and_chunk_rendering() {
+        let r = response(429, &[("retry-after", "1")], b"busy");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy"));
+        assert_eq!(chunk(b"abc"), b"3\r\nabc\r\n");
+        assert_eq!(last_chunk(), b"0\r\n\r\n");
+    }
+}

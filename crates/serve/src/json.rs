@@ -1,0 +1,308 @@
+//! Minimal JSON reader for the service's own documents.
+//!
+//! The repo's vendoring stance rules out serde, and the writer side
+//! (`psr-engine::journal::JsonLine`) is already hand-rolled; this is the
+//! matching reader. It handles exactly what the service emits and accepts —
+//! objects, arrays, strings with the escapes `JsonLine` produces, numbers,
+//! booleans, null — and keeps number tokens as raw text so `u64` ids and
+//! bit-exact `f64`s round-trip without a detour through lossy conversions.
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// String (unescaped).
+    Str(String),
+    /// Number, kept as its raw token text.
+    Num(String),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, fields in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number as `u64`, if this is an unsigned integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Field `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        raw.parse::<f64>()
+            .map_err(|_| format!("bad number {raw:?} at byte {start}"))?;
+        Ok(Value::Num(raw.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the head is validated as
+                    // UTF-8 before parsing).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "string is not UTF-8".to_owned())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected , or ] in array, found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} in object, found {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parse one JSON document (the service only exchanges whole documents).
+///
+/// # Errors
+///
+/// Describes the first syntax problem with its byte offset.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after document at {}", p.pos));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_engine::JsonLine;
+
+    #[test]
+    fn reads_what_jsonline_writes() {
+        let line = JsonLine::event("submit")
+            .str("tenant", "a\"b\\c\nd")
+            .u64("id", 18446744073709551615)
+            .f64("time", 1.5)
+            .bool("cached", true)
+            .finish();
+        let v = parse(&line).expect("parse");
+        assert_eq!(v.get("ev").and_then(Value::as_str), Some("submit"));
+        assert_eq!(v.get("tenant").and_then(Value::as_str), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("time").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn u64_precision_survives_as_raw_token() {
+        // 2^53 + 1 is not representable as f64; the raw token keeps it.
+        let v = parse("{\"n\":9007199254740993}").expect("parse");
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(9007199254740993));
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let v = parse(r#"{"counts":[400,0,0],"inner":{"x":null},"e":[]}"#).expect("parse");
+        let Some(Value::Arr(counts)) = v.get("counts") else {
+            panic!("counts must be an array");
+        };
+        assert_eq!(counts[0].as_u64(), Some(400));
+        assert_eq!(v.get("inner").and_then(|i| i.get("x")), Some(&Value::Null));
+        assert_eq!(v.get("e"), Some(&Value::Arr(vec![])));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} x", "nul", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_and_raw_unicode() {
+        let v = parse("{\"s\":\"\\u0041é\"}").expect("parse");
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("Aé"));
+    }
+}

@@ -1,0 +1,37 @@
+//! psr-serve: simulation-as-a-service in front of `psr-engine`.
+//!
+//! A long-running server that accepts simulation jobs over a hand-rolled
+//! HTTP/1.1 + JSON API ([`http`], [`json`]) and executes them on a bounded
+//! worker pool. Three properties define the design:
+//!
+//! - **Durability** ([`queue`]): every accepted job is journaled to
+//!   `queue.jsonl` *before* the ACK leaves the socket; a killed server
+//!   replays the journal on restart and resumes in-flight jobs from their
+//!   engine checkpoints, bit-identically.
+//! - **Content addressing** ([`request`], [`sha256`], [`cache`]): a job's
+//!   identity is the SHA-256 of its canonical spec text. Trajectories are
+//!   pure functions of that spec, so the result cache is semantically
+//!   lossless — a cached response is byte-identical to a fresh run — and
+//!   results are shared across tenants.
+//! - **Bounded everything** ([`server`]): request head/body sizes, the
+//!   accept path (429 + `Retry-After` past the high-water mark, cache hits
+//!   exempt), the connection count (503), and the cache footprint (LRU
+//!   eviction). SIGTERM drains gracefully: workers checkpoint in-flight
+//!   jobs and exit.
+//!
+//! Observables ([`observe`]) are derived from the durable checkpoint stream
+//! (`psr-engine`'s `BlockObserver` seam), so a streamed line is never ahead
+//! of the state a crash would resume from.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod observe;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod sha256;
+pub mod worker;

@@ -1,0 +1,320 @@
+//! `psr-serve`: simulation-as-a-service CLI.
+//!
+//! ```text
+//! psr-serve serve  --addr 127.0.0.1:8080 --state-dir serve-state [--workers N]
+//!                  [--queue-cap N] [--cache-bytes N] [--max-side N] [--max-steps N]
+//! psr-serve submit --addr HOST:PORT [--tenant T] <spec-file|->
+//! psr-serve wait   --addr HOST:PORT <id> [--timeout-ms N]
+//! psr-serve result --addr HOST:PORT <id>
+//! psr-serve observe <spec-file> <done-snapshot>
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage, 2 failure, 4 throttled (429) — scripts
+//! branch on them.
+
+use psr_serve::request::JobRequest;
+use psr_serve::server::{start, ServerConfig};
+use psr_serve::{client, json, observe};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Set by the signal handler; the serve loop polls it.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // No libc crate is vendored; `signal` comes straight from the C
+    // runtime, which is always linked on this target. SIGINT = 2,
+    // SIGTERM = 15.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: psr-serve serve --addr A --state-dir D [--workers N] [--queue-cap N] \
+         [--cache-bytes N] [--max-side N] [--max-steps N]\n\
+         \x20      psr-serve submit --addr A [--tenant T] <spec-file|->\n\
+         \x20      psr-serve wait --addr A <id> [--timeout-ms N]\n\
+         \x20      psr-serve result --addr A <id>\n\
+         \x20      psr-serve observe <spec-file> <done-snapshot>"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("wait") => cmd_wait(&args[1..]),
+        Some("result") => cmd_result(&args[1..]),
+        Some("observe") => cmd_observe(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// `--flag value` pairs collected by [`parse_flags`].
+type Flags = Vec<(String, String)>;
+
+/// Split `args` into `--flag value` pairs and positionals.
+fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut pos = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let v = it.next().ok_or(format!("--{name} needs a value"))?;
+            flags.push((name.to_owned(), v.clone()));
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    Ok((flags, pos))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (flags, pos) = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return usage();
+        }
+    };
+    if !pos.is_empty() {
+        return usage();
+    }
+    let mut cfg = ServerConfig::default();
+    if let Some(a) = flag(&flags, "addr") {
+        cfg.addr = a.to_owned();
+    }
+    if let Some(d) = flag(&flags, "state-dir") {
+        cfg.state_dir = PathBuf::from(d);
+    }
+    macro_rules! num_flag {
+        ($name:literal, $field:ident) => {
+            if let Some(v) = flag(&flags, $name) {
+                match v.parse() {
+                    Ok(n) => cfg.$field = n,
+                    Err(e) => {
+                        eprintln!("psr-serve: --{}: {e}", $name);
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+        };
+    }
+    num_flag!("workers", workers);
+    num_flag!("queue-cap", queue_cap);
+    num_flag!("cache-bytes", cache_bytes);
+    num_flag!("max-side", max_side);
+    num_flag!("max-steps", max_steps);
+    num_flag!("max-connections", max_connections);
+
+    install_signal_handlers();
+    let external = Arc::new(AtomicBool::new(false));
+    let handle = match start(cfg, Arc::clone(&external)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("psr-serve listening on {}", handle.addr);
+    while !SIGNALLED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("psr-serve: draining (checkpointing in-flight jobs)");
+    external.store(true, Ordering::SeqCst);
+    handle.join();
+    ExitCode::SUCCESS
+}
+
+fn read_spec(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let (flags, pos) = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return usage();
+        }
+    };
+    let (Some(addr), [spec_path]) = (flag(&flags, "addr"), pos.as_slice()) else {
+        return usage();
+    };
+    let tenant = flag(&flags, "tenant").unwrap_or("anon");
+    let spec = match read_spec(spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match client::post(
+        addr,
+        "/v1/jobs",
+        &[("x-tenant", tenant)],
+        spec.as_bytes(),
+        Duration::from_secs(10),
+    ) {
+        Ok(resp) => {
+            print!("{}", resp.text());
+            match resp.status {
+                200 | 202 => ExitCode::SUCCESS,
+                429 => ExitCode::from(4),
+                _ => ExitCode::from(2),
+            }
+        }
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_wait(args: &[String]) -> ExitCode {
+    let (flags, pos) = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return usage();
+        }
+    };
+    let (Some(addr), [id]) = (flag(&flags, "addr"), pos.as_slice()) else {
+        return usage();
+    };
+    let timeout_ms: u64 = flag(&flags, "timeout-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000);
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    loop {
+        match client::get(addr, &format!("/v1/jobs/{id}"), Duration::from_secs(10)) {
+            Ok(resp) => {
+                let status = json::parse(resp.text().trim())
+                    .ok()
+                    .and_then(|v| {
+                        v.get("status")
+                            .and_then(json::Value::as_str)
+                            .map(String::from)
+                    })
+                    .unwrap_or_default();
+                match status.as_str() {
+                    "done" => {
+                        print!("{}", resp.text());
+                        return ExitCode::SUCCESS;
+                    }
+                    "failed" => {
+                        eprint!("{}", resp.text());
+                        return ExitCode::from(2);
+                    }
+                    _ => {}
+                }
+            }
+            Err(e) => eprintln!("psr-serve: {e}"),
+        }
+        if Instant::now() > deadline {
+            eprintln!("psr-serve: timed out waiting for job {id}");
+            return ExitCode::from(2);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn cmd_result(args: &[String]) -> ExitCode {
+    let (flags, pos) = match parse_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return usage();
+        }
+    };
+    let (Some(addr), [id]) = (flag(&flags, "addr"), pos.as_slice()) else {
+        return usage();
+    };
+    match client::get(
+        addr,
+        &format!("/v1/jobs/{id}/result"),
+        Duration::from_secs(10),
+    ) {
+        Ok(resp) if resp.status == 200 => {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(&resp.body);
+            ExitCode::SUCCESS
+        }
+        Ok(resp) => {
+            eprint!("psr-serve: {} {}", resp.status, resp.text());
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Derive the final observable line a serving run would emit for `spec`
+/// from a `.done` snapshot produced by a direct `psr-engine` run — the CI
+/// cross-check that the serving layer adds no drift.
+fn cmd_observe(args: &[String]) -> ExitCode {
+    let [spec_path, done_path] = args else {
+        return usage();
+    };
+    let spec = match read_spec(spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let req = match JobRequest::parse(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("psr-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (lattice, meta) = match psr_lattice::io::load_v2(std::path::Path::new(done_path)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("psr-serve: {done_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ck = psr_core::SessionCheckpoint {
+        lattice,
+        time: meta.time,
+        steps: meta.steps,
+        rng: meta.rng,
+    };
+    let num_states = req.model.build().species().len();
+    println!("{}", observe::line(num_states, &ck));
+    ExitCode::SUCCESS
+}

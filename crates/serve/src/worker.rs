@@ -1,0 +1,287 @@
+//! The bounded worker pool: queue → engine → cache.
+//!
+//! Each worker loops on [`Queue::take`], first checking the result cache
+//! (a submission queued behind an identical spec is satisfied without a
+//! run), then executing the job through `psr-engine`'s checkpointed
+//! [`JobRun`] with an observer that appends one observable line per durable
+//! checkpoint. Completion order matters for crash recovery:
+//!
+//! 1. the engine writes the `.done` snapshot,
+//! 2. the partial observable file gains its final line,
+//! 3. the file moves into the content-addressed cache,
+//! 4. the queue journals `done`.
+//!
+//! A crash between any two steps is repaired on the next pickup: a job
+//! whose key already has a `.done` snapshot skips straight to steps 2–4,
+//! and [`Partial::reconcile`]/[`Partial::ensure_final`] heal the
+//! observable file. A graceful drain (the cancel flag) interrupts the run
+//! at the next checkpoint and releases the job back to pending, un-acked
+//! work intact.
+
+use crate::cache::ResultCache;
+use crate::observe::{self, Partial};
+use crate::queue::{Job, Queue};
+use psr_core::SessionCheckpoint;
+use psr_engine::{BlockObserver, CheckpointStore, JobRun, Journal, JsonLine, Registry, RunOutcome};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything the serving layer shares between the accept loop and the
+/// worker pool.
+pub struct Ctx {
+    /// The durable queue.
+    pub queue: Queue,
+    /// The content-addressed result cache.
+    pub cache: ResultCache,
+    /// Engine checkpoints, keyed by cache key.
+    pub store: CheckpointStore,
+    /// Service event journal.
+    pub journal: Journal,
+    /// Metrics registry (served at `/metrics`).
+    pub metrics: Registry,
+    /// Raised to drain: running jobs checkpoint and stop.
+    pub cancel: AtomicBool,
+    /// Directory of in-progress observable files.
+    pub partials: PathBuf,
+}
+
+impl Ctx {
+    /// The partial observable file for `key`.
+    pub fn partial(&self, key: &str) -> Partial {
+        Partial::new(&self.partials, key)
+    }
+}
+
+/// Observer appending one observable line per durable checkpoint. Append
+/// failures are stashed rather than panicking mid-run (the checkpoint
+/// itself already landed; the worker surfaces the error after the run).
+struct PartialObserver<'a> {
+    partial: &'a Partial,
+    num_states: usize,
+    error: Mutex<Option<String>>,
+}
+
+impl BlockObserver for PartialObserver<'_> {
+    fn on_checkpoint(&self, _job: &str, ck: &SessionCheckpoint, _done: bool) {
+        let line = observe::line(self.num_states, ck);
+        if let Err(e) = self.partial.append(&line) {
+            *self.error.lock().expect("observer lock") = Some(format!("appending observable: {e}"));
+        }
+    }
+}
+
+/// Execute one job to a cached result. `Ok(false)` means the run was
+/// interrupted by the drain flag (checkpointed, still pending).
+fn execute(ctx: &Ctx, job: &Job) -> Result<bool, String> {
+    let key = &job.key;
+    let num_states = job.req.model.build().species().len();
+    let partial = ctx.partial(key);
+    if !ctx.store.is_done(key) {
+        let resume = ctx
+            .store
+            .load(key)
+            .map_err(|e| format!("loading checkpoint: {e}"))?;
+        partial
+            .reconcile(num_states, resume.as_ref())
+            .map_err(|e| format!("reconciling partial: {e}"))?;
+        let observer = PartialObserver {
+            partial: &partial,
+            num_states,
+            error: Mutex::new(None),
+        };
+        let spec = job.req.to_job_spec(key);
+        let run = JobRun {
+            spec: &spec,
+            store: &ctx.store,
+            journal: &ctx.journal,
+            metrics: &ctx.metrics,
+            cancel: &ctx.cancel,
+            deadline: None,
+            ignore_faults: true,
+            attempt: 0,
+            observer: &observer,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.run()))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| p.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                format!("job panicked: {msg}")
+            })??;
+        if let Some(e) = observer.error.into_inner().expect("observer lock") {
+            return Err(e);
+        }
+        if let RunOutcome::Interrupted { .. } = outcome {
+            return Ok(false);
+        }
+    }
+    // The `.done` snapshot is durable; heal the observable file (the final
+    // line is missing when the job completed in a previous life) and
+    // promote it into the cache.
+    let (lattice, meta) = psr_lattice::io::load_v2(&ctx.store.done_path(key))
+        .map_err(|e| format!("loading final snapshot: {e}"))?;
+    let done = SessionCheckpoint {
+        lattice,
+        time: meta.time,
+        steps: meta.steps,
+        rng: meta.rng,
+    };
+    partial
+        .ensure_final(num_states, &done)
+        .map_err(|e| format!("finalising observables: {e}"))?;
+    let bytes = partial
+        .read()
+        .map_err(|e| format!("reading observables: {e}"))?;
+    ctx.cache
+        .put(key, &bytes)
+        .map_err(|e| format!("caching result: {e}"))?;
+    partial.remove();
+    Ok(true)
+}
+
+fn work_loop(ctx: &Ctx) {
+    while let Some(job) = ctx.queue.take() {
+        let t0 = Instant::now();
+        if ctx.cache.get(&job.key).is_some() {
+            // Queued behind an identical spec that finished first.
+            let _ = ctx.queue.complete_key(&job.key);
+            ctx.metrics.counter("serve.worker_hits").add(1);
+            continue;
+        }
+        match execute(ctx, &job) {
+            Ok(true) => {
+                if let Err(e) = ctx.queue.complete_key(&job.key) {
+                    ctx.journal.log(
+                        JsonLine::event("queue_error")
+                            .str("key", &job.key)
+                            .str("error", &e.to_string()),
+                    );
+                }
+                ctx.metrics.counter("serve.completed").add(1);
+                ctx.metrics
+                    .histogram("serve.cold_us")
+                    .record(t0.elapsed().as_micros() as u64);
+            }
+            Ok(false) => ctx.queue.release(job.id),
+            Err(e) => {
+                ctx.journal.log(
+                    JsonLine::event("job_failed")
+                        .str("key", &job.key)
+                        .str("error", &e),
+                );
+                let _ = ctx.queue.fail_key(&job.key, &e);
+                ctx.metrics.counter("serve.failed").add(1);
+            }
+        }
+        ctx.metrics
+            .gauge("serve.queue_depth")
+            .set(ctx.queue.in_flight() as f64);
+    }
+}
+
+/// Spawn `n` workers over the shared context.
+pub fn spawn_workers(n: usize, ctx: &Arc<Ctx>) -> Vec<JoinHandle<()>> {
+    (0..n)
+        .map(|i| {
+            let ctx = Arc::clone(ctx);
+            std::thread::Builder::new()
+                .name(format!("psr-serve-worker-{i}"))
+                .spawn(move || work_loop(&ctx))
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::JobRequest;
+
+    fn test_ctx(tag: &str) -> Arc<Ctx> {
+        let dir = std::env::temp_dir().join(format!("psr_serve_worker_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("partials")).expect("mkdir");
+        Arc::new(Ctx {
+            queue: Queue::open(&dir.join("queue.jsonl")).expect("queue"),
+            cache: ResultCache::open(&dir.join("cache"), 1 << 20).expect("cache"),
+            store: CheckpointStore::open(&dir.join("ckpts")).expect("store"),
+            journal: Journal::create(&dir.join("serve.jsonl")).expect("journal"),
+            metrics: Registry::new(),
+            cancel: AtomicBool::new(false),
+            partials: dir.join("partials"),
+        })
+    }
+
+    fn req(seed: u64) -> JobRequest {
+        JobRequest::parse(&format!(
+            "model = zgb 0.5 5\nalgorithm = ndca\nside = 10\nseed = {seed}\nsteps = 30\ncheckpoint_every = 10"
+        ))
+        .expect("req")
+    }
+
+    #[test]
+    fn executes_a_job_into_the_cache() {
+        let ctx = test_ctx("exec");
+        let r = req(3);
+        let id = ctx.queue.submit("t", &r).expect("submit");
+        let job = ctx.queue.take().expect("take");
+        assert!(execute(&ctx, &job).expect("execute"));
+        ctx.queue.complete_key(&job.key).expect("complete");
+        let bytes = ctx.cache.get(&r.cache_key()).expect("cached");
+        // One line per checkpoint (10, 20) plus the final step 30.
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().last().expect("line").contains("\"step\":30"));
+        assert_eq!(ctx.queue.status(id).expect("status").state.as_str(), "done");
+        // The partial was promoted, not left behind.
+        assert!(ctx.partial(&job.key).read().expect("read").is_empty());
+    }
+
+    #[test]
+    fn cached_result_is_byte_identical_to_a_fresh_run() {
+        let ctx_a = test_ctx("bits_a");
+        let ctx_b = test_ctx("bits_b");
+        let r = req(9);
+        for ctx in [&ctx_a, &ctx_b] {
+            ctx.queue.submit("t", &r).expect("submit");
+            let job = ctx.queue.take().expect("take");
+            assert!(execute(ctx, &job).expect("execute"));
+        }
+        assert_eq!(
+            ctx_a.cache.get(&r.cache_key()).expect("a"),
+            ctx_b.cache.get(&r.cache_key()).expect("b"),
+            "two independent servers must produce identical result bytes"
+        );
+    }
+
+    #[test]
+    fn drain_interrupts_resumably_and_resume_matches_clean_bits() {
+        use std::sync::atomic::Ordering;
+        let ctx = test_ctx("drain");
+        let r = req(5);
+        ctx.queue.submit("t", &r).expect("submit");
+        let job = ctx.queue.take().expect("take");
+        ctx.cancel.store(true, Ordering::SeqCst);
+        assert!(
+            !execute(&ctx, &job).expect("interrupted"),
+            "drain must stop the run"
+        );
+        ctx.queue.release(job.id);
+        assert!(ctx.store.load(&job.key).expect("load").is_some());
+        // "Restart": clear the flag, pick the job up again.
+        ctx.cancel.store(false, Ordering::SeqCst);
+        let job = ctx.queue.take().expect("retake");
+        assert!(execute(&ctx, &job).expect("resumed"));
+        let resumed = ctx.cache.get(&r.cache_key()).expect("cached");
+        let clean = test_ctx("drain_clean");
+        clean.queue.submit("t", &r).expect("submit");
+        let job = clean.queue.take().expect("take");
+        assert!(execute(&clean, &job).expect("clean"));
+        assert_eq!(resumed, clean.cache.get(&r.cache_key()).expect("cached"));
+    }
+}

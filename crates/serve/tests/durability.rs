@@ -1,0 +1,147 @@
+//! Kill/restart durability: the acceptance test for the serving layer.
+//!
+//! Runs the real `psr-serve` binary, submits a job, waits for it to make
+//! checkpointed progress, then SIGKILLs the server (no drain, no warning).
+//! A restart on the same state directory must (a) still know every acked
+//! submission, (b) resume the in-flight job from its checkpoint, and
+//! (c) produce final observables byte-identical to an uninterrupted run on
+//! a pristine server.
+
+use psr_serve::client;
+use psr_serve::json;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const T: Duration = Duration::from_secs(20);
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psr_serve_durability_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_server(state: &Path) -> (Child, String) {
+    let child = Command::new(env!("CARGO_BIN_EXE_psr-serve"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            state.to_str().expect("utf8 path"),
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn psr-serve");
+    // The server writes its resolved address to <state>/addr.
+    let addr_file = state.join("addr");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(a) = std::fs::read_to_string(&addr_file) {
+            if !a.is_empty() && client::get(a.trim(), "/healthz", T).is_ok() {
+                break a.trim().to_owned();
+            }
+        }
+        assert!(Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    (child, addr)
+}
+
+fn submit(addr: &str, body: &str) -> (u64, String) {
+    let resp =
+        client::post(addr, "/v1/jobs", &[("x-tenant", "t")], body.as_bytes(), T).expect("submit");
+    assert!(
+        resp.status == 200 || resp.status == 202,
+        "{} {}",
+        resp.status,
+        resp.text()
+    );
+    let v = json::parse(resp.text().trim()).expect("body");
+    (
+        v.get("id").and_then(json::Value::as_u64).expect("id"),
+        v.get("key")
+            .and_then(json::Value::as_str)
+            .expect("key")
+            .to_owned(),
+    )
+}
+
+fn wait_done(addr: &str, id: u64) -> Vec<u8> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(resp) = client::get(addr, &format!("/v1/jobs/{id}"), T) {
+            let v = json::parse(resp.text().trim()).expect("body");
+            match v.get("status").and_then(json::Value::as_str) {
+                Some("done") => break,
+                Some("failed") => panic!("job {id} failed: {}", resp.text()),
+                _ => {}
+            }
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let resp = client::get(addr, &format!("/v1/jobs/{id}/result"), T).expect("result");
+    assert_eq!(resp.status, 200);
+    resp.body
+}
+
+#[test]
+fn kill_restart_resumes_from_checkpoint_bit_identically() {
+    // Long enough to survive past several checkpoints, cheap enough for CI:
+    // checkpoints every 500 steps give the kill a wide window of
+    // mid-flight states to land in.
+    let body = "model = zgb 0.51 5\nalgorithm = ndca\nside = 24\nseed = 11\nsteps = 20000\ncheckpoint_every = 500\n";
+
+    // Reference: uninterrupted run on a pristine server.
+    let clean_state = state_dir("clean");
+    let (mut clean, clean_addr) = spawn_server(&clean_state);
+    let (clean_id, key) = submit(&clean_addr, body);
+    let clean_bytes = wait_done(&clean_addr, clean_id);
+    let _ = clean.kill();
+    let _ = clean.wait();
+
+    // Victim: same spec, killed once the job has checkpointed progress.
+    let victim_state = state_dir("victim");
+    let (mut victim, victim_addr) = spawn_server(&victim_state);
+    let (victim_id, victim_key) = submit(&victim_addr, body);
+    assert_eq!(victim_key, key);
+    // A second acked submission that will still be pending at the kill.
+    let trailing = "model = kuzovkov\nalgorithm = ndca\nside = 10\nseed = 2\nsteps = 30\n";
+    let (trailing_id, _) = submit(&victim_addr, trailing);
+
+    // Wait for a durable checkpoint, then SIGKILL mid-flight.
+    let ckpt = victim_state.join("ckpts").join(format!("{key}.ckpt"));
+    let done = victim_state.join("ckpts").join(format!("{key}.done"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ckpt.exists() {
+        assert!(
+            !done.exists(),
+            "job finished before the kill; raise steps to widen the window"
+        );
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    victim.kill().expect("SIGKILL server");
+    let _ = victim.wait();
+
+    // Restart on the same state: both acked jobs must complete, the
+    // victim resuming from its checkpoint.
+    let (mut restarted, new_addr) = spawn_server(&victim_state);
+    let resumed_bytes = wait_done(&new_addr, victim_id);
+    assert_eq!(
+        resumed_bytes, clean_bytes,
+        "resumed observables must be byte-identical to the uninterrupted run"
+    );
+    wait_done(&new_addr, trailing_id);
+
+    // And the resumed result is served as a cache hit now.
+    let resp = client::get(&new_addr, &format!("/v1/results/{key}"), T).expect("by key");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, clean_bytes);
+    let _ = restarted.kill();
+    let _ = restarted.wait();
+}

@@ -12,10 +12,14 @@
 #      must hold >= MIN_SHARD_SPEEDUP critical-path sweep throughput at
 #      4 workers over the 1-worker sharded baseline on every lattice
 #      size, with the 4-worker trajectory bit-identical to 1-worker.
+#   4. Serve bench (BENCH_serve.json): the serving layer's
+#      content-addressed cache must make hot (cached) requests >=
+#      MIN_SERVE_SPEEDUP faster at p99 than cold (computed) requests,
+#      with a non-trivial number of hits actually observed.
 #
 # Regenerate with `target/release/bench_kernel` / `bench_replica` /
-# `bench_shard` first. Smoke callers pass the *_smoke.json files and
-# looser thresholds.
+# `bench_shard` / `scripts/loadtest.sh` first. Smoke callers pass the
+# *_smoke.json files and looser thresholds.
 #
 # The replica default is 3.5x, not the 8x the batch work originally
 # aimed for: on this single-core host the AVX-512 sweep is port-bound at
@@ -29,9 +33,11 @@ cd "$(dirname "$0")/.."
 BENCH_FILE=${1:-BENCH_kernel.json}
 REPLICA_FILE=${2:-BENCH_replica.json}
 SHARD_FILE=${3:-BENCH_shard.json}
+SERVE_FILE=${4:-BENCH_serve.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-3.0}
 MIN_REPLICA_SPEEDUP=${MIN_REPLICA_SPEEDUP:-3.5}
 MIN_SHARD_SPEEDUP=${MIN_SHARD_SPEEDUP:-2.5}
+MIN_SERVE_SPEEDUP=${MIN_SERVE_SPEEDUP:-10.0}
 
 if [ ! -f "$BENCH_FILE" ]; then
     echo "check_bench: $BENCH_FILE not found (run bench_kernel first)" >&2
@@ -121,3 +127,27 @@ if [ "$sizes" -eq 0 ]; then
     echo "check_bench: no shard entries in $SHARD_FILE" >&2
     exit 1
 fi
+
+if [ ! -f "$SERVE_FILE" ]; then
+    echo "check_bench: $SERVE_FILE not found (run scripts/loadtest.sh first)" >&2
+    exit 1
+fi
+
+# Single JSON line from loadtest_serve; gate on the hit-vs-cold p99 ratio
+# and require that the hot set actually produced cache hits.
+serve_speedup=$(sed -n 's/.*"hit_speedup_p99":\([0-9.]*\).*/\1/p' "$SERVE_FILE")
+serve_hits=$(sed -n 's/.*"hits":\([0-9]*\).*/\1/p' "$SERVE_FILE")
+if [ -z "$serve_speedup" ] || [ -z "$serve_hits" ]; then
+    echo "check_bench: malformed serve record in $SERVE_FILE" >&2
+    exit 1
+fi
+if [ "$serve_hits" -lt 1 ]; then
+    echo "check_bench: serve load test recorded no cache hits" >&2
+    exit 1
+fi
+ok=$(awk -v s="$serve_speedup" -v m="$MIN_SERVE_SPEEDUP" 'BEGIN { print (s >= m) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+    echo "check_bench: serve cache-hit p99 speedup ${serve_speedup}x < ${MIN_SERVE_SPEEDUP}x" >&2
+    exit 1
+fi
+echo "check_bench: serve cache-hit p99 speedup ${serve_speedup}x >= ${MIN_SERVE_SPEEDUP}x (${serve_hits} hits)"

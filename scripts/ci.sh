@@ -18,7 +18,8 @@ cargo test -q
 echo "==> engine smoke: kill, resume, compare against clean run"
 ENGINE=target/release/psr-engine
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE_DIR"' EXIT
 set +e
 "$ENGINE" run scripts/engine_smoke.spec --ckpt-dir "$SMOKE_DIR/faulty" --quiet
 rc=$?
@@ -52,8 +53,86 @@ target/release/bench_shard --smoke
 # jobs are noisier and this host's wall clock is shared (the shard smoke
 # lattice is 64x64, where the halo is a much larger fraction of the
 # sweep than at the gated 1024/2048 sizes).
-MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 MIN_SHARD_SPEEDUP=2.0 \
-    scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json BENCH_shard_smoke.json
+echo "==> loadtest --smoke (serving layer cache-hit speedup)"
+scripts/loadtest.sh --smoke
+
+MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 MIN_SHARD_SPEEDUP=2.0 MIN_SERVE_SPEEDUP=3.0 \
+    scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json \
+    BENCH_shard_smoke.json BENCH_serve_smoke.json
+
+echo "==> serve smoke: HTTP submit, observable cross-check, 429 shed, SIGTERM drain"
+SERVE=target/release/psr-serve
+SERVE_DIR="$SMOKE_DIR/serve-state"
+"$SERVE" serve --addr 127.0.0.1:0 --state-dir "$SERVE_DIR" --workers 1 --queue-cap 2 \
+    >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+    [ -s "$SERVE_DIR/addr" ] && break
+    sleep 0.05
+done
+ADDR=$(cat "$SERVE_DIR/addr")
+
+cat > "$SMOKE_DIR/serve.spec" <<'SPEC'
+model = zgb 0.51 5
+algorithm = ndca
+side = 16
+seed = 7
+steps = 120
+checkpoint_every = 40
+SPEC
+ID=$("$SERVE" submit --addr "$ADDR" --tenant ci "$SMOKE_DIR/serve.spec" \
+    | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+"$SERVE" wait --addr "$ADDR" "$ID" >/dev/null
+"$SERVE" result --addr "$ADDR" "$ID" > "$SMOKE_DIR/serve_result.jsonl"
+
+# The same job run directly through psr-engine must land on the same final
+# observable line — the serving layer adds no drift on top of the engine.
+cat > "$SMOKE_DIR/serve_direct.spec" <<'SPEC'
+[engine]
+workers = 1
+
+[job direct]
+model = zgb 0.51 5
+algorithm = ndca
+side = 16
+seed = 7
+steps = 120
+checkpoint_every = 40
+SPEC
+"$ENGINE" run "$SMOKE_DIR/serve_direct.spec" --ckpt-dir "$SMOKE_DIR/serve-direct" --quiet
+"$SERVE" observe "$SMOKE_DIR/serve.spec" "$SMOKE_DIR/serve-direct/direct.done" \
+    > "$SMOKE_DIR/serve_direct_line.json"
+if ! cmp -s <(tail -n 1 "$SMOKE_DIR/serve_result.jsonl") "$SMOKE_DIR/serve_direct_line.json"; then
+    echo "serve smoke: served observables diverge from the direct engine run"
+    diff <(tail -n 1 "$SMOKE_DIR/serve_result.jsonl") "$SMOKE_DIR/serve_direct_line.json" || true
+    exit 1
+fi
+echo "serve smoke: served JSONL matches the direct psr-engine run"
+
+# Saturate the 2-deep queue with slow jobs; the next submission must be
+# shed with 429 (submit exits 4 on Retry-After).
+for s in 1 2 3; do
+    printf 'model = zgb 0.51 5\nalgorithm = ndca\nside = 40\nseed = 9%s\nsteps = 900000\ncheckpoint_every = 1000\n' \
+        "$s" > "$SMOKE_DIR/slow$s.spec"
+done
+"$SERVE" submit --addr "$ADDR" "$SMOKE_DIR/slow1.spec" >/dev/null
+"$SERVE" submit --addr "$ADDR" "$SMOKE_DIR/slow2.spec" >/dev/null
+set +e
+"$SERVE" submit --addr "$ADDR" "$SMOKE_DIR/slow3.spec" >/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 4 ]; then
+    echo "serve smoke: expected 429 (exit 4) from a saturated queue, got $rc"
+    exit 1
+fi
+echo "serve smoke: saturated queue sheds with 429 + Retry-After"
+
+# SIGTERM must drain gracefully: checkpoint the in-flight slow job and
+# exit 0 well before it could possibly finish its 900k steps.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve smoke: SIGTERM drained and exited cleanly"
 
 echo "==> validate --smoke (statistical accuracy gates, small budgets)"
 scripts/validate.sh --smoke

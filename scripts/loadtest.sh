@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Load-test the serving layer and write the benchmark record the bench
+# gate consumes.
+#
+#   scripts/loadtest.sh            # full run -> BENCH_serve.json (committed)
+#   scripts/loadtest.sh --smoke    # small run -> BENCH_serve_smoke.json (CI)
+#
+# The driver (`loadtest_serve`) starts an in-process server, warms a hot
+# set of specs, then hammers it with a hot/cold submission mix from
+# concurrent clients. It reports throughput, cache hit rate, and exact
+# hit/cold p50/p99 latencies; `check_bench.sh` gates on hit_speedup_p99
+# (cached p99 must be >= 10x faster than cold p99 at full size).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DRIVER=target/release/loadtest_serve
+if [ ! -x "$DRIVER" ]; then
+    echo "loadtest: building release driver"
+    cargo build --release -p psr-serve --bin loadtest_serve
+fi
+
+if [ "${1:-}" = "--smoke" ]; then
+    # Few clients, cold jobs of a few hundred ms: big enough that the
+    # cache's win is unambiguous over the ~ms connection floor, small
+    # enough not to monopolise the shared CI host. The threshold is
+    # still relaxed by the caller (ci.sh) for wall-clock noise.
+    exec "$DRIVER" --clients 4 --requests 10 --hot-frac 0.5 \
+        --side 32 --steps 2000 --out BENCH_serve_smoke.json
+fi
+
+# Full size: cold jobs are real simulations (~hundreds of ms), so a
+# cache hit that short-circuits the compute shows its true advantage.
+exec "$DRIVER" --clients 8 --requests 30 --hot-frac 0.5 \
+    --side 48 --steps 6000 --out BENCH_serve.json
