@@ -31,7 +31,7 @@ use psr_lattice::{Dims, Lattice};
 use psr_model::library::zgb::zgb_ziff;
 use psr_model::Model;
 use psr_parallel::SegersDecomposition;
-use psr_shard::{ScheduleMode, ShardGrid, ShardedPndca};
+use psr_shard::{ScheduleMode, ShardGrid, ShardedPndca, Wire};
 
 const SEED: u64 = 20260808;
 const SELECTION: ChunkSelection = ChunkSelection::RandomOrder;
@@ -46,6 +46,11 @@ struct Arm<'m, 'p> {
     state: SimState,
     best: f64,
     cp_sampled: f64,
+    /// Minimum steps per window. Socket arms relaunch the worker
+    /// processes on every window, and the first sweep in a fresh process
+    /// pays page-fault and cache cold-start *on-CPU* (so it lands in the
+    /// measured critical path); a multi-step floor amortises it.
+    window_floor: u64,
 }
 
 impl<'m, 'p> Arm<'m, 'p> {
@@ -53,12 +58,13 @@ impl<'m, 'p> Arm<'m, 'p> {
         model: &'m Model,
         partition: &'p Partition,
         workers: u32,
+        mode: ScheduleMode,
         warm: &SimState,
         warm_steps: u64,
     ) -> Self {
         let mut exec = ShardedPndca::new(model, partition, ShardGrid::for_workers(workers), SEED)
             .with_selection(SELECTION)
-            .with_mode(ScheduleMode::Inline);
+            .with_mode(mode);
         exec.set_start_step(warm_steps);
         // One warm-up window absorbs the scatter/allocation cold start.
         let mut arm = Arm {
@@ -66,6 +72,11 @@ impl<'m, 'p> Arm<'m, 'p> {
             state: warm.clone(),
             best: 0.0,
             cp_sampled: 0.0,
+            window_floor: if matches!(mode, ScheduleMode::Socket(_)) {
+                8
+            } else {
+                1
+            },
         };
         arm.window(1);
         arm.best = 0.0;
@@ -91,7 +102,7 @@ fn sweeps_per_cp_sec(arms: &mut [Arm<'_, '_>], min_secs: f64) -> Vec<f64> {
         let mark = a.exec.critical_path_seconds();
         a.window(1);
         let sps = 1.0 / (a.exec.critical_path_seconds() - mark).max(1e-9);
-        *w = ((sps * min_secs / 12.0).ceil() as u64).max(1);
+        *w = ((sps * min_secs / 12.0).ceil() as u64).max(a.window_floor);
     }
     while arms.iter().any(|a| a.cp_sampled < min_secs) {
         for (a, &w) in arms.iter_mut().zip(&window_steps) {
@@ -120,10 +131,11 @@ fn continued(
     warm_steps: u64,
     ident_steps: u64,
     workers: u32,
+    mode: ScheduleMode,
 ) -> SimState {
     let mut exec = ShardedPndca::new(model, partition, ShardGrid::for_workers(workers), SEED)
         .with_selection(SELECTION)
-        .with_mode(ScheduleMode::Inline);
+        .with_mode(mode);
     exec.set_start_step(warm_steps);
     let mut state = warm.clone();
     exec.run_steps(&mut state, ident_steps, None);
@@ -143,7 +155,12 @@ fn main() {
         arg.map(|s| s.parse().expect("min_sample_secs must be a number"))
             .unwrap_or(2.0)
     };
-    let sides: &[u32] = if smoke { &[64] } else { &[1024, 2048] };
+    // The smoke side must be big enough that the socket arms' fixed
+    // per-step protocol cost (~600 frames/step of encode + syscall +
+    // decode, a few µs each) doesn't drown the per-worker compute — at
+    // 64 the socket speedup is latency-dominated noise; at 512 the
+    // compute dominates and the arm clears a real bar.
+    let sides: &[u32] = if smoke { &[512] } else { &[1024, 2048] };
     let warm_steps: u64 = if smoke { 10 } else { 40 };
     let ident_steps: u64 = if smoke { 5 } else { 3 };
     let model = zgb_ziff(0.5, 2.0);
@@ -163,8 +180,24 @@ fn main() {
 
         // Grid invariance on the production size: 4 workers must continue
         // the warm trajectory to exactly the same lattice as 1 worker.
-        let one = continued(&model, &partition, &warm, warm_steps, ident_steps, 1);
-        let four = continued(&model, &partition, &warm, warm_steps, ident_steps, 4);
+        let one = continued(
+            &model,
+            &partition,
+            &warm,
+            warm_steps,
+            ident_steps,
+            1,
+            ScheduleMode::Inline,
+        );
+        let four = continued(
+            &model,
+            &partition,
+            &warm,
+            warm_steps,
+            ident_steps,
+            4,
+            ScheduleMode::Inline,
+        );
         let identical = one.lattice == four.lattice && one.time.to_bits() == four.time.to_bits();
         assert!(
             identical,
@@ -172,8 +205,16 @@ fn main() {
         );
 
         let wall = Instant::now();
-        let mut arms =
-            [1u32, 4].map(|workers| Arm::new(&model, &partition, workers, &warm, warm_steps));
+        let mut arms = [1u32, 4].map(|workers| {
+            Arm::new(
+                &model,
+                &partition,
+                workers,
+                ScheduleMode::Inline,
+                &warm,
+                warm_steps,
+            )
+        });
         let timings = sweeps_per_cp_sec(&mut arms, min_secs);
         let (sps_1w, sps_4w) = (timings[0], timings[1]);
         let speedup = sps_4w / sps_1w;
@@ -199,7 +240,8 @@ fn main() {
         );
 
         entries.push(format!(
-            "    {{\"side\": {side}, \"workers\": 4, \"grid\": \"{}x{}\", \
+            "    {{\"side\": {side}, \"workers\": 4, \"transport\": \"inline\", \
+             \"grid\": \"{}x{}\", \
              \"sweeps_per_cp_sec_1w\": {sps_1w:.4}, \"sweeps_per_cp_sec_4w\": {sps_4w:.4}, \
              \"speedup\": {speedup:.3}, \"modeled_speedup\": {modeled:.3}, \
              \"boundary_fraction\": {:.4}, \"halo_bytes_per_step\": {}, \
@@ -210,6 +252,65 @@ fn main() {
             comm.halo_bytes / steps_4w.max(1),
             comm.halo_messages / steps_4w.max(1),
         ));
+
+        // Socket transports at the headline size only: one process per
+        // worker, frames over the wire. The critical path charges each
+        // worker's on-CPU phase time plus the handshake-measured per-frame
+        // latency per exchange round, so the wire cost is paid, not hidden.
+        if side != sides[0] {
+            continue;
+        }
+        for (wire, name) in [(Wire::Unix, "unix"), (Wire::Tcp, "tcp")] {
+            let sock = continued(
+                &model,
+                &partition,
+                &warm,
+                warm_steps,
+                ident_steps,
+                4,
+                ScheduleMode::Socket(wire),
+            );
+            let sock_identical =
+                one.lattice == sock.lattice && one.time.to_bits() == sock.time.to_bits();
+            assert!(
+                sock_identical,
+                "L={side}: 4-worker {name} trajectory diverged from the 1-worker inline one"
+            );
+
+            let wall = Instant::now();
+            let mut arm = Arm::new(
+                &model,
+                &partition,
+                4,
+                ScheduleMode::Socket(wire),
+                &warm,
+                warm_steps,
+            );
+            let sps_sock = sweeps_per_cp_sec(std::slice::from_mut(&mut arm), min_secs)[0];
+            let sock_speedup = sps_sock / sps_1w;
+
+            let comm = arm.exec.comm_stats();
+            let steps_sock = arm.exec.steps_done() - warm_steps;
+            let latency_us = arm.exec.wire_latency_seconds().unwrap_or(0.0) * 1e6;
+            let bytes_per_frame = comm.wire_bytes / comm.wire_frames.max(1);
+            let frames_per_flush = comm.wire_frames as f64 / comm.wire_flushes.max(1) as f64;
+            println!(
+                "  L={side:<5} {name:>5} 4w: {sps_sock:>8.3} sweeps/s  speedup {sock_speedup:.2}x  \
+                 wire latency {latency_us:.1} us/frame  {bytes_per_frame} B/frame  \
+                 {frames_per_flush:.1} frames/flush  identical {sock_identical}  [{:.1}s wall]",
+                wall.elapsed().as_secs_f64()
+            );
+
+            entries.push(format!(
+                "    {{\"side\": {side}, \"workers\": 4, \"transport\": \"{name}\", \
+                 \"sweeps_per_cp_sec_4w\": {sps_sock:.4}, \"speedup\": {sock_speedup:.3}, \
+                 \"wire_latency_us_per_frame\": {latency_us:.2}, \
+                 \"wire_bytes_per_frame\": {bytes_per_frame}, \
+                 \"wire_frames_per_step\": {}, \"wire_frames_per_flush\": {frames_per_flush:.2}, \
+                 \"trajectories_identical\": {sock_identical}}}",
+                comm.wire_frames / steps_sock.max(1),
+            ));
+        }
     }
 
     let json = format!(

@@ -205,6 +205,19 @@ impl JobRun<'_> {
                 self.metrics
                     .counter("shard_boundary_trials")
                     .add(comm.boundary_trials);
+                // Socket-transport wire traffic (zero on in-process modes).
+                self.metrics
+                    .counter("shard_wire_frames")
+                    .add(comm.wire_frames);
+                self.metrics
+                    .counter("shard_wire_bytes")
+                    .add(comm.wire_bytes);
+                self.metrics
+                    .counter("shard_wire_batches")
+                    .add(comm.wire_batches);
+                self.metrics
+                    .counter("shard_wire_flushes")
+                    .add(comm.wire_flushes);
                 self.metrics
                     .gauge(&format!("job.{}.boundary_fraction", spec.name))
                     .set(comm.boundary_fraction());

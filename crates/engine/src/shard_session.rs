@@ -14,7 +14,7 @@
 //! uniform `run_blocks` / checkpoint semantics plus the sharded path's
 //! measured communication counters for the metrics registry.
 
-use crate::spec::JobSpec;
+use crate::spec::{JobSpec, Transport};
 use psr_ca::partition::Partition;
 use psr_ca::pndca::ChunkSelection;
 use psr_core::{Algorithm, Checkpointable, SessionCheckpoint, SimSession, Simulator};
@@ -24,7 +24,7 @@ use psr_dmc::sim::SimState;
 use psr_lattice::{Dims, Lattice};
 use psr_model::Model;
 use psr_rng::rng_from_seed;
-use psr_shard::{CommStats, ShardGrid, ShardedPndca};
+use psr_shard::{CommStats, ScheduleMode, ShardGrid, ShardedPndca, Wire};
 
 /// A resumable sharded run: configuration plus the mutable trajectory
 /// state. The executor itself is rebuilt each block (it borrows the model
@@ -34,6 +34,7 @@ pub struct ShardSession {
     partition: Partition,
     grid: ShardGrid,
     selection: ChunkSelection,
+    mode: ScheduleMode,
     seed: u64,
     dims: Dims,
     state: SimState,
@@ -69,11 +70,21 @@ impl ShardSession {
             .map_err(|e| format!("job {}: {e}", spec.name))?;
         let partition = pspec.build(dims, &model);
         let state = SimState::new(Lattice::filled(dims, 0), &model);
+        // Every transport carries the identical trajectory (pinned by
+        // psr-shard's differential tests), so this is purely an execution
+        // choice: in-process scheduling or one OS process per worker.
+        let mode = match spec.transport {
+            Transport::Inline => ScheduleMode::Inline,
+            Transport::Threaded => ScheduleMode::Threaded,
+            Transport::Unix => ScheduleMode::Socket(Wire::Unix),
+            Transport::Tcp => ScheduleMode::Socket(Wire::Tcp),
+        };
         Ok(ShardSession {
             model,
             partition,
             grid,
             selection: *selection,
+            mode,
             seed: spec.seed,
             dims,
             state,
@@ -90,7 +101,8 @@ impl ShardSession {
     /// Advance by `steps` whole steps.
     pub fn run_blocks(&mut self, steps: u64) -> RunStats {
         let mut exec = ShardedPndca::new(&self.model, &self.partition, self.grid, self.seed)
-            .with_selection(self.selection);
+            .with_selection(self.selection)
+            .with_mode(self.mode);
         exec.set_start_step(self.steps_done);
         let stats = exec.run_steps(&mut self.state, steps, None);
         self.steps_done += steps;
@@ -247,6 +259,35 @@ mod tests {
         assert_eq!(a.lattice, b.lattice, "resumed trajectory diverged");
         assert_eq!(a.time.to_bits(), b.time.to_bits());
         assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn socket_session_resumes_bit_identically() {
+        // `transport = unix`: one process per worker, same checkpoint
+        // contract — a SIGKILLed hub resumed from its last checkpoint
+        // must land on the uninterrupted trajectory.
+        let mut spec = sharded_spec(4);
+        spec.transport = Transport::Unix;
+        let mut whole = JobSession::build(&sharded_spec(4)).expect("build");
+        whole.run_blocks(30, &mut psr_dmc::events::NoHook);
+
+        let mut split = JobSession::build(&spec).expect("build");
+        split.run_blocks(12, &mut psr_dmc::events::NoHook);
+        let ck = split.checkpoint();
+        let mut resumed = JobSession::build(&spec).expect("rebuild");
+        resumed.restore(&ck).expect("restore");
+        resumed.run_blocks(18, &mut psr_dmc::events::NoHook);
+
+        let (a, b) = (whole.checkpoint(), resumed.checkpoint());
+        assert_eq!(a.lattice, b.lattice, "socket resume diverged from inline");
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        // And the socket path measures its wire traffic.
+        let comm = match &mut resumed {
+            JobSession::Sharded(s) => s.take_comm(),
+            JobSession::Core(_) => unreachable!("shards = 4 builds a sharded session"),
+        };
+        assert!(comm.wire_frames > 0, "no wire frames recorded");
+        assert!(comm.wire_flushes > 0, "no wire flushes recorded");
     }
 
     #[test]

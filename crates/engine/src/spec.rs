@@ -147,6 +147,41 @@ pub fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
     Ok(alg)
 }
 
+/// How a sharded job's workers communicate (`transport = ...`). Only
+/// meaningful with `shards > 1`; every transport carries the bit-identical
+/// trajectory, so this is purely an execution choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// Single-threaded lockstep scheduler (the default).
+    #[default]
+    Inline,
+    /// One OS thread per worker, channel exchange.
+    Threaded,
+    /// One OS process per worker over Unix-domain sockets.
+    Unix,
+    /// One OS process per worker over loopback TCP.
+    Tcp,
+}
+
+impl Transport {
+    /// Parse a `transport =` value.
+    ///
+    /// # Errors
+    ///
+    /// Unknown token.
+    pub fn parse(s: &str) -> Result<Transport, String> {
+        match s {
+            "inline" => Ok(Transport::Inline),
+            "threaded" => Ok(Transport::Threaded),
+            "unix" => Ok(Transport::Unix),
+            "tcp" => Ok(Transport::Tcp),
+            other => Err(format!(
+                "unknown transport {other:?} (expected inline|threaded|unix|tcp)"
+            )),
+        }
+    }
+}
+
 /// One durable simulation job.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
@@ -166,6 +201,8 @@ pub struct JobSpec {
     /// above 1 route the job through `psr-shard`'s domain-decomposed
     /// executor; only `pndca` algorithms support it.
     pub shards: u32,
+    /// Worker communication for sharded jobs (in-process or sockets).
+    pub transport: Transport,
     /// Checkpoint every this many steps.
     pub checkpoint_every: u64,
     /// Fault injection: panic once when the first attempt reaches this step.
@@ -194,6 +231,7 @@ impl JobSpec {
             seed,
             steps,
             shards: 1,
+            transport: Transport::Inline,
             checkpoint_every: (steps / 10).max(1),
             fail_at_step: None,
             abort_at_step: None,
@@ -237,6 +275,12 @@ impl JobSpec {
             return Err(format!(
                 "job {}: shards = {} requires a pndca algorithm (got {:?})",
                 self.name, self.shards, self.algorithm
+            ));
+        }
+        if self.transport != Transport::Inline && self.shards == 1 {
+            return Err(format!(
+                "job {}: transport = {:?} requires shards > 1",
+                self.name, self.transport
             ));
         }
         for (key, v) in [
@@ -418,6 +462,7 @@ impl BatchSpec {
         let mut seed = 0u64;
         let mut steps = None;
         let mut shards = 1u32;
+        let mut transport = Transport::Inline;
         let mut checkpoint_every = None;
         let mut fail_at_step = None;
         let mut abort_at_step = None;
@@ -430,6 +475,7 @@ impl BatchSpec {
                 "seed" => seed = value.parse().map_err(|e| err(format!("seed: {e}")))?,
                 "steps" => steps = Some(value.parse().map_err(|e| err(format!("steps: {e}")))?),
                 "shards" => shards = value.parse().map_err(|e| err(format!("shards: {e}")))?,
+                "transport" => transport = Transport::parse(&value).map_err(err)?,
                 "checkpoint_every" => {
                     checkpoint_every = Some(
                         value
@@ -465,6 +511,7 @@ impl BatchSpec {
             steps,
         );
         job.shards = shards;
+        job.transport = transport;
         if let Some(ce) = checkpoint_every {
             job.checkpoint_every = ce;
         }
@@ -508,6 +555,7 @@ algorithm = pndca five in-order
 side = 20
 steps = 30
 shards = 4
+transport = unix
 ";
 
     #[test]
@@ -534,7 +582,9 @@ shards = 4
         assert_eq!(b.checkpoint_every, 4); // steps/10 default
         assert_eq!(b.fail_at_step, Some(9));
         assert_eq!(b.shards, 1); // default: in-process session
+        assert_eq!(b.transport, Transport::Inline);
         assert_eq!(batch.jobs[2].shards, 4);
+        assert_eq!(batch.jobs[2].transport, Transport::Unix);
     }
 
     #[test]
@@ -576,6 +626,14 @@ shards = 4
             (
                 "[job a]\nmodel = kuzovkov\nalgorithm = ndca\nside = 10\nsteps = 5\nshards = 4",
                 "requires a pndca algorithm",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 2\nalgorithm = pndca five in-order\nside = 10\nsteps = 5\nshards = 4\ntransport = carrier-pigeon",
+                "unknown transport",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 2\nalgorithm = pndca five in-order\nside = 10\nsteps = 5\ntransport = unix",
+                "requires shards > 1",
             ),
         ] {
             let err = BatchSpec::parse(snippet).unwrap_err();

@@ -39,6 +39,14 @@ pub struct CommStats {
     pub halo_messages: u64,
     /// Encoded bytes of those frames, headers included (0 when modeled).
     pub halo_bytes: u64,
+    /// Frames that crossed a real socket (0 for in-process transports).
+    pub wire_frames: u64,
+    /// Bytes written to sockets, frame headers included.
+    pub wire_bytes: u64,
+    /// Socket flushes that carried more than one frame (coalescing wins).
+    pub wire_batches: u64,
+    /// Socket flushes: one buffered write per (peer, phase) with data.
+    pub wire_flushes: u64,
 }
 
 impl CommStats {
@@ -59,6 +67,10 @@ impl std::ops::AddAssign for CommStats {
         self.boundary_trials += rhs.boundary_trials;
         self.halo_messages += rhs.halo_messages;
         self.halo_bytes += rhs.halo_bytes;
+        self.wire_frames += rhs.wire_frames;
+        self.wire_bytes += rhs.wire_bytes;
+        self.wire_batches += rhs.wire_batches;
+        self.wire_flushes += rhs.wire_flushes;
     }
 }
 

@@ -13,8 +13,13 @@
 //! ```json
 //! {"clients":8,"requests":240,"throughput_rps":…,"cache_hit_rate":…,
 //!  "hit_p50_us":…,"hit_p99_us":…,"cold_p50_us":…,"cold_p99_us":…,
-//!  "hit_speedup_p99":…}
+//!  "hit_speedup_p99":…,
+//!  "fresh_conn_p50_us":…,"pooled_conn_p50_us":…,"keepalive_speedup_p50":…}
 //! ```
+//!
+//! The `*_conn_p50_us` pair isolates what HTTP keep-alive saves: p50 of
+//! `/healthz` round trips over a fresh TCP connection each vs one pooled
+//! connection.
 
 use psr_serve::client;
 use psr_serve::json;
@@ -69,19 +74,14 @@ struct Sample {
     hit: bool,
 }
 
-/// Submit → wait → fetch one spec; returns the e2e latency and whether the
-/// submission was served from the cache.
-fn run_one(addr: &str, tenant: &str, body: &str) -> Result<Sample, String> {
+/// Submit → wait → fetch one spec over one pooled keep-alive connection;
+/// returns the e2e latency and whether the submission was served from the
+/// cache.
+fn run_one(pool: &client::Pool, tenant: &str, body: &str) -> Result<Sample, String> {
     let t0 = Instant::now();
     let timeout = Duration::from_secs(60);
     let resp = loop {
-        let r = client::post(
-            addr,
-            "/v1/jobs",
-            &[("x-tenant", tenant)],
-            body.as_bytes(),
-            timeout,
-        )?;
+        let r = pool.post("/v1/jobs", &[("x-tenant", tenant)], body.as_bytes())?;
         if r.status == 429 {
             // Honour Retry-After: the server is telling us to back off.
             std::thread::sleep(Duration::from_millis(100));
@@ -100,7 +100,7 @@ fn run_one(addr: &str, tenant: &str, body: &str) -> Result<Sample, String> {
     let hit = v.get("cached").and_then(json::Value::as_bool) == Some(true);
     let deadline = Instant::now() + timeout;
     loop {
-        let st = client::get(addr, &format!("/v1/jobs/{id}"), timeout)?;
+        let st = pool.get(&format!("/v1/jobs/{id}"))?;
         let status = json::parse(st.text().trim())
             .ok()
             .and_then(|v| {
@@ -116,7 +116,7 @@ fn run_one(addr: &str, tenant: &str, body: &str) -> Result<Sample, String> {
             _ => std::thread::sleep(Duration::from_millis(2)),
         }
     }
-    let result = client::get(addr, &format!("/v1/jobs/{id}/result"), timeout)?;
+    let result = pool.get(&format!("/v1/jobs/{id}/result"))?;
     if result.status != 200 || result.body.is_empty() {
         return Err(format!("result: {}", result.status));
     }
@@ -124,6 +124,36 @@ fn run_one(addr: &str, tenant: &str, body: &str) -> Result<Sample, String> {
         us: t0.elapsed().as_micros() as u64,
         hit,
     })
+}
+
+/// Isolate the connection cost keep-alive removes: `n` `/healthz` round
+/// trips on a fresh connection each vs through one pooled connection.
+/// Job latencies are dominated by simulation time, so this is where the
+/// keep-alive win is visible.
+fn ping_bench(addr: &str, n: usize) -> Result<(Vec<u64>, Vec<u64>), String> {
+    let timeout = Duration::from_secs(10);
+    let mut fresh = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let r = client::get(addr, "/healthz", timeout)?;
+        if r.status != 200 {
+            return Err(format!("healthz: {}", r.status));
+        }
+        fresh.push(t0.elapsed().as_micros() as u64);
+    }
+    let pool = client::Pool::new(addr, timeout);
+    let mut pooled = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let r = pool.get("/healthz")?;
+        if r.status != 200 {
+            return Err(format!("healthz: {}", r.status));
+        }
+        pooled.push(t0.elapsed().as_micros() as u64);
+    }
+    fresh.sort_unstable();
+    pooled.sort_unstable();
+    Ok((fresh, pooled))
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -170,12 +200,24 @@ fn main() -> ExitCode {
     let hot_specs: Vec<String> = (0..4)
         .map(|i| spec(args.side, args.steps, 1000 + i))
         .collect();
+    let warm_pool = client::Pool::new(&addr, Duration::from_secs(60));
     for s in &hot_specs {
-        if let Err(e) = run_one(&addr, "warmup", s) {
+        if let Err(e) = run_one(&warm_pool, "warmup", s) {
             eprintln!("loadtest_serve: warmup: {e}");
             return ExitCode::from(2);
         }
     }
+    drop(warm_pool);
+
+    // Fresh-vs-pooled connection cost, measured before the load phase so
+    // the numbers aren't polluted by worker contention.
+    let (fresh_ping, pooled_ping) = match ping_bench(&addr, 200) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("loadtest_serve: ping bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
     let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
@@ -190,6 +232,9 @@ fn main() -> ExitCode {
             (args.requests, args.hot_frac, args.side, args.steps);
         threads.push(std::thread::spawn(move || {
             let tenant = format!("tenant-{c}");
+            // One pool per client: submit → poll → result for every request
+            // this thread issues share a small set of kept-alive sockets.
+            let pool = client::Pool::new(&addr, Duration::from_secs(60));
             for r in 0..requests {
                 // Deterministic hot/cold interleave per client: the first
                 // `hot_frac` of each window of 100 indices is hot.
@@ -200,7 +245,7 @@ fn main() -> ExitCode {
                     // Unique seed: never cached before this run.
                     spec(side, steps, 1_000_000 + (c * requests + r) as u64)
                 };
-                match run_one(&addr, &tenant, &body) {
+                match run_one(&pool, &tenant, &body) {
                     Ok(s) => samples.lock().expect("samples").push(s),
                     Err(e) => errors.lock().expect("errors").push(e),
                 }
@@ -236,11 +281,19 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+    let fresh_p50 = percentile(&fresh_ping, 0.5);
+    let pooled_p50 = percentile(&pooled_ping, 0.5);
+    let keepalive_speedup = if pooled_p50 > 0 {
+        fresh_p50 as f64 / pooled_p50 as f64
+    } else {
+        0.0
+    };
     let report = format!(
         "{{\"clients\":{},\"requests\":{},\"wall_s\":{:.3},\"throughput_rps\":{:.2},\
          \"hits\":{},\"colds\":{},\"cache_hit_rate\":{:.4},\
          \"hit_p50_us\":{},\"hit_p99_us\":{},\"cold_p50_us\":{},\"cold_p99_us\":{},\
-         \"hit_speedup_p99\":{:.2}}}",
+         \"hit_speedup_p99\":{:.2},\
+         \"fresh_conn_p50_us\":{},\"pooled_conn_p50_us\":{},\"keepalive_speedup_p50\":{:.2}}}",
         args.clients,
         total,
         wall.as_secs_f64(),
@@ -253,6 +306,9 @@ fn main() -> ExitCode {
         percentile(&colds, 0.5),
         cold_p99,
         speedup,
+        fresh_p50,
+        pooled_p50,
+        keepalive_speedup,
     );
     println!("{report}");
     match std::fs::File::create(&args.out).and_then(|mut f| writeln!(f, "{report}")) {

@@ -1,15 +1,27 @@
 //! Minimal blocking HTTP client for the service's own API.
 //!
-//! One request per connection (the server always answers
-//! `Connection: close`), `Content-Length` and chunked response bodies, hard
-//! timeouts. Used by the CLI subcommands, the load-test driver, and the
-//! integration tests — all of which need *exact* bytes back, so the body is
-//! returned untouched.
+//! Responses are parsed *incrementally* — the reader stops as soon as the
+//! framing says the body is complete (`Content-Length` or the terminating
+//! chunk), never waiting for EOF — which is what makes connection reuse
+//! possible against the keep-alive server. Two entry points:
+//!
+//! - the free functions ([`send`], [`get`], [`post`]) open a fresh
+//!   connection per request (one-shot CLI calls, error-path tests);
+//! - a [`Pool`] keeps a handful of idle connections and reuses them
+//!   across requests, retrying once on a fresh connection when a reused
+//!   one turns out to have been closed by the server in the meantime.
+//!
+//! All of the callers need *exact* bytes back, so the body is returned
+//! untouched.
 
 use crate::http::Request;
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Idle connections a [`Pool`] keeps per target address.
+const POOL_CAP: usize = 4;
 
 /// One parsed HTTP response.
 #[derive(Clone, Debug)]
@@ -36,15 +48,29 @@ impl Response {
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Whether the connection that carried this response can take another
+    /// request: length-delimited framing and no `Connection: close`.
+    fn reusable(&self, eof_framed: bool) -> bool {
+        !eof_framed
+            && !self
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
-fn parse_response(raw: &[u8]) -> Result<Response, String> {
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .map(|i| i + 4)
-        .ok_or("response head never terminated")?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "response head is not UTF-8")?;
+/// Status line + headers parsed off the front of a buffer.
+struct Head {
+    status: u16,
+    headers: Vec<(String, String)>,
+    end: usize,
+}
+
+fn parse_head(raw: &[u8]) -> Result<Option<Head>, String> {
+    let Some(end) = raw.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&raw[..end]).map_err(|_| "response head is not UTF-8")?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
     let status: u16 = status_line
@@ -61,78 +87,263 @@ fn parse_response(raw: &[u8]) -> Result<Response, String> {
             headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
         }
     }
-    let rest = &raw[head_end..];
-    let chunked = headers
-        .iter()
-        .any(|(k, v)| k == "transfer-encoding" && v.contains("chunked"));
-    let body = if chunked {
-        decode_chunked(rest)?
-    } else {
-        // Content-Length if present, else read-to-EOF semantics (the
-        // caller already read until close).
-        match headers
-            .iter()
-            .find(|(k, _)| k == "content-length")
-            .and_then(|(_, v)| v.parse::<usize>().ok())
-        {
-            Some(n) if rest.len() >= n => rest[..n].to_vec(),
-            Some(n) => return Err(format!("body truncated: {} of {n} bytes", rest.len())),
-            None => rest.to_vec(),
-        }
-    };
-    Ok(Response {
+    Ok(Some(Head {
         status,
         headers,
-        body,
-    })
+        end,
+    }))
 }
 
-fn decode_chunked(mut rest: &[u8]) -> Result<Vec<u8>, String> {
+/// How the response body is delimited.
+enum Framing {
+    Length(usize),
+    Chunked,
+    /// Neither header: the body runs to connection close.
+    Eof,
+}
+
+fn framing(headers: &[(String, String)]) -> Framing {
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.contains("chunked"))
+    {
+        return Framing::Chunked;
+    }
+    match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(n) => Framing::Length(n),
+        None => Framing::Eof,
+    }
+}
+
+/// Decode a chunked body from the front of `rest`. `Ok(None)` means more
+/// bytes are needed; `Ok(Some((body, consumed)))` is a complete body.
+fn decode_chunked(rest: &[u8]) -> Result<Option<(Vec<u8>, usize)>, String> {
     let mut body = Vec::new();
+    let mut at = 0usize;
     loop {
-        let line_end = rest
-            .windows(2)
-            .position(|w| w == b"\r\n")
-            .ok_or("chunk size line never terminated")?;
-        let size_text = std::str::from_utf8(&rest[..line_end])
+        let Some(line_end) = rest[at..].windows(2).position(|w| w == b"\r\n") else {
+            return Ok(None);
+        };
+        let size_text = std::str::from_utf8(&rest[at..at + line_end])
             .map_err(|_| "chunk size is not UTF-8")?
             .trim();
         let size = usize::from_str_radix(size_text, 16)
             .map_err(|_| format!("bad chunk size {size_text:?}"))?;
-        rest = &rest[line_end + 2..];
+        at += line_end + 2;
         if size == 0 {
-            return Ok(body);
+            // The terminating chunk ends with its own blank line.
+            if rest.len() < at + 2 {
+                return Ok(None);
+            }
+            return Ok(Some((body, at + 2)));
         }
-        if rest.len() < size + 2 {
-            return Err("chunk truncated".to_owned());
+        if rest.len() < at + size + 2 {
+            return Ok(None);
         }
-        body.extend_from_slice(&rest[..size]);
-        rest = &rest[size + 2..];
+        body.extend_from_slice(&rest[at..at + size]);
+        at += size + 2;
     }
 }
 
-/// Send `req` to `addr` and read the full response.
+/// Try to parse one complete response off the front of `raw`. `Ok(None)`
+/// means the framing needs more bytes — including the EOF-delimited case,
+/// which only [`parse_at_eof`] can finish.
+fn try_parse(raw: &[u8]) -> Result<Option<(Response, usize)>, String> {
+    let Some(head) = parse_head(raw)? else {
+        return Ok(None);
+    };
+    let rest = &raw[head.end..];
+    let (body, consumed) = match framing(&head.headers) {
+        Framing::Length(n) => {
+            if rest.len() < n {
+                return Ok(None);
+            }
+            (rest[..n].to_vec(), head.end + n)
+        }
+        Framing::Chunked => match decode_chunked(rest)? {
+            Some((body, used)) => (body, head.end + used),
+            None => return Ok(None),
+        },
+        Framing::Eof => return Ok(None),
+    };
+    Ok(Some((
+        Response {
+            status: head.status,
+            headers: head.headers,
+            body,
+        },
+        consumed,
+    )))
+}
+
+/// Finish parsing once the peer closed the connection: an EOF-delimited
+/// body completes here; any other framing still incomplete is truncation.
+fn parse_at_eof(raw: &[u8]) -> Result<Response, String> {
+    let head = parse_head(raw)?.ok_or("response head never terminated")?;
+    let rest = &raw[head.end..];
+    let body = match framing(&head.headers) {
+        Framing::Eof => rest.to_vec(),
+        Framing::Length(n) => {
+            return Err(format!("body truncated: {} of {n} bytes", rest.len()));
+        }
+        Framing::Chunked => return Err("chunked body truncated".to_owned()),
+    };
+    Ok(Response {
+        status: head.status,
+        headers: head.headers,
+        body,
+    })
+}
+
+/// Read exactly one response off the stream, stopping at the framing
+/// boundary. Returns the response and whether the connection can be
+/// reused for another request.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<(Response, bool), String> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some((resp, consumed)) = try_parse(buf)? {
+            buf.drain(..consumed);
+            let reusable = resp.reusable(false) && buf.is_empty();
+            return Ok((resp, reusable));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let resp = parse_at_eof(buf)?;
+                buf.clear();
+                return Ok((resp, false));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}
+
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+/// Write one request and read its response. Returns the stream too when
+/// it is still good for another request.
+fn send_on(mut stream: TcpStream, req: &Request) -> Result<(Response, Option<TcpStream>), String> {
+    stream
+        .write_all(&req.render())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    let (resp, reusable) = read_response(&mut stream, &mut buf)?;
+    Ok((resp, reusable.then_some(stream)))
+}
+
+/// Send `req` to `addr` on a fresh connection and read the full response.
 ///
 /// # Errors
 ///
 /// Connection, timeout, and malformed-response errors.
 pub fn send(addr: &str, req: &Request, timeout: Duration) -> Result<Response, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
-    stream
-        .write_all(&req.render())
-        .map_err(|e| format!("write: {e}"))?;
-    let mut raw = Vec::new();
-    let mut chunk = [0u8; 8192];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => raw.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read: {e}")),
+    let stream = connect(addr, timeout)?;
+    let (resp, _) = send_on(stream, req)?;
+    Ok(resp)
+}
+
+/// A small keep-alive connection pool for one target address.
+///
+/// Reuse is opportunistic: requests borrow an idle connection when one
+/// exists and return it after a reusable response. A reused connection the
+/// server has since closed fails the write or read — the request is
+/// retried once on a fresh connection, which is always correct here
+/// because every API endpoint is idempotent or journaled by content key.
+pub struct Pool {
+    addr: String,
+    timeout: Duration,
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+impl Pool {
+    /// A pool for `addr` with a per-request I/O `timeout`.
+    pub fn new(addr: &str, timeout: Duration) -> Pool {
+        Pool {
+            addr: addr.to_owned(),
+            timeout,
+            idle: Mutex::new(Vec::new()),
         }
     }
-    parse_response(&raw)
+
+    fn park(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock().expect("pool lock");
+        if idle.len() < POOL_CAP {
+            idle.push(stream);
+        }
+    }
+
+    /// Send `req`, reusing an idle connection when possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`send`]; errors on a *reused* connection are retried once on a
+    /// fresh one before surfacing.
+    pub fn send(&self, req: &Request) -> Result<Response, String> {
+        let pooled = self.idle.lock().expect("pool lock").pop();
+        if let Some(stream) = pooled {
+            // On error the pooled connection was stale: fall through and
+            // retry once on a fresh one.
+            if let Ok((resp, keep)) = send_on(stream, req) {
+                if let Some(stream) = keep {
+                    self.park(stream);
+                }
+                return Ok(resp);
+            }
+        }
+        let stream = connect(&self.addr, self.timeout)?;
+        let (resp, keep) = send_on(stream, req)?;
+        if let Some(stream) = keep {
+            self.park(stream);
+        }
+        Ok(resp)
+    }
+
+    /// GET `path` through the pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pool::send`].
+    pub fn get(&self, path: &str) -> Result<Response, String> {
+        self.send(&Request {
+            method: "GET".to_owned(),
+            target: path.to_owned(),
+            headers: vec![("host".to_owned(), self.addr.clone())],
+            body: Vec::new(),
+        })
+    }
+
+    /// POST `body` to `path` through the pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pool::send`].
+    pub fn post(
+        &self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<Response, String> {
+        let mut hs = vec![("host".to_owned(), self.addr.clone())];
+        for (k, v) in headers {
+            hs.push(((*k).to_owned(), (*v).to_owned()));
+        }
+        self.send(&Request {
+            method: "POST".to_owned(),
+            target: path.to_owned(),
+            headers: hs,
+            body: body.to_vec(),
+        })
+    }
 }
 
 /// GET `path` from `addr`.
@@ -188,7 +399,8 @@ mod tests {
     #[test]
     fn parses_content_length_responses() {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
-        let r = parse_response(raw).expect("parse");
+        let (r, consumed) = try_parse(raw).expect("parse").expect("complete");
+        assert_eq!(consumed, raw.len());
         assert_eq!(r.status, 200);
         assert_eq!(r.header("content-type"), Some("text/plain"));
         assert_eq!(r.body, b"hello");
@@ -196,16 +408,45 @@ mod tests {
 
     #[test]
     fn decodes_chunked_bodies() {
-        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
-        let r = parse_response(raw).expect("parse");
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let (r, consumed) = try_parse(raw).expect("parse").expect("complete");
+        assert_eq!(consumed, raw.len());
         assert_eq!(r.body, b"hello world");
     }
 
     #[test]
-    fn rejects_truncated_bodies() {
+    fn incomplete_framing_asks_for_more() {
+        // Truncated length-delimited body: not an error, just incomplete.
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
-        assert!(parse_response(raw).is_err());
-        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nnope";
-        assert!(parse_response(raw).is_err());
+        assert!(try_parse(raw).expect("no error").is_none());
+        // Truncated chunked body likewise.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel";
+        assert!(try_parse(raw).expect("no error").is_none());
+        // At EOF both become hard errors.
+        assert!(parse_at_eof(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort").is_err());
+        assert!(
+            parse_at_eof(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nnope")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn eof_framed_bodies_complete_only_at_eof() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\neverything until close";
+        assert!(try_parse(raw).expect("no error").is_none());
+        let r = parse_at_eof(raw).expect("parse at eof");
+        assert_eq!(r.body, b"everything until close");
+    }
+
+    #[test]
+    fn keep_alive_responses_are_reusable() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+        let (r, _) = try_parse(raw).expect("parse").expect("complete");
+        assert!(r.reusable(false));
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok";
+        let (r, _) = try_parse(raw).expect("parse").expect("complete");
+        assert!(!r.reusable(false));
+        assert!(!r.reusable(true), "EOF-framed is never reusable");
     }
 }

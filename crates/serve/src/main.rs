@@ -215,8 +215,11 @@ fn cmd_wait(args: &[String]) -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(120_000);
     let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    // One pooled keep-alive connection carries the whole polling loop and
+    // the final result fetch — no per-poll TCP handshake.
+    let pool = client::Pool::new(addr, Duration::from_secs(10));
     loop {
-        match client::get(addr, &format!("/v1/jobs/{id}"), Duration::from_secs(10)) {
+        match pool.get(&format!("/v1/jobs/{id}")) {
             Ok(resp) => {
                 let status = json::parse(resp.text().trim())
                     .ok()

@@ -210,45 +210,72 @@ fn respond_oneshot(mut stream: TcpStream, status: u16, body: &[u8]) -> std::io::
     ))
 }
 
-/// Read one request off the stream (bounded size, bounded time).
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// Read one request off the stream (bounded size, bounded time). `buf`
+/// persists across requests on a keep-alive connection — a pipelined
+/// second request's bytes stay buffered for the next call. `Ok(None)` is
+/// a clean close (EOF or idle timeout between requests).
+fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<Option<Request>, String> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let mut buf = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
-        match crate::http::parse_request(&buf)? {
-            Parse::Complete(req, _) => return Ok(req),
+        match crate::http::parse_request(buf)? {
+            Parse::Complete(req, consumed) => {
+                buf.drain(..consumed);
+                return Ok(Some(req));
+            }
             Parse::Partial => {}
         }
         match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Ok(None),
             Ok(0) => return Err("connection closed mid-request".to_owned()),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // An idle keep-alive connection timing out between requests is
+            // a clean close, not a protocol error.
+            Err(_) if buf.is_empty() => return Ok(None),
             Err(e) => return Err(format!("read: {e}")),
         }
     }
 }
 
+/// Serve requests off one connection until the peer closes, asks to
+/// close, errors, or takes a streamed response (which advertises
+/// `Connection: close`).
 fn handle_connection(mut stream: TcpStream, cfg: &ServerConfig, ctx: &Ctx) {
-    ctx.metrics.counter("serve.http_requests").add(1);
-    let t0 = Instant::now();
-    let req = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            let _ = stream.write_all(&http::response(
-                400,
-                &[("content-type", "text/plain")],
-                format!("{e}\n").as_bytes(),
-            ));
+    let mut buf = Vec::new();
+    loop {
+        let req = match read_request(&mut stream, &mut buf) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = stream.write_all(&http::response(
+                    400,
+                    &[("content-type", "text/plain")],
+                    format!("{e}\n").as_bytes(),
+                ));
+                return;
+            }
+        };
+        ctx.metrics.counter("serve.http_requests").add(1);
+        let t0 = Instant::now();
+        let close = req
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let out = route(&req, &mut stream, cfg, ctx);
+        ctx.metrics
+            .histogram("serve.request_us")
+            .record(t0.elapsed().as_micros() as u64);
+        match out {
+            Some(bytes) => {
+                if stream.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+            None => return, // streamed chunked response; it closes
+        }
+        if close {
             return;
         }
-    };
-    let out = route(&req, &mut stream, cfg, ctx);
-    if let Some(bytes) = out {
-        let _ = stream.write_all(&bytes);
     }
-    ctx.metrics
-        .histogram("serve.request_us")
-        .record(t0.elapsed().as_micros() as u64);
 }
 
 fn json_response(status: u16, line: JsonLine) -> Vec<u8> {

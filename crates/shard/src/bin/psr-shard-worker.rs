@@ -1,0 +1,43 @@
+//! One shard worker process of the socket transport.
+//!
+//! Spawned by the hub (see `psr_shard::net::hub`), never by hand:
+//!
+//! ```text
+//! psr-shard-worker --wire unix|tcp --hub <address> --id <worker-id>
+//! ```
+//!
+//! Connects to the hub, handshakes (HELLO → CONFIG → PEERS), dials the
+//! peer mesh, and runs the shard phase protocol until the step window is
+//! done — or exits the moment the hub or any peer goes away.
+
+use psr_shard::net::{worker_proc, Wire};
+
+fn usage() -> ! {
+    eprintln!("usage: psr-shard-worker --wire unix|tcp --hub <address> --id <worker-id>");
+    std::process::exit(64);
+}
+
+fn main() {
+    let mut wire = None;
+    let mut hub = None;
+    let mut id = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--wire" => {
+                wire = Some(Wire::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }))
+            }
+            "--hub" => hub = Some(value()),
+            "--id" => id = value().parse::<u32>().ok(),
+            _ => usage(),
+        }
+    }
+    let (Some(wire), Some(hub), Some(id)) = (wire, hub, id) else {
+        usage()
+    };
+    std::process::exit(worker_proc::worker_main(wire, &hub, id));
+}

@@ -25,6 +25,7 @@
 
 use crate::domain::ShardGrid;
 use crate::frame::{self, StepReport, KIND_GATHER, KIND_REPORT};
+use crate::net::{self, Wire};
 use crate::worker::Worker;
 use psr_ca::partition::Partition;
 use psr_ca::pndca::ChunkSelection;
@@ -37,7 +38,7 @@ use psr_parallel::{apply_coverage_deltas, CommStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the worker phase machines are driven.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,12 @@ pub enum ScheduleMode {
     Inline,
     /// One OS thread per worker over mpsc channels.
     Threaded,
+    /// One OS *process* per worker over sockets (see [`crate::net`]): the
+    /// hub spawns `psr-shard-worker` children, the boundary frames cross
+    /// real kernel sockets with per-peer write coalescing, and the
+    /// critical path charges measured on-CPU phase times plus the
+    /// transport's measured per-exchange latency.
+    Socket(Wire),
 }
 
 /// Sharded PNDCA over a conflict-free partition and a worker grid.
@@ -61,6 +68,8 @@ pub struct ShardedPndca<'m, 'p> {
     comm: CommStats,
     reaction_executed: Vec<u64>,
     critical_seconds: f64,
+    recv_timeout: Duration,
+    wire_latency: Option<f64>,
 }
 
 impl<'m, 'p> ShardedPndca<'m, 'p> {
@@ -97,6 +106,8 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
             comm: CommStats::default(),
             reaction_executed: vec![0; model.num_reactions()],
             critical_seconds: 0.0,
+            recv_timeout: Duration::from_secs(60),
+            wire_latency: None,
         }
     }
 
@@ -109,6 +120,14 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
     /// Choose the scheduler (default: [`ScheduleMode::Threaded`]).
     pub fn with_mode(mut self, mode: ScheduleMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Deadline for every socket receive (default 60 s): a peer that sends
+    /// nothing for this long fails the run instead of hanging it. Fault
+    /// tests shorten it; the in-process schedulers ignore it.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
         self
     }
 
@@ -141,21 +160,56 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
         &self.reaction_executed
     }
 
-    /// Inline-mode critical path accumulated so far: Σ over phases of the
-    /// slowest worker's time — the wall-clock a fully parallel machine
-    /// would need, measurable on any host.
+    /// Critical path accumulated so far: Σ over phases of the slowest
+    /// worker's time — the wall-clock a fully parallel machine would need,
+    /// measurable on any host. Inline mode times phases in the calling
+    /// thread; socket mode sums the workers' shipped on-CPU phase times
+    /// plus the transport's measured per-exchange latency.
     pub fn critical_path_seconds(&self) -> f64 {
         self.critical_seconds
     }
 
+    /// Measured one-way frame latency of the last socket handshake,
+    /// seconds — the real per-exchange wire cost the Segers model charges
+    /// for. `None` until a socket run has handshaken.
+    pub fn wire_latency_seconds(&self) -> Option<f64> {
+        self.wire_latency
+    }
+
     /// Run `steps` sharded PNDCA steps, scattering from and gathering back
     /// into `state.lattice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket transport fails (a worker process died or went
+    /// silent); use [`try_run_steps`](Self::try_run_steps) to handle that
+    /// as an error instead.
     pub fn run_steps(
         &mut self,
         state: &mut SimState,
         steps: u64,
-        mut recorder: Option<&mut Recorder>,
+        recorder: Option<&mut Recorder>,
     ) -> RunStats {
+        match self.try_run_steps(state, steps, recorder) {
+            Ok(stats) => stats,
+            Err(e) => panic!("sharded run failed: {e}"),
+        }
+    }
+
+    /// [`run_steps`](Self::run_steps), with transport failures as errors.
+    /// The in-process schedulers cannot fail; the socket transport reports
+    /// dead or silent workers here after tearing the fleet down.
+    ///
+    /// # Errors
+    ///
+    /// The first worker failure observed: process death, protocol
+    /// violation, or a receive deadline expiring.
+    pub fn try_run_steps(
+        &mut self,
+        state: &mut SimState,
+        steps: u64,
+        mut recorder: Option<&mut Recorder>,
+    ) -> Result<RunStats, String> {
         assert_eq!(
             state.lattice.dims(),
             self.partition.dims(),
@@ -164,26 +218,35 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
         if let Some(rec) = recorder.as_deref_mut() {
             rec.record(state.time, &state.coverage);
         }
-        let workers: Vec<Worker<'m>> = (0..self.grid.workers())
-            .map(|id| {
-                Worker::new(
-                    self.model,
-                    self.partition,
-                    self.compiled.clone(),
-                    &state.lattice,
-                    self.grid,
-                    id,
-                    self.seed,
-                    self.selection,
-                )
-            })
-            .collect();
+        let build_workers = |exec: &Self, lattice: &psr_lattice::Lattice| -> Vec<Worker<'m>> {
+            (0..exec.grid.workers())
+                .map(|id| {
+                    Worker::new(
+                        exec.model,
+                        exec.partition,
+                        exec.compiled.clone(),
+                        lattice,
+                        exec.grid,
+                        id,
+                        exec.seed,
+                        exec.selection,
+                    )
+                })
+                .collect()
+        };
         let stats = match self.mode {
-            ScheduleMode::Inline => self.run_inline(workers, state, steps, recorder),
-            ScheduleMode::Threaded => self.run_threaded(workers, state, steps, recorder),
+            ScheduleMode::Inline => {
+                let workers = build_workers(self, &state.lattice);
+                self.run_inline(workers, state, steps, recorder)
+            }
+            ScheduleMode::Threaded => {
+                let workers = build_workers(self, &state.lattice);
+                self.run_threaded(workers, state, steps, recorder)
+            }
+            ScheduleMode::Socket(wire) => self.run_socket(wire, state, steps, recorder)?,
         };
         state.bump_mutations();
-        stats
+        Ok(stats)
     }
 
     /// Fold one step's worker reports into the state, stats, and counters.
@@ -256,7 +319,7 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
             };
             for pos in 0..m as u32 {
                 let chunk = if weighted {
-                    self.exchange_inline(&mut workers, |w| w.counts_frames(step, pos));
+                    self.exchange_inline(&mut workers, |w, sink| w.counts_frames(step, pos, sink));
                     let mut chunk = None;
                     let mut max = 0.0f64;
                     for w in workers.iter_mut() {
@@ -274,8 +337,8 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
                     order[pos as usize]
                 };
                 self.timed_phase(&mut workers, |w| w.sweep(step, pos, chunk));
-                self.exchange_inline(&mut workers, |w| w.wb_frames(step, pos));
-                self.exchange_inline(&mut workers, |w| w.halo_frames(step, pos));
+                self.exchange_inline(&mut workers, |w, sink| w.wb_frames(step, pos, sink));
+                self.exchange_inline(&mut workers, |w, sink| w.halo_frames(step, pos, sink));
                 self.timed_phase(&mut workers, |w| w.fold());
             }
             let reports: Vec<StepReport> = workers
@@ -314,16 +377,17 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
     fn exchange_inline(
         &mut self,
         workers: &mut [Worker<'m>],
-        mut produce: impl FnMut(&mut Worker<'m>) -> Vec<(u32, Vec<u8>)>,
+        mut produce: impl FnMut(&mut Worker<'m>, &mut frame::VecSink),
     ) {
         let p = workers.len();
         let mut inboxes: Vec<Vec<Vec<u8>>> = vec![Vec::new(); p];
         let mut max = 0.0f64;
         for w in workers.iter_mut() {
+            let mut sink = frame::VecSink::default();
             let t = Instant::now();
-            let frames = produce(w);
+            produce(w, &mut sink);
             max = max.max(t.elapsed().as_secs_f64());
-            for (dest, bytes) in frames {
+            for (dest, bytes) in sink.0 {
                 inboxes[dest as usize].push(bytes);
             }
         }
@@ -399,6 +463,94 @@ impl<'m, 'p> ShardedPndca<'m, 'p> {
         });
         stats
     }
+
+    /// Drive one socket run: spawn the worker fleet, consume its reports
+    /// and gathers, account the critical path from the workers' shipped
+    /// on-CPU phase times plus the measured per-exchange wire latency.
+    fn run_socket(
+        &mut self,
+        wire: Wire,
+        state: &mut SimState,
+        steps: u64,
+        mut recorder: Option<&mut Recorder>,
+    ) -> Result<RunStats, String> {
+        let p = self.grid.workers() as usize;
+        let m = self.partition.num_chunks();
+        let start = self.step;
+        let blob = net::config::encode_config(
+            self.model,
+            self.partition,
+            &state.lattice,
+            self.grid,
+            self.seed,
+            self.selection,
+            start,
+            steps,
+            self.recv_timeout.as_millis() as u64,
+        );
+        let hub = net::hub::Hub::launch(wire, p as u32, &blob, self.recv_timeout)?;
+        let latency = hub.latency;
+        self.wire_latency = Some(latency);
+        // Exchanges per step on the critical path: write-backs and halos
+        // per sweep position, plus the counts all-gather when weighted.
+        // Flushes to different peers overlap on a parallel machine, so
+        // each exchange phase costs one frame latency — none at all when
+        // the grid has a single worker (every send is local).
+        let weighted = self.selection == ChunkSelection::WeightedByRates;
+        let exchanges_per_step = if p > 1 {
+            m as f64 * if weighted { 3.0 } else { 2.0 }
+        } else {
+            0.0
+        };
+        let mut stats = RunStats::default();
+        let mut by_step: BTreeMap<u64, Vec<StepReport>> = BTreeMap::new();
+        let mut next = start;
+        let mut gathers = 0;
+        // A worker whose final gather has arrived may exit and close its
+        // connection while slower peers are still reporting; `done` lets
+        // the hub treat that EOF as completion rather than failure.
+        let mut done = vec![false; p];
+        while gathers < p || next < start + steps {
+            let bytes = hub.recv(&done)?;
+            let (header, payload) = frame::try_decode(&bytes)?;
+            match header.kind {
+                KIND_REPORT => {
+                    let entry = by_step.entry(header.step).or_default();
+                    entry.push(StepReport::decode(payload));
+                    while by_step.get(&next).is_some_and(|r| r.len() == p) {
+                        let reports = by_step.remove(&next).expect("just checked");
+                        let slots = reports
+                            .iter()
+                            .map(|r| r.phase_busy.len())
+                            .max()
+                            .unwrap_or(0);
+                        for s in 0..slots {
+                            let worst = reports
+                                .iter()
+                                .map(|r| r.phase_busy.get(s).copied().unwrap_or(0.0))
+                                .fold(0.0, f64::max);
+                            self.critical_seconds += worst;
+                        }
+                        self.critical_seconds += exchanges_per_step * latency;
+                        self.apply_step_reports(state, &reports, &mut stats, &mut recorder);
+                        self.step += 1;
+                        next += 1;
+                    }
+                }
+                KIND_GATHER => {
+                    self.apply_gather(&mut state.lattice, header.src, payload);
+                    done[header.src as usize] = true;
+                    gathers += 1;
+                }
+                kind => return Err(format!("hub cannot accept frame kind {kind}")),
+            }
+        }
+        if !by_step.is_empty() {
+            return Err("reports left over past the last step".into());
+        }
+        hub.finish()?;
+        Ok(stats)
+    }
 }
 
 /// The body of one threaded worker: the same phase order as the inline
@@ -416,8 +568,9 @@ fn worker_thread(
     num_workers: usize,
 ) {
     let mut pending: HashMap<frame::FrameKey, Vec<u8>> = HashMap::new();
-    let send = |txs: &[mpsc::Sender<Vec<u8>>], frames: Vec<(u32, Vec<u8>)>| {
-        for (dest, bytes) in frames {
+    let mut sink = frame::VecSink::default();
+    let send = |txs: &[mpsc::Sender<Vec<u8>>], sink: &mut frame::VecSink| {
+        for (dest, bytes) in sink.0.drain(..) {
             txs[dest as usize].send(bytes).expect("peer inbox closed");
         }
     };
@@ -430,7 +583,8 @@ fn worker_thread(
         };
         for pos in 0..num_chunks as u32 {
             let chunk = if weighted {
-                send(&txs, worker.counts_frames(step, pos));
+                worker.counts_frames(step, pos, &mut sink);
+                send(&txs, &mut sink);
                 for src in 0..num_workers as u32 {
                     let bytes = recv_keyed(
                         &rx,
@@ -444,7 +598,8 @@ fn worker_thread(
                 order[pos as usize]
             };
             worker.sweep(step, pos, chunk);
-            send(&txs, worker.wb_frames(step, pos));
+            worker.wb_frames(step, pos, &mut sink);
+            send(&txs, &mut sink);
             recv_directional(
                 &rx,
                 &mut pending,
@@ -453,7 +608,8 @@ fn worker_thread(
                 step,
                 pos,
             );
-            send(&txs, worker.halo_frames(step, pos));
+            worker.halo_frames(step, pos, &mut sink);
+            send(&txs, &mut sink);
             recv_directional(&rx, &mut pending, &mut worker, frame::KIND_HALO, step, pos);
             worker.fold();
         }

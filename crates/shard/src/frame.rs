@@ -32,12 +32,27 @@ pub const KIND_COUNTS: u8 = 2;
 pub const KIND_REPORT: u8 = 3;
 /// Final owned-rectangle state from a worker to the hub.
 pub const KIND_GATHER: u8 = 4;
+/// Socket handshake: worker → hub, payload is the worker's data address.
+pub const KIND_HELLO: u8 = 5;
+/// Socket handshake: hub → worker, payload is the run configuration blob.
+pub const KIND_CONFIG: u8 = 6;
+/// Socket handshake: hub → worker, payload is the peer address table.
+pub const KIND_PEERS: u8 = 7;
+/// Socket latency probe: the hub sends it during the handshake and the
+/// worker echoes it back verbatim, giving the hub a measured round-trip
+/// time for the exact transport the run will pay per exchange.
+pub const KIND_PING: u8 = 8;
 
 /// `dir` stamp of undirected frames (counts, reports, gathers).
 pub const NO_DIR: u8 = 0xFF;
 
 /// Encoded header size in bytes.
 pub const HEADER_LEN: usize = 22;
+
+/// Upper bound a receiver accepts for `payload_len` — large enough for a
+/// full-lattice CONFIG blob at any size this host can simulate, small
+/// enough that garbage on the wire cannot trigger a huge allocation.
+pub const MAX_PAYLOAD: usize = 1 << 28;
 
 /// Decoded frame header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,9 +80,20 @@ impl FrameHeader {
     }
 }
 
-/// Encode a frame.
-pub fn encode(kind: u8, dir: u8, src: u32, step: u64, pos: u32, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+/// Append one encoded frame to `out` — the frames-are-self-delimiting
+/// property is what lets the socket transport lay many frames back-to-back
+/// in one per-peer send buffer and flush them with a single write, with no
+/// extra batch framing and no re-copy.
+pub fn encode_into(
+    out: &mut Vec<u8>,
+    kind: u8,
+    dir: u8,
+    src: u32,
+    step: u64,
+    pos: u32,
+    payload: &[u8],
+) {
+    out.reserve(HEADER_LEN + payload.len());
     out.push(kind);
     out.push(dir);
     out.extend_from_slice(&src.to_le_bytes());
@@ -75,18 +101,22 @@ pub fn encode(kind: u8, dir: u8, src: u32, step: u64, pos: u32, payload: &[u8]) 
     out.extend_from_slice(&pos.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
+}
+
+/// Encode a frame.
+pub fn encode(kind: u8, dir: u8, src: u32, step: u64, pos: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_into(&mut out, kind, dir, src, step, pos, payload);
     out
 }
 
-/// Decode a frame into its header and payload.
+/// Parse a 22-byte header. Returns the header and the declared payload
+/// length (unvalidated against [`MAX_PAYLOAD`] — the caller decides).
 ///
 /// # Panics
 ///
-/// Panics when the buffer is shorter than a header or the payload length
-/// does not match — a frame is never partially delivered, so a mismatch is
-/// a protocol bug, not an I/O condition.
-pub fn decode(bytes: &[u8]) -> (FrameHeader, &[u8]) {
-    assert!(bytes.len() >= HEADER_LEN, "truncated frame header");
+/// Panics if `bytes` is shorter than [`HEADER_LEN`].
+pub fn decode_header(bytes: &[u8]) -> (FrameHeader, usize) {
     let header = FrameHeader {
         kind: bytes[0],
         dir: bytes[1],
@@ -95,18 +125,97 @@ pub fn decode(bytes: &[u8]) -> (FrameHeader, &[u8]) {
         pos: u32::from_le_bytes(bytes[14..18].try_into().unwrap()),
     };
     let payload_len = u32::from_le_bytes(bytes[18..22].try_into().unwrap()) as usize;
-    assert_eq!(
-        bytes.len(),
-        HEADER_LEN + payload_len,
-        "frame payload length mismatch"
+    (header, payload_len)
+}
+
+/// Decode a complete frame without panicking — the socket receive path,
+/// where truncation or garbage is an I/O condition, not a protocol bug.
+///
+/// # Errors
+///
+/// Describes the structural violation: short header, oversized declared
+/// payload, or a buffer length that disagrees with the declared length.
+pub fn try_decode(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!(
+            "truncated frame header: {} of {HEADER_LEN} bytes",
+            bytes.len()
+        ));
+    }
+    let (header, payload_len) = decode_header(bytes);
+    if payload_len > MAX_PAYLOAD {
+        return Err(format!(
+            "declared payload of {payload_len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        ));
+    }
+    if bytes.len() != HEADER_LEN + payload_len {
+        return Err(format!(
+            "frame payload length mismatch: declared {payload_len}, got {}",
+            bytes.len() - HEADER_LEN
+        ));
+    }
+    Ok((header, &bytes[HEADER_LEN..]))
+}
+
+/// Decode a frame into its header and payload.
+///
+/// # Panics
+///
+/// Panics when the buffer is shorter than a header or the payload length
+/// does not match — on the in-process transports a frame is never
+/// partially delivered, so a mismatch is a protocol bug, not an I/O
+/// condition. The socket paths use [`try_decode`] instead.
+pub fn decode(bytes: &[u8]) -> (FrameHeader, &[u8]) {
+    match try_decode(bytes) {
+        Ok(x) => x,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Where a worker's outgoing frames go: the inline scheduler and the
+/// threaded workers collect `(dest, bytes)` pairs ([`VecSink`]), the socket
+/// worker appends straight into coalesced per-peer send buffers.
+pub trait FrameSink {
+    /// Deliver one frame addressed to worker `dest`.
+    #[allow(clippy::too_many_arguments)]
+    fn frame(
+        &mut self,
+        dest: u32,
+        kind: u8,
+        dir: u8,
+        src: u32,
+        step: u64,
+        pos: u32,
+        payload: &[u8],
     );
-    (header, &bytes[HEADER_LEN..])
+}
+
+/// A [`FrameSink`] that encodes each frame into its own owned buffer —
+/// the shape the in-process transports route.
+#[derive(Default)]
+pub struct VecSink(pub Vec<(u32, Vec<u8>)>);
+
+impl FrameSink for VecSink {
+    fn frame(
+        &mut self,
+        dest: u32,
+        kind: u8,
+        dir: u8,
+        src: u32,
+        step: u64,
+        pos: u32,
+        payload: &[u8],
+    ) {
+        self.0
+            .push((dest, encode(kind, dir, src, step, pos, payload)));
+    }
 }
 
 /// What one worker tells the hub after finishing a step: its share of the
 /// step's trials, the coverage it changed on cells *it owns*, per-reaction
-/// execution counts (observable rates), and the communication it paid.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// execution counts (observable rates), the communication it paid, and —
+/// on the socket transport — its measured per-phase busy time.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StepReport {
     /// Trials this worker ran (its owned sites, every sweep of the step).
     pub trials: u64,
@@ -120,6 +229,11 @@ pub struct StepReport {
     pub reaction_executed: Vec<u64>,
     /// Measured communication of the step.
     pub comm: CommStats,
+    /// Per-phase busy seconds of the step (socket workers only; empty on
+    /// the in-process transports). Every worker of a run reports the same
+    /// number of slots, so the hub can take the per-slot maximum — the
+    /// lockstep critical path — without any clock shared across processes.
+    pub phase_busy: Vec<f64>,
 }
 
 impl StepReport {
@@ -132,17 +246,20 @@ impl StepReport {
             deltas: vec![0; species],
             reaction_executed: vec![0; reactions],
             comm: CommStats::default(),
+            phase_busy: Vec::new(),
         }
     }
 
     /// Encode as a frame payload (self-describing lengths).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(24 + 8 * (self.deltas.len() + self.reaction_executed.len() + 4));
+        let mut out = Vec::with_capacity(
+            28 + 8 * (self.deltas.len() + self.reaction_executed.len() + 8 + self.phase_busy.len()),
+        );
         out.extend_from_slice(&self.trials.to_le_bytes());
         out.extend_from_slice(&self.executed.to_le_bytes());
         out.extend_from_slice(&(self.deltas.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.reaction_executed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.phase_busy.len() as u32).to_le_bytes());
         for d in &self.deltas {
             out.extend_from_slice(&d.to_le_bytes());
         }
@@ -154,8 +271,15 @@ impl StepReport {
             self.comm.boundary_trials,
             self.comm.halo_messages,
             self.comm.halo_bytes,
+            self.comm.wire_frames,
+            self.comm.wire_bytes,
+            self.comm.wire_batches,
+            self.comm.wire_flushes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
+        }
+        for b in &self.phase_busy {
+            out.extend_from_slice(&b.to_bits().to_le_bytes());
         }
         out
     }
@@ -170,12 +294,13 @@ impl StepReport {
         let executed = u64::from_le_bytes(payload[8..16].try_into().unwrap());
         let species = u32::from_le_bytes(payload[16..20].try_into().unwrap()) as usize;
         let reactions = u32::from_le_bytes(payload[20..24].try_into().unwrap()) as usize;
+        let slots = u32::from_le_bytes(payload[24..28].try_into().unwrap()) as usize;
         assert_eq!(
             payload.len(),
-            24 + 8 * (species + reactions + 4),
+            28 + 8 * (species + reactions + 8 + slots),
             "report payload length mismatch"
         );
-        let mut at = 24;
+        let mut at = 28;
         let mut read_u64 = |payload: &[u8]| {
             let v = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
             at += 8;
@@ -188,13 +313,21 @@ impl StepReport {
             boundary_trials: read_u64(payload),
             halo_messages: read_u64(payload),
             halo_bytes: read_u64(payload),
+            wire_frames: read_u64(payload),
+            wire_bytes: read_u64(payload),
+            wire_batches: read_u64(payload),
+            wire_flushes: read_u64(payload),
         };
+        let phase_busy = (0..slots)
+            .map(|_| f64::from_bits(read_u64(payload)))
+            .collect();
         StepReport {
             trials,
             executed,
             deltas,
             reaction_executed,
             comm,
+            phase_busy,
         }
     }
 }
@@ -243,7 +376,12 @@ mod tests {
                 boundary_trials: 50,
                 halo_messages: 16,
                 halo_bytes: 2048,
+                wire_frames: 16,
+                wire_bytes: 2400,
+                wire_batches: 3,
+                wire_flushes: 8,
             },
+            phase_busy: vec![0.25, 1e-9, 0.0],
         };
         let decoded = StepReport::decode(&report.encode());
         assert_eq!(decoded, report);

@@ -23,18 +23,23 @@
 //!
 //! - [`domain`] — the worker grid and direction algebra;
 //! - [`frame`] — the wire format (halo strips, write-backs, counts,
-//!   reports, gathers);
+//!   reports, gathers, socket handshake);
 //! - [`executor`] — [`ShardedPndca`] with the lockstep inline scheduler
-//!   (critical-path timed) and the threaded channel scheduler.
+//!   (critical-path timed), the threaded channel scheduler, and the
+//!   multi-process socket scheduler;
+//! - [`net`] — the socket transport: hub, worker-process loop, coalesced
+//!   per-peer frame batching, and the CONFIG/PEERS handshake codec.
 
 #![warn(missing_docs)]
 
 pub mod domain;
 pub mod executor;
 pub mod frame;
+pub mod net;
 mod worker;
 
 pub use domain::{dir_index, opposite, ShardGrid, DIRS};
 pub use executor::{ScheduleMode, ShardedPndca};
 pub use frame::{FrameHeader, StepReport};
+pub use net::Wire;
 pub use psr_parallel::CommStats;

@@ -31,7 +31,8 @@
 
 use crate::domain::{dir_index, opposite, ShardGrid, DIRS};
 use crate::frame::{
-    self, StepReport, KIND_COUNTS, KIND_GATHER, KIND_HALO, KIND_REPORT, KIND_WRITEBACK, NO_DIR,
+    self, FrameSink, StepReport, KIND_COUNTS, KIND_GATHER, KIND_HALO, KIND_REPORT, KIND_WRITEBACK,
+    NO_DIR,
 };
 use psr_ca::partition::Partition;
 use psr_ca::pndca::ChunkSelection;
@@ -280,6 +281,13 @@ impl<'m> Worker<'m> {
         self.grid.neighbor(self.id, dir)
     }
 
+    /// The step report under construction — the socket worker stamps its
+    /// measured per-phase busy times and wire-level comm stats into it
+    /// before shipping the report frame.
+    pub(crate) fn report_mut(&mut self) -> &mut StepReport {
+        &mut self.report
+    }
+
     pub(crate) fn begin_step(&mut self, step: u64) {
         self.report = StepReport::zeroed(self.model.species().len(), self.model.num_reactions());
         self.draw_rng = (self.selection == ChunkSelection::WeightedByRates)
@@ -314,15 +322,12 @@ impl<'m> Worker<'m> {
 
     /// Counts frames for the pre-sweep all-gather (weighted selection):
     /// one to every worker, own id included for a uniform receive loop.
-    pub(crate) fn counts_frames(&mut self, step: u64, pos: u32) -> Vec<(u32, Vec<u8>)> {
+    pub(crate) fn counts_frames(&mut self, step: u64, pos: u32, sink: &mut impl FrameSink) {
         let payload = self.counts.as_ref().expect("weighted only").payload();
-        (0..self.grid.workers())
-            .map(|dest| {
-                let bytes = frame::encode(KIND_COUNTS, NO_DIR, self.id, step, pos, &payload);
-                self.note_sent(dest, bytes.len());
-                (dest, bytes)
-            })
-            .collect()
+        for dest in 0..self.grid.workers() {
+            self.note_sent(dest, frame::HEADER_LEN + payload.len());
+            sink.frame(dest, KIND_COUNTS, NO_DIR, self.id, step, pos, &payload);
+        }
     }
 
     /// Draw the next chunk after all counts frames were accepted.
@@ -437,41 +442,44 @@ impl<'m> Worker<'m> {
     }
 
     /// Phase 2a: the write-back frames, one per direction (possibly empty).
-    pub(crate) fn wb_frames(&mut self, step: u64, pos: u32) -> Vec<(u32, Vec<u8>)> {
-        (0..8)
-            .map(|d| {
-                let payload = std::mem::take(&mut self.wb_out[d]);
-                let dest = self.neighbor(d);
-                let bytes = frame::encode(
-                    KIND_WRITEBACK,
-                    opposite(d) as u8,
-                    self.id,
-                    step,
-                    pos,
-                    &payload,
-                );
-                self.note_sent(dest, bytes.len());
-                (dest, bytes)
-            })
-            .collect()
+    pub(crate) fn wb_frames(&mut self, step: u64, pos: u32, sink: &mut impl FrameSink) {
+        for d in 0..8 {
+            let payload = std::mem::take(&mut self.wb_out[d]);
+            let dest = self.neighbor(d);
+            self.note_sent(dest, frame::HEADER_LEN + payload.len());
+            sink.frame(
+                dest,
+                KIND_WRITEBACK,
+                opposite(d) as u8,
+                self.id,
+                step,
+                pos,
+                &payload,
+            );
+        }
     }
 
     /// Phase 3a: the halo-strip frames — the owned border after all
     /// write-backs of the sweep were applied, so receivers see a fully
     /// consistent image of this worker's cells.
-    pub(crate) fn halo_frames(&mut self, step: u64, pos: u32) -> Vec<(u32, Vec<u8>)> {
-        (0..8)
-            .map(|d| {
-                let (x0, y0, w, h) = border_rect(self.bw, self.bh, self.radius, d);
-                let mut payload = Vec::with_capacity((w * h) as usize);
-                self.sub.pack_rect(x0, y0, w, h, &mut payload);
-                let dest = self.neighbor(d);
-                let bytes =
-                    frame::encode(KIND_HALO, opposite(d) as u8, self.id, step, pos, &payload);
-                self.note_sent(dest, bytes.len());
-                (dest, bytes)
-            })
-            .collect()
+    pub(crate) fn halo_frames(&mut self, step: u64, pos: u32, sink: &mut impl FrameSink) {
+        let mut payload = Vec::new();
+        for d in 0..8 {
+            let (x0, y0, w, h) = border_rect(self.bw, self.bh, self.radius, d);
+            payload.clear();
+            self.sub.pack_rect(x0, y0, w, h, &mut payload);
+            let dest = self.neighbor(d);
+            self.note_sent(dest, frame::HEADER_LEN + payload.len());
+            sink.frame(
+                dest,
+                KIND_HALO,
+                opposite(d) as u8,
+                self.id,
+                step,
+                pos,
+                &payload,
+            );
+        }
     }
 
     fn note_sent(&mut self, dest: u32, bytes: usize) {

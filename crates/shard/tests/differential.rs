@@ -12,7 +12,7 @@ use psr_lattice::{Dims, Lattice, Site};
 use psr_model::library::zgb::zgb_ziff;
 use psr_model::{Model, ModelBuilder};
 use psr_parallel::ParallelPndca;
-use psr_shard::{ScheduleMode, ShardGrid, ShardedPndca};
+use psr_shard::{ScheduleMode, ShardGrid, ShardedPndca, Wire};
 
 /// Run the shared-lattice reference executor.
 fn run_shared(
@@ -316,6 +316,15 @@ proptest! {
                 ShardGrid::new(gx, gy), ScheduleMode::Threaded,
             );
             assert_identical(&reference, &threaded, "threaded");
+        }
+        // And the socket transport on a sparser subset (process spawns
+        // per case): random models must survive the CONFIG round trip.
+        if seed % 11 == 0 {
+            let socket = run_sharded(
+                &model, &partition, &lattice, selection, seed, steps,
+                ShardGrid::new(gx, gy), ScheduleMode::Socket(Wire::Unix),
+            );
+            assert_identical(&reference, &socket, "socket");
         }
     }
 }

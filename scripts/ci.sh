@@ -35,6 +35,27 @@ for job in zgb rsm_ref; do
 done
 echo "engine smoke: resumed run is bit-identical to the clean run"
 
+echo "==> engine socket smoke: shards=4 over unix sockets, kill, resume, compare vs inline"
+set +e
+"$ENGINE" run scripts/engine_socket_smoke.spec --ckpt-dir "$SMOKE_DIR/sock-faulty" --quiet
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "expected interrupted exit code 3 from the faulty socket run, got $rc"
+    exit 1
+fi
+"$ENGINE" run scripts/engine_socket_smoke.spec --ckpt-dir "$SMOKE_DIR/sock-faulty" --resume --quiet
+# The clean reference runs the identical job on the inline scheduler: the
+# comparison below is a cross-transport bit-identity check.
+sed 's/^transport = unix/transport = inline/' scripts/engine_socket_smoke.spec \
+    > "$SMOKE_DIR/sock_inline.spec"
+"$ENGINE" run "$SMOKE_DIR/sock_inline.spec" --ckpt-dir "$SMOKE_DIR/sock-clean" --ignore-faults --quiet
+cmp "$SMOKE_DIR/sock-faulty/sock.done" "$SMOKE_DIR/sock-clean/sock.done"
+echo "engine socket smoke: socket resume is bit-identical to the inline run"
+
+echo "==> socket transport suite (bit-identity over 1000 steps + worker-kill fault)"
+cargo test -q --release -p psr-shard --test socket
+
 echo "==> kernel differential suite (proptest + trajectory identity)"
 cargo test -q --release -p psr-kernel --test differential
 cargo test -q --release -p psr-ca --test kernel_identity
@@ -56,7 +77,8 @@ target/release/bench_shard --smoke
 echo "==> loadtest --smoke (serving layer cache-hit speedup)"
 scripts/loadtest.sh --smoke
 
-MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 MIN_SHARD_SPEEDUP=2.0 MIN_SERVE_SPEEDUP=3.0 \
+MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 MIN_SHARD_SPEEDUP=2.0 \
+    MIN_SHARD_SOCKET_SPEEDUP=1.7 MIN_SERVE_SPEEDUP=3.0 MIN_KEEPALIVE_SPEEDUP=1.5 \
     scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json \
     BENCH_shard_smoke.json BENCH_serve_smoke.json
 
