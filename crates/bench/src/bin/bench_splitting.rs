@@ -1,0 +1,200 @@
+//! Accuracy-vs-throughput sweep for fractional-step operator splitting.
+//!
+//! Runs the ZGB job on one lattice size with DMC (VSSM), PNDCA, L-PNDCA
+//! and the fractional-step executor (Lie and Strang) across a range of
+//! windows `Δt`, measuring for every arm:
+//!
+//! - the tail-mean CO coverage, whose absolute deviation from the DMC
+//!   arm is the splitting error (DMC is exact; PNDCA/L-PNDCA deviations
+//!   are their own documented discretisation biases);
+//! - simulated time per wall second, the throughput currency in which
+//!   the accuracy is paid for — the fractional-step arms amortise their
+//!   per-window enabled-set rebuild over larger `Δt`, so throughput
+//!   rises exactly where the splitting error rises.
+//!
+//! Every arm runs through `SimSession` — the same code path the engine
+//! checkpoints — so the numbers describe the production executor, not a
+//! bench-only loop.
+//!
+//! The job uses a stiff reaction rate (`k = 50`): the time-driven CA
+//! arms pay `K` whole-lattice sweeps per simulated time unit regardless
+//! of how few reactions actually fire, while the event-driven
+//! fractional-step interior only pays for executed events — the regime
+//! where operator splitting buys its throughput.
+//!
+//! Output: `BENCH_splitting.json` at the repo root (`--smoke` writes
+//! `BENCH_splitting_smoke.json` on a small lattice), gated by
+//! `scripts/check_bench.sh` on the summary line: the Strang arm must sit
+//! within `SPLITTING_EPS` of DMC at the finest window *and* clear
+//! `MIN_SPLITTING_SPEEDUP` over PNDCA at the loosest one.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use psr_ca::lpndca::ChunkVisit;
+use psr_ca::pndca::ChunkSelection;
+use psr_ca::splitting::Schedule;
+use psr_core::{Algorithm, PartitionSpec, Simulator};
+use psr_dmc::events::NoHook;
+use psr_lattice::Dims;
+use psr_model::library::zgb::zgb_ziff;
+use psr_stats::TimeSeries;
+
+const SEED: u64 = 20260808;
+
+struct ArmResult {
+    name: String,
+    window: Option<f64>,
+    theta_co: f64,
+    sim_time_per_sec: f64,
+}
+
+/// Run one arm from the empty surface to `t_end`, sampling CO coverage at
+/// ~0.25 time-unit block boundaries; returns the tail-mean coverage and
+/// the simulated-time throughput of the whole run.
+fn run_arm(name: &str, algorithm: Algorithm, side: u32, t_end: f64, seed: u64) -> ArmResult {
+    let model = zgb_ziff(0.5, 50.0);
+    let k_total = model.total_rate();
+    let window = match &algorithm {
+        Algorithm::Fskmc { window, .. } => Some(*window),
+        _ => None,
+    };
+    let mut session = Simulator::new(model)
+        .dims(Dims::square(side))
+        .seed(seed)
+        .algorithm(algorithm)
+        .into_session()
+        .expect("bench algorithms support sessions");
+    // One block ≈ 0.25 simulated time units (one window for fskmc steps).
+    let block = match window {
+        Some(w) => (0.25 / w).ceil().max(1.0) as u64,
+        None => (0.25 * k_total).ceil().max(1.0) as u64,
+    };
+    let mut co = TimeSeries::new();
+    let wall = Instant::now();
+    while session.time() < t_end {
+        session.run_blocks(block, &mut NoHook);
+        co.push(session.time(), session.state().coverage.fraction(1));
+    }
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    ArmResult {
+        name: name.to_owned(),
+        window,
+        theta_co: co.after(t_end * 0.5).mean().expect("tail samples"),
+        sim_time_per_sec: session.time() / elapsed,
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("--smoke");
+    // Greedy coloring works on any side (five-coloring would need side % 5).
+    let (side, t_end) = if smoke { (64, 4.0) } else { (256, 8.0) };
+    let windows: &[f64] = if smoke {
+        &[0.1, 0.8]
+    } else {
+        &[0.05, 0.2, 0.8]
+    };
+    let (gx, gy) = (4, 4);
+
+    println!("Fractional-step splitting: error vs window vs throughput (L={side})");
+    println!("ZGB y=0.5 k=50, {gx}x{gy} block grid, t_end {t_end}\n");
+
+    let mut arms = vec![
+        run_arm("dmc-rsm", Algorithm::Rsm, side, t_end, SEED),
+        run_arm(
+            "pndca",
+            Algorithm::Pndca {
+                partition: PartitionSpec::Greedy,
+                selection: ChunkSelection::RandomOrder,
+            },
+            side,
+            t_end,
+            SEED + 1,
+        ),
+        run_arm(
+            "lpndca-l1",
+            Algorithm::LPndca {
+                partition: PartitionSpec::Greedy,
+                l: 1,
+                visit: ChunkVisit::SizeWeighted,
+            },
+            side,
+            t_end,
+            SEED + 2,
+        ),
+    ];
+    for (i, &window) in windows.iter().enumerate() {
+        for (tag, schedule) in [("lie", Schedule::Lie), ("strang", Schedule::Strang)] {
+            arms.push(run_arm(
+                &format!("fskmc-{tag}"),
+                Algorithm::Fskmc {
+                    gx,
+                    gy,
+                    schedule,
+                    window,
+                },
+                side,
+                t_end,
+                SEED + 10 + 2 * i as u64 + (tag == "strang") as u64,
+            ));
+        }
+    }
+
+    let dmc_theta = arms[0].theta_co;
+    let pndca_tps = arms[1].sim_time_per_sec;
+    let mut entries = Vec::new();
+    for arm in &arms {
+        let err = (arm.theta_co - dmc_theta).abs();
+        let window = arm.window.map_or("null".to_owned(), |w| format!("{w}"));
+        println!(
+            "  {:<14} window {:>5}  theta_co {:.4}  |err| {:.4}  {:>9.3} sim-time/s",
+            arm.name, window, arm.theta_co, err, arm.sim_time_per_sec
+        );
+        entries.push(format!(
+            "    {{\"arm\": \"{}\", \"window\": {window}, \"theta_co\": {:.5}, \
+             \"abs_error_vs_dmc\": {err:.5}, \"sim_time_per_sec\": {:.4}}}",
+            arm.name, arm.theta_co, arm.sim_time_per_sec
+        ));
+    }
+
+    // The gated trade-off endpoints: accuracy at the finest window, and
+    // throughput (relative to PNDCA's simulated-time rate) at the loosest.
+    let fine = windows[0];
+    let loose = windows[windows.len() - 1];
+    let strang_at = |w: f64| {
+        arms.iter()
+            .find(|a| a.name == "fskmc-strang" && a.window == Some(w))
+            .expect("strang arm present")
+    };
+    let strang_err = (strang_at(fine).theta_co - dmc_theta).abs();
+    let strang_speedup = strang_at(loose).sim_time_per_sec / pndca_tps;
+    println!(
+        "\n  summary: Strang |err| {strang_err:.4} at dt={fine}, \
+         {strang_speedup:.2}x PNDCA throughput at dt={loose}"
+    );
+    entries.push(format!(
+        "    {{\"summary\": \"splitting\", \"accuracy_window\": {fine}, \
+         \"strang_abs_error\": {strang_err:.5}, \"loose_window\": {loose}, \
+         \"strang_speedup_vs_pndca\": {strang_speedup:.3}}}"
+    ));
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fractional-step splitting: error vs window vs throughput\",\n  \
+         \"model_id\": \"zgb_ziff(0.5, 50.0)\",\n  \"side\": {side},\n  \
+         \"block_grid\": \"{gx}x{gy}\",\n  \"t_end\": {t_end},\n  \"smoke\": {smoke},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let file = if smoke {
+        "BENCH_splitting_smoke.json"
+    } else {
+        "BENCH_splitting.json"
+    };
+    let path = repo_root().join(file);
+    std::fs::write(&path, json).expect("cannot write BENCH_splitting.json");
+    println!("\nwrote {}", path.display());
+}

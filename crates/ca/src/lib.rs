@@ -26,7 +26,11 @@
 //!   which shrinks the partition to 2 chunks for pair-reaction models
 //!   (§5, Table II / Fig 6, the Kortlüke generalisation);
 //! - [`conflict`] — the conflict detector used to demonstrate Fig 2 and to
-//!   check partition safety in tests and in the parallel executor.
+//!   check partition safety in tests and in the parallel executor;
+//! - [`splitting`] — fractional-step operator-splitting KMC
+//!   (Arampatzis/Katsoulakis/Plecháč): exact VSSM within rectangular blocks
+//!   for a window Δt, Lie or Strang group schedule — a *tunably accurate*
+//!   point between exact DMC and the approximate CA family.
 
 #![warn(missing_docs)]
 
@@ -38,6 +42,7 @@ pub mod partition;
 pub mod partition_builder;
 pub mod pndca;
 pub mod propensity;
+pub mod splitting;
 pub mod tpndca;
 
 pub use conflict::ConflictDetector;
@@ -50,4 +55,5 @@ pub use partition_builder::{
 };
 pub use pndca::{run_alternating, ChunkSelection, Pndca};
 pub use propensity::ChunkPropensityCache;
+pub use splitting::{squarest_grid, FractionalStepKmc, Schedule, SplitPlan, FS_STREAM_NAMESPACE};
 pub use tpndca::{axis_type_partition, TPndca, TypePartition};

@@ -19,6 +19,7 @@ pub use psr_ca::partition_builder::{
     checkerboard, five_coloring, greedy_coloring, single_chunk, singleton_chunks,
 };
 pub use psr_ca::pndca::{ChunkSelection, Pndca};
+pub use psr_ca::splitting::{FractionalStepKmc, Schedule, SplitPlan};
 pub use psr_ca::tpndca::{axis_type_partition, TPndca};
 pub use psr_dmc::{MasterEquation, RateMeter, Recorder, Rsm, SimState, TimeMode, Vssm, VssmTree};
 pub use psr_lattice::{Coverage, Dims, Lattice, Neighborhood, Offset, Site};

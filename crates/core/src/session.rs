@@ -13,15 +13,20 @@
 //! its start — there is no hidden cross-step generator state — and every
 //! auxiliary structure (propensity caches, alias tables) is a pure function
 //! of the model and lattice, so it can be rebuilt after a restore. The
-//! event-driven algorithms (VSSM, FRM) carry pending-event queues that are
-//! *not* pure functions of the lattice; they are rejected at session
-//! construction.
+//! free-running event-driven algorithms (VSSM, FRM) carry pending-event
+//! queues that are *not* pure functions of the lattice; they are rejected
+//! at session construction. The fractional-step splitting executor
+//! (`fskmc`) runs exact KMC *inside* each window but keys every RNG stream
+//! by `(window, slot, block)`, so window boundaries are clean checkpoint
+//! seams: one session step = one whole window, resumable from
+//! `(lattice, window count)` alone.
 
 use crate::simulator::Algorithm;
 use psr_ca::lpndca::LPndca;
 use psr_ca::ndca::{Ndca, SweepOrder};
 use psr_ca::partition::Partition;
 use psr_ca::pndca::Pndca;
+use psr_ca::splitting::{FractionalStepKmc, SplitPlan};
 use psr_ca::tpndca::{axis_type_partition, TPndca, TypePartition};
 use psr_dmc::events::EventHook;
 use psr_dmc::rsm::{Rsm, RunStats, TimeMode};
@@ -78,6 +83,11 @@ pub struct SimSession {
     partition: Option<Partition>,
     /// Prebuilt Ω×T partition for `TPndca`.
     types: Option<TypePartition>,
+    /// Prebuilt block decomposition for `Fskmc`.
+    split: Option<SplitPlan>,
+    /// Master seed: `Fskmc` derives its counter-keyed streams from it (the
+    /// free-running `rng` below is untouched by that algorithm).
+    seed: u64,
     state: SimState,
     rng: SimRng,
     steps_done: u64,
@@ -99,11 +109,25 @@ impl SimSession {
         algorithm: Algorithm,
         initial: Option<Lattice>,
     ) -> Result<Self, String> {
-        let (partition, types) = match &algorithm {
-            Algorithm::Rsm | Algorithm::RsmDiscretized | Algorithm::Ndca { .. } => (None, None),
-            Algorithm::Pndca { partition, .. } => (Some(partition.build(dims, &model)), None),
-            Algorithm::LPndca { partition, .. } => (Some(partition.build(dims, &model)), None),
-            Algorithm::TPndca => (None, Some(axis_type_partition(&model, dims))),
+        let (partition, types, split) = match &algorithm {
+            Algorithm::Rsm | Algorithm::RsmDiscretized | Algorithm::Ndca { .. } => {
+                (None, None, None)
+            }
+            Algorithm::Pndca { partition, .. } => (Some(partition.build(dims, &model)), None, None),
+            Algorithm::LPndca { partition, .. } => {
+                (Some(partition.build(dims, &model)), None, None)
+            }
+            Algorithm::TPndca => (None, Some(axis_type_partition(&model, dims)), None),
+            Algorithm::Fskmc { gx, gy, window, .. } => {
+                if !window.is_finite() || *window <= 0.0 {
+                    return Err(format!(
+                        "fskmc window must be positive and finite (got {window})"
+                    ));
+                }
+                let plan = SplitPlan::new(dims, *gx, *gy, model.interaction_radius())
+                    .map_err(|e| format!("fskmc: {e}"))?;
+                (None, None, Some(plan))
+            }
             other => {
                 return Err(format!(
                     "algorithm {other:?} does not support checkpointed step-wise execution"
@@ -124,6 +148,8 @@ impl SimSession {
             dims,
             partition,
             types,
+            split,
+            seed,
             state,
             rng: rng_from_seed(seed),
             steps_done: 0,
@@ -193,6 +219,19 @@ impl SimSession {
                 let tp = self.types.clone().expect("type partition prebuilt");
                 TPndca::new(&self.model, tp).run_steps(state, rng, steps, None, hook)
             }
+            Algorithm::Fskmc {
+                schedule, window, ..
+            } => {
+                // One step = one whole window. The executor draws from
+                // streams keyed on (window, slot, block) — the session's
+                // free-running rng is deliberately untouched, which is what
+                // makes the window boundary a checkpoint seam.
+                let plan = self.split.as_ref().expect("split plan prebuilt");
+                let mut exec =
+                    FractionalStepKmc::new(&self.model, plan, *schedule, *window, self.seed);
+                exec.set_start_window(self.steps_done);
+                exec.run_windows(state, steps, None, hook)
+            }
             other => unreachable!("{other:?} rejected at construction"),
         };
         self.steps_done += steps;
@@ -234,6 +273,7 @@ mod tests {
     use crate::simulator::{PartitionSpec, Simulator};
     use psr_ca::lpndca::ChunkVisit;
     use psr_ca::pndca::ChunkSelection;
+    use psr_ca::splitting::Schedule;
     use psr_dmc::events::NoHook;
     use psr_model::library::zgb::zgb_ziff;
 
@@ -266,6 +306,20 @@ mod tests {
                 visit: ChunkVisit::SizeWeighted,
             },
             Algorithm::TPndca,
+            // The window-boundary checkpoint seam: exact KMC inside each
+            // window, yet fully steppable (one step = one window).
+            Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Lie,
+                window: 0.2,
+            },
+            Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Strang,
+                window: 0.2,
+            },
         ]
     }
 
@@ -352,6 +406,51 @@ mod tests {
                 .unwrap_err();
             assert!(err.contains("step-wise"), "unexpected error: {err}");
         }
+    }
+
+    #[test]
+    fn bad_fskmc_configurations_are_rejected_at_build() {
+        // 3 does not divide 20.
+        let err = Simulator::new(zgb_ziff(0.5, 5.0))
+            .dims(Dims::square(20))
+            .algorithm(Algorithm::Fskmc {
+                gx: 3,
+                gy: 2,
+                schedule: Schedule::Lie,
+                window: 0.1,
+            })
+            .into_session()
+            .unwrap_err();
+        assert!(err.contains("divide"), "unexpected error: {err}");
+        let err = Simulator::new(zgb_ziff(0.5, 5.0))
+            .dims(Dims::square(20))
+            .algorithm(Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Lie,
+                window: 0.0,
+            })
+            .into_session()
+            .unwrap_err();
+        assert!(err.contains("window"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn fskmc_session_leaves_the_free_running_rng_untouched() {
+        // All fskmc draws come from counter-keyed streams; the session rng
+        // must stay at its seed state so checkpoints are trivially stable.
+        let algorithm = Algorithm::Fskmc {
+            gx: 2,
+            gy: 2,
+            schedule: Schedule::Strang,
+            window: 0.2,
+        };
+        let mut s = session(algorithm);
+        let before = s.checkpoint().rng;
+        let stats = s.run_blocks(5, &mut NoHook);
+        assert!(stats.executed > 0, "no events in 5 windows");
+        assert_eq!(s.checkpoint().rng, before);
+        assert_eq!(s.time().to_bits(), (0.2f64 * 5.0).to_bits());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use psr_ca::partition_builder::{
     checkerboard, five_coloring, greedy_coloring, single_chunk, singleton_chunks,
 };
 use psr_ca::pndca::{ChunkSelection, Pndca};
+use psr_ca::splitting::{FractionalStepKmc, Schedule, SplitPlan};
 use psr_ca::tpndca::{axis_type_partition, TPndca};
 use psr_dmc::events::NoHook;
 use psr_dmc::frm::Frm;
@@ -122,6 +123,19 @@ pub enum Algorithm {
         partition: PartitionSpec,
         /// Worker threads.
         threads: usize,
+    },
+    /// Fractional-step operator-splitting KMC (Lie/Strang): exact VSSM
+    /// within `gx × gy` blocks for a window `Δt`, groups interleaved per
+    /// the schedule. One step = one whole window.
+    Fskmc {
+        /// Block grid columns (must divide the lattice width).
+        gx: u32,
+        /// Block grid rows (must divide the lattice height).
+        gy: u32,
+        /// Lie (first-order) or Strang (second-order) group schedule.
+        schedule: Schedule,
+        /// Time window Δt per splitting sweep.
+        window: f64,
     },
 }
 
@@ -331,6 +345,18 @@ impl Simulator {
                 let steps = (t_end * k).ceil() as u64;
                 exec.run_steps(&mut state, steps, Some(&mut recorder))
             }
+            Algorithm::Fskmc {
+                gx,
+                gy,
+                schedule,
+                window,
+            } => {
+                let plan = SplitPlan::new(self.dims, *gx, *gy, self.model.interaction_radius())
+                    .expect("valid fskmc block grid");
+                let mut exec =
+                    FractionalStepKmc::new(&self.model, &plan, *schedule, *window, self.seed);
+                exec.run_until(&mut state, t_end, Some(&mut recorder), &mut NoHook)
+            }
         };
         SimOutput::new(state, recorder, stats)
     }
@@ -378,6 +404,18 @@ mod tests {
             Algorithm::Parallel {
                 partition: PartitionSpec::FiveColoring,
                 threads: 2,
+            },
+            Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Lie,
+                window: 0.1,
+            },
+            Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Strang,
+                window: 0.1,
             },
         ];
         for algorithm in algorithms {

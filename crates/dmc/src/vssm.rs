@@ -21,37 +21,52 @@ use psr_rng::{exponential, SimRng};
 
 /// For one reaction type: the set of sites where it is enabled, supporting
 /// O(1) insert/remove/sample (swap-remove with a position map).
+///
+/// Public because the fractional-step executor in `psr-ca` maintains the
+/// same per-reaction enabled index for its within-window exact KMC; the
+/// swap-remove iteration order is part of the trajectory contract, so both
+/// executors must share one implementation.
 #[derive(Clone, Debug)]
-struct SiteSet {
+pub struct SiteSet {
     sites: Vec<Site>,
     /// `pos[site] = index + 1` in `sites`, or 0 when absent.
     pos: Vec<u32>,
 }
 
 impl SiteSet {
-    fn new(num_sites: usize) -> Self {
+    /// An empty set over a lattice of `num_sites` sites.
+    pub fn new(num_sites: usize) -> Self {
         SiteSet {
             sites: Vec::new(),
             pos: vec![0; num_sites],
         }
     }
 
-    fn len(&self) -> usize {
+    /// Number of sites currently in the set.
+    pub fn len(&self) -> usize {
         self.sites.len()
     }
 
-    fn contains(&self, site: Site) -> bool {
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, site: Site) -> bool {
         self.pos[site.0 as usize] != 0
     }
 
-    fn insert(&mut self, site: Site) {
+    /// Insert `site` (no-op when already present).
+    pub fn insert(&mut self, site: Site) {
         if !self.contains(site) {
             self.sites.push(site);
             self.pos[site.0 as usize] = self.sites.len() as u32;
         }
     }
 
-    fn remove(&mut self, site: Site) {
+    /// Remove `site` (no-op when absent); swap-remove, order-affecting.
+    pub fn remove(&mut self, site: Site) {
         let p = self.pos[site.0 as usize];
         if p == 0 {
             return;
@@ -65,8 +80,22 @@ impl SiteSet {
         self.pos[site.0 as usize] = 0;
     }
 
-    fn sample(&self, rng: &mut SimRng) -> Site {
+    /// Draw a member uniformly (one `rng.index` consumption).
+    pub fn sample(&self, rng: &mut SimRng) -> Site {
         self.sites[rng.index(self.sites.len())]
+    }
+
+    /// Remove every site, keeping the allocation.
+    pub fn clear(&mut self) {
+        for &s in &self.sites {
+            self.pos[s.0 as usize] = 0;
+        }
+        self.sites.clear();
+    }
+
+    /// Number of site slots the position map covers.
+    pub fn capacity_sites(&self) -> usize {
+        self.pos.len()
     }
 }
 
@@ -258,8 +287,8 @@ impl<'m> Vssm<'m> {
             x -= w;
         }
         // Guard against float drift selecting an empty set.
-        if self.enabled[chosen].len() == 0 {
-            let fallback = self.enabled.iter().position(|s| s.len() > 0)?;
+        if self.enabled[chosen].is_empty() {
+            let fallback = self.enabled.iter().position(|s| !s.is_empty())?;
             chosen = fallback;
         }
         let site = self.enabled[chosen].sample(rng);

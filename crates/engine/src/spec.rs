@@ -26,6 +26,7 @@
 //! checkpoints at that step, simulating a kill so `--resume` can be
 //! exercised deterministically.
 
+use psr_ca::splitting::{squarest_grid, Schedule};
 use psr_core::{Algorithm, PartitionSpec};
 use psr_model::library::kuzovkov::{kuzovkov_model, KuzovkovParams};
 use psr_model::library::zgb::zgb_ziff;
@@ -91,7 +92,11 @@ impl ModelSpec {
 ///
 /// Accepted forms: `rsm`, `rsm-discretized`, `ndca`, `ndca-shuffled`,
 /// `pndca <partition> <selection>`, `lpndca <partition> <l> <visit>`,
-/// `tpndca` — the step-resumable subset of [`Algorithm`].
+/// `tpndca`, `fskmc` — the step-resumable subset of [`Algorithm`].
+///
+/// `fskmc` starts from the defaults (2×2 blocks, Lie, window 0.1) which the
+/// job keys `splitting = lie|strang`, `window = Δt` and `blocks = N`
+/// override.
 ///
 /// # Errors
 ///
@@ -105,6 +110,12 @@ pub fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "ndca" => Algorithm::Ndca { shuffled: false },
         "ndca-shuffled" => Algorithm::Ndca { shuffled: true },
         "tpndca" => Algorithm::TPndca,
+        "fskmc" => Algorithm::Fskmc {
+            gx: 2,
+            gy: 2,
+            schedule: Schedule::Lie,
+            window: 0.1,
+        },
         "pndca" => {
             let partition: PartitionSpec = parts
                 .next()
@@ -466,6 +477,12 @@ impl BatchSpec {
         let mut checkpoint_every = None;
         let mut fail_at_step = None;
         let mut abort_at_step = None;
+        // fskmc-only keys, collected with their line numbers so misuse with
+        // another algorithm (which may be declared later) reports a
+        // position.
+        let mut splitting: Option<(Schedule, usize)> = None;
+        let mut window: Option<(f64, usize)> = None;
+        let mut blocks: Option<(u32, usize)> = None;
         for (key, value, lineno) in keys {
             let err = |e: String| format!("line {lineno} (job {name}): {e}");
             match key.as_str() {
@@ -497,6 +514,23 @@ impl BatchSpec {
                             .map_err(|e| err(format!("abort_at_step: {e}")))?,
                     )
                 }
+                "splitting" => {
+                    splitting = Some((value.parse().map_err(err)?, lineno));
+                }
+                "window" => {
+                    let w: f64 = value.parse().map_err(|e| err(format!("window: {e}")))?;
+                    if !w.is_finite() || w <= 0.0 {
+                        return Err(err(format!("window = {w} must be positive and finite")));
+                    }
+                    window = Some((w, lineno));
+                }
+                "blocks" => {
+                    let b: u32 = value.parse().map_err(|e| err(format!("blocks: {e}")))?;
+                    if b == 0 {
+                        return Err(err("blocks must be positive".to_owned()));
+                    }
+                    blocks = Some((b, lineno));
+                }
                 other => return Err(err(format!("unknown job key `{other}`"))),
             }
         }
@@ -517,6 +551,38 @@ impl BatchSpec {
         }
         job.fail_at_step = fail_at_step;
         job.abort_at_step = abort_at_step;
+        // Apply the splitting keys onto the fskmc defaults; reject them for
+        // any other algorithm.
+        if let Algorithm::Fskmc {
+            gx,
+            gy,
+            schedule,
+            window: w,
+        } = &mut job.algorithm
+        {
+            if let Some((s, _)) = splitting {
+                *schedule = s;
+            }
+            if let Some((v, _)) = window {
+                *w = v;
+            }
+            if let Some((b, _)) = blocks {
+                (*gx, *gy) = squarest_grid(b);
+            }
+        } else if let Some(lineno) = [
+            splitting.map(|(_, l)| l),
+            window.map(|(_, l)| l),
+            blocks.map(|(_, l)| l),
+        ]
+        .into_iter()
+        .flatten()
+        .next()
+        {
+            return Err(format!(
+                "line {lineno} (job {name}): `splitting`/`window`/`blocks` require \
+                 algorithm = fskmc"
+            ));
+        }
         Ok(job)
     }
 }
@@ -705,6 +771,7 @@ transport = unix
             "ndca",
             "ndca-shuffled",
             "tpndca",
+            "fskmc",
             "pndca five weighted",
             "pndca greedy in-order",
             "lpndca single 100 size-weighted",
@@ -714,6 +781,75 @@ transport = unix
         }
         assert!(parse_algorithm("pndca five weighted extra").is_err());
         assert!(parse_algorithm("pndca nowhere weighted").is_err());
+        assert!(parse_algorithm("fskmc strang").is_err(), "trailing token");
+    }
+
+    #[test]
+    fn fskmc_jobs_parse_splitting_keys() {
+        let batch = BatchSpec::parse(
+            "[job fsk]\nmodel = zgb 0.5 5\nalgorithm = fskmc\nside = 24\nsteps = 10\n\
+             splitting = strang\nwindow = 0.25\nblocks = 8",
+        )
+        .expect("parse");
+        assert_eq!(
+            batch.jobs[0].algorithm,
+            Algorithm::Fskmc {
+                gx: 4,
+                gy: 2,
+                schedule: Schedule::Strang,
+                window: 0.25,
+            }
+        );
+        // Bare fskmc keeps the documented defaults.
+        let batch = BatchSpec::parse(
+            "[job fsk]\nmodel = zgb 0.5 5\nalgorithm = fskmc\nside = 24\nsteps = 10",
+        )
+        .expect("parse");
+        assert_eq!(
+            batch.jobs[0].algorithm,
+            Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Lie,
+                window: 0.1,
+            }
+        );
+    }
+
+    #[test]
+    fn splitting_keys_are_rejected_without_fskmc() {
+        for (snippet, needle) in [
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = ndca\nside = 10\nsteps = 5\nsplitting = lie",
+                "require algorithm = fskmc",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nsplitting = lie\nalgorithm = ndca\nside = 10\nsteps = 5",
+                "line 3 (job a)",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = fskmc\nside = 10\nsteps = 5\nwindow = 0",
+                "must be positive",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = fskmc\nside = 10\nsteps = 5\nblocks = 0",
+                "blocks must be positive",
+            ),
+            (
+                "[job a]\nmodel = kuzovkov\nalgorithm = fskmc\nside = 10\nsteps = 5\nsplitting = trotter",
+                "unknown splitting schedule",
+            ),
+            (
+                "[job a]\nmodel = zgb 0.5 2\nalgorithm = fskmc\nside = 20\nsteps = 5\nshards = 4",
+                "requires a pndca algorithm",
+            ),
+        ] {
+            let err = BatchSpec::parse(snippet).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "spec {snippet:?}: error {err:?} missing {needle:?}"
+            );
+        }
     }
 
     #[test]

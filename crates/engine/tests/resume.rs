@@ -128,6 +128,80 @@ fn killed_batch_resumes_bit_identically() {
 }
 
 #[test]
+fn killed_fskmc_job_resumes_bit_identically() {
+    // The fractional-step executor runs exact KMC *inside* each window, but
+    // windows are checkpoint seams: a kill after the step-12 checkpoint must
+    // resume onto the uninterrupted trajectory bit for bit.
+    let spec = |dir: &Path, abort: bool| {
+        let fault = if abort { "abort_at_step = 12\n" } else { "" };
+        format!(
+            "[engine]
+workers = 1
+checkpoint_dir = {dir}
+backoff_base_ms = 1
+
+[job fsk]
+model = zgb 0.51 5
+algorithm = fskmc
+side = 20
+seed = 17
+steps = 40
+window = 0.25
+splitting = strang
+checkpoint_every = 4
+{fault}",
+            dir = dir.display()
+        )
+    };
+
+    let faulty_dir = temp_dir("fskmc_killed");
+    let batch = BatchSpec::parse(&spec(&faulty_dir, true)).expect("spec parses");
+    {
+        let engine = Engine::new(batch.engine.clone());
+        let report = engine.run(&batch, &RunOptions::default()).expect("run");
+        assert!(
+            matches!(report.jobs[0].status, JobStatus::Interrupted(_)),
+            "job should be interrupted, got {:?}",
+            report.jobs[0]
+        );
+        let ck = psr_engine::CheckpointStore::open(&faulty_dir)
+            .expect("store")
+            .load("fsk")
+            .expect("load")
+            .expect("checkpoint exists");
+        assert_eq!(ck.steps, 12);
+        // The clock at a window boundary is a pure function of the window
+        // count — that is the seam the resume relies on.
+        assert_eq!(ck.time.to_bits(), (0.25f64 * 12.0).to_bits());
+    }
+    {
+        let engine = Engine::new(batch.engine.clone());
+        let report = engine
+            .run(
+                &batch,
+                &RunOptions {
+                    resume: true,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("resume");
+        assert!(report.all_completed(), "{report:?}");
+    }
+
+    let clean_dir = temp_dir("fskmc_clean");
+    let clean = BatchSpec::parse(&spec(&clean_dir, false)).expect("spec parses");
+    Engine::new(clean.engine.clone())
+        .run(&clean, &RunOptions::default())
+        .expect("clean run");
+
+    assert_eq!(
+        std::fs::read_to_string(faulty_dir.join("fsk.done")).unwrap(),
+        std::fs::read_to_string(clean_dir.join("fsk.done")).unwrap(),
+        "resumed fskmc snapshot differs from uninterrupted run"
+    );
+}
+
+#[test]
 fn ignore_faults_strips_injection_from_a_faulty_spec() {
     let dir = temp_dir("ignore");
     let batch = BatchSpec::parse(&spec_text(&dir, true)).expect("spec parses");

@@ -10,7 +10,14 @@
 
 /// Asymptotic Kolmogorov-distribution critical value for a significance
 /// level. Supported levels: 0.10 (c=1.224), 0.05 (c=1.358), 0.01 (c=1.628).
-fn kolmogorov_critical(level: f64) -> f64 {
+///
+/// Public so callers can report *how far* a test sat from its threshold
+/// (`critical − scaled`), not just the accept/reject verdict.
+///
+/// # Panics
+///
+/// Panics on an unsupported level.
+pub fn kolmogorov_critical(level: f64) -> f64 {
     if (level - 0.10).abs() < 1e-9 {
         1.224
     } else if (level - 0.05).abs() < 1e-9 {
@@ -45,6 +52,16 @@ impl KsResult {
     pub fn accepts(&self, level: f64) -> bool {
         self.scaled <= kolmogorov_critical(level)
     }
+
+    /// Signed distance from the acceptance threshold: positive when the
+    /// test accepts with room to spare, negative when it rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported level (use 0.10, 0.05 or 0.01).
+    pub fn margin(&self, level: f64) -> f64 {
+        kolmogorov_critical(level) - self.scaled
+    }
 }
 
 /// Result of a two-sample Kolmogorov–Smirnov test.
@@ -69,6 +86,16 @@ impl KsTwoSample {
     /// Panics on an unsupported level (use 0.10, 0.05 or 0.01).
     pub fn accepts(&self, level: f64) -> bool {
         self.scaled <= kolmogorov_critical(level)
+    }
+
+    /// Signed distance from the acceptance threshold: positive when the
+    /// test accepts with room to spare, negative when it rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported level (use 0.10, 0.05 or 0.01).
+    pub fn margin(&self, level: f64) -> f64 {
+        kolmogorov_critical(level) - self.scaled
     }
 }
 

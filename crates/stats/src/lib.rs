@@ -34,7 +34,7 @@ pub use chi2::{chi_square_counts, chi_square_proportions, ChiSquare};
 pub use compare::{linf_deviation, mae_deviation, rms_deviation};
 pub use equivalence::{tost_mean_difference, EquivalenceResult, Verdict};
 pub use histogram::Histogram;
-pub use ks::{ks_exponential, ks_two_sample, KsResult, KsTwoSample};
+pub use ks::{kolmogorov_critical, ks_exponential, ks_two_sample, KsResult, KsTwoSample};
 pub use oscillation::{detect_peaks, OscillationSummary};
 pub use summary::Summary;
 pub use timeseries::TimeSeries;

@@ -20,6 +20,7 @@
 use crate::verdict::Check;
 use psr_ca::lpndca::ChunkVisit;
 use psr_ca::pndca::ChunkSelection;
+use psr_ca::splitting::Schedule;
 use psr_core::{Algorithm, PartitionSpec, Simulator};
 use psr_dmc::correctness::{
     always_enabled_model, PairHook, TypeFrequencyCounter, WaitingTimeSampler,
@@ -117,6 +118,20 @@ pub fn segers_algorithms() -> Vec<(&'static str, Algorithm, u64)> {
             1,
         ),
         ("tpndca", Algorithm::TPndca, 50),
+        // Fractional-step KMC runs exact VSSM inside each block, so both
+        // Segers criteria must hold exactly; the probe model's single-site
+        // identity reactions commute across blocks, making even a coarse
+        // window exact. Strang exercises the palindromic slot table.
+        (
+            "fskmc-strang",
+            Algorithm::Fskmc {
+                gx: 2,
+                gy: 2,
+                schedule: Schedule::Strang,
+                window: 0.5,
+            },
+            1,
+        ),
     ]
 }
 
@@ -143,7 +158,12 @@ fn run_probe(cfg: &SegersConfig, algorithm: &Algorithm, seed: u64) -> Probe {
     // block of `50·K` steps covers ~50 time units ≈ 40 samples. Cap the
     // loop well above the expected need so a stuck algorithm fails the
     // sample-count gate instead of hanging.
-    let block = (50.0 * k_total).ceil() as u64;
+    // One session "step" is one event for the per-event algorithms but one
+    // *window* (Δt of simulated time) for fractional-step KMC.
+    let block = match algorithm {
+        Algorithm::Fskmc { window, .. } => (50.0 / window).ceil() as u64,
+        _ => (50.0 * k_total).ceil() as u64,
+    };
     let expected_blocks = cfg.target_samples as u64 / 30 + 2;
     for _ in 0..expected_blocks * 4 {
         if hook.0.samples.len() >= cfg.target_samples {
@@ -178,7 +198,8 @@ pub fn segers_checks(cfg: &SegersConfig) -> Vec<Check> {
                 ),
             )
             .metric("ks_scaled", ks.scaled)
-            .metric("samples", n as f64),
+            .metric("samples", n as f64)
+            .metric("margin", ks.margin(cfg.alpha)),
         );
 
         // Count independent type selections, not raw events: sweep-based
@@ -207,7 +228,8 @@ pub fn segers_checks(cfg: &SegersConfig) -> Vec<Check> {
                 ),
             )
             .metric("chi2", chi2.statistic)
-            .metric("p_value", chi2.p_value),
+            .metric("p_value", chi2.p_value)
+            .metric("margin", chi2.p_value - cfg.alpha),
         );
     }
 
@@ -225,7 +247,10 @@ pub fn segers_checks(cfg: &SegersConfig) -> Vec<Check> {
                 wrong.scaled
             ),
         )
-        .metric("ks_scaled", wrong.scaled),
+        .metric("ks_scaled", wrong.scaled)
+        // The control passes by *rejecting*, so its headroom is how far
+        // the statistic sits above the critical value.
+        .metric("margin", -wrong.margin(cfg.alpha)),
     );
     checks
 }

@@ -24,8 +24,8 @@
 use crate::ensemble::{run_sequential, run_sequential_batched, EnsembleOutcome, SequentialConfig};
 use crate::observables::{
     batch_algorithm_for, deviation_algorithms, oscillation_replica, reference_algorithm,
-    variant_algorithms, zgb_replica, zgb_replica_sharded, zgb_replicas_batch, OscillationJob,
-    ZgbJob,
+    splitting_algorithm, variant_algorithms, zgb_replica, zgb_replica_sharded, zgb_replicas_batch,
+    OscillationJob, ZgbJob,
 };
 use crate::verdict::Check;
 use psr_core::Algorithm;
@@ -166,6 +166,9 @@ fn equivalence_check(
     .metric("diff", tost.diff)
     .metric("ci_lo", tost.ci_lo)
     .metric("ci_hi", tost.ci_hi)
+    // Headroom of the equivalence verdict: how deep the CI sits inside
+    // the band (negative when it pokes out or the test is underpowered).
+    .metric("margin", (tost.ci_lo + margin).min(margin - tost.ci_hi))
 }
 
 fn ks_check(
@@ -193,6 +196,7 @@ fn ks_check(
         ),
     )
     .metric("ks_scaled", ks.scaled)
+    .metric("margin", ks.margin(0.01))
 }
 
 /// Run the statistical tier and return its checks.
@@ -275,6 +279,38 @@ pub fn statistical_checks(cfg: &StatisticalConfig) -> Vec<Check> {
         ));
     }
 
+    // The operator-splitting arm: fractional-step KMC (Strang, 2×2).
+    // `batch_algorithm_for` has no lockstep equivalent for it, so the
+    // ensemble routes through the single-replica session path — the same
+    // code the engine checkpoints at window boundaries. The gate is the
+    // usual equivalence question: at this window the O(Δt²) splitting
+    // bias must be statistically indistinguishable from DMC.
+    {
+        let (name, algorithm) = splitting_algorithm();
+        let variant = run_zgb_ensemble(cfg, &algorithm, 60);
+        for observable in ["theta_co", "theta_o", "co2_rate"] {
+            let margin = if observable == "co2_rate" {
+                cfg.margins.co2_rate
+            } else {
+                cfg.margins.coverage
+            };
+            checks.push(equivalence_check(
+                format!("zgb-{name}-{observable}"),
+                &reference,
+                &variant,
+                observable,
+                margin,
+                cfg.alpha,
+            ));
+        }
+        checks.push(ks_check(
+            format!("zgb-{name}-ks-theta_co"),
+            &reference,
+            &variant,
+            "theta_co",
+        ));
+    }
+
     checks.extend(deviation_checks(cfg, &reference));
 
     if let Some(osc) = &cfg.oscillation {
@@ -326,7 +362,12 @@ fn deviation_checks(cfg: &StatisticalConfig, reference: &EnsembleOutcome) -> Vec
             )
             .metric("diff", tost.diff)
             .metric("ci_lo", tost.ci_lo)
-            .metric("ci_hi", tost.ci_hi),
+            .metric("ci_hi", tost.ci_hi)
+            // Reversed gate: headroom is how far the CI clears the band.
+            .metric(
+                "margin",
+                (tost.ci_lo - cfg.margins.coverage).max(-cfg.margins.coverage - tost.ci_hi),
+            ),
         );
     }
     checks
@@ -373,7 +414,8 @@ fn oscillation_checks(cfg: &StatisticalConfig, job: &OscillationJob) -> Vec<Chec
                     indicator.samples.len()
                 ),
             )
-            .metric("fraction", fraction),
+            .metric("fraction", fraction)
+            .metric("margin", fraction - 0.7),
         );
     }
     for (observable, margin) in [

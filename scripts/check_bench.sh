@@ -19,10 +19,15 @@
 #      content-addressed cache must make hot (cached) requests >=
 #      MIN_SERVE_SPEEDUP faster at p99 than cold (computed) requests,
 #      with a non-trivial number of hits actually observed.
+#   5. Splitting bench (BENCH_splitting.json): the fractional-step
+#      Strang arm must sit within SPLITTING_EPS of the DMC coverage at
+#      the finest documented window AND hold >= MIN_SPLITTING_SPEEDUP
+#      simulated-time throughput over PNDCA at the loosest window — the
+#      two ends of the accuracy-for-throughput trade the executor sells.
 #
 # Regenerate with `target/release/bench_kernel` / `bench_replica` /
-# `bench_shard` / `scripts/loadtest.sh` first. Smoke callers pass the
-# *_smoke.json files and looser thresholds.
+# `bench_shard` / `bench_splitting` / `scripts/loadtest.sh` first. Smoke
+# callers pass the *_smoke.json files and looser thresholds.
 #
 # The replica default is 3.5x, not the 8x the batch work originally
 # aimed for: on this single-core host the AVX-512 sweep is port-bound at
@@ -37,12 +42,15 @@ BENCH_FILE=${1:-BENCH_kernel.json}
 REPLICA_FILE=${2:-BENCH_replica.json}
 SHARD_FILE=${3:-BENCH_shard.json}
 SERVE_FILE=${4:-BENCH_serve.json}
+SPLITTING_FILE=${5:-BENCH_splitting.json}
 MIN_SPEEDUP=${MIN_SPEEDUP:-3.0}
 MIN_REPLICA_SPEEDUP=${MIN_REPLICA_SPEEDUP:-3.5}
 MIN_SHARD_SPEEDUP=${MIN_SHARD_SPEEDUP:-2.5}
 MIN_SHARD_SOCKET_SPEEDUP=${MIN_SHARD_SOCKET_SPEEDUP:-2.0}
 MIN_SERVE_SPEEDUP=${MIN_SERVE_SPEEDUP:-10.0}
 MIN_KEEPALIVE_SPEEDUP=${MIN_KEEPALIVE_SPEEDUP:-2.0}
+MIN_SPLITTING_SPEEDUP=${MIN_SPLITTING_SPEEDUP:-2.0}
+SPLITTING_EPS=${SPLITTING_EPS:-0.02}
 
 if [ ! -f "$BENCH_FILE" ]; then
     echo "check_bench: $BENCH_FILE not found (run bench_kernel first)" >&2
@@ -187,3 +195,36 @@ if [ "$ok" -ne 1 ]; then
     exit 1
 fi
 echo "check_bench: keep-alive p50 speedup ${ka_speedup}x >= ${MIN_KEEPALIVE_SPEEDUP}x"
+
+if [ ! -f "$SPLITTING_FILE" ]; then
+    echo "check_bench: $SPLITTING_FILE not found (run bench_splitting first)" >&2
+    exit 1
+fi
+
+# One summary line carries the gated endpoints of the splitting trade-off:
+# Strang accuracy at the finest window, Strang-vs-PNDCA throughput at the
+# loosest one.
+summary=$(grep '"summary": "splitting"' "$SPLITTING_FILE")
+if [ -z "$summary" ]; then
+    echo "check_bench: no splitting summary line in $SPLITTING_FILE" >&2
+    exit 1
+fi
+sp_err=$(sed -n 's/.*"strang_abs_error": \([0-9.]*\).*/\1/p' <<<"$summary")
+sp_speedup=$(sed -n 's/.*"strang_speedup_vs_pndca": \([0-9.]*\).*/\1/p' <<<"$summary")
+sp_fine=$(sed -n 's/.*"accuracy_window": \([0-9.]*\).*/\1/p' <<<"$summary")
+sp_loose=$(sed -n 's/.*"loose_window": \([0-9.]*\).*/\1/p' <<<"$summary")
+if [ -z "$sp_err" ] || [ -z "$sp_speedup" ]; then
+    echo "check_bench: malformed splitting summary in $SPLITTING_FILE" >&2
+    exit 1
+fi
+ok=$(awk -v e="$sp_err" -v m="$SPLITTING_EPS" 'BEGIN { print (e <= m) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+    echo "check_bench: Strang splitting error $sp_err at dt=$sp_fine > eps $SPLITTING_EPS" >&2
+    exit 1
+fi
+ok=$(awk -v s="$sp_speedup" -v m="$MIN_SPLITTING_SPEEDUP" 'BEGIN { print (s >= m) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+    echo "check_bench: Strang throughput ${sp_speedup}x PNDCA at dt=$sp_loose < ${MIN_SPLITTING_SPEEDUP}x" >&2
+    exit 1
+fi
+echo "check_bench: Strang within $SPLITTING_EPS of DMC at dt=$sp_fine and ${sp_speedup}x PNDCA at dt=$sp_loose"

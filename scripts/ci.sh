@@ -30,7 +30,7 @@ if [ "$rc" -ne 3 ]; then
 fi
 "$ENGINE" run scripts/engine_smoke.spec --ckpt-dir "$SMOKE_DIR/faulty" --resume --quiet
 "$ENGINE" run scripts/engine_smoke.spec --ckpt-dir "$SMOKE_DIR/clean" --ignore-faults --quiet
-for job in zgb rsm_ref; do
+for job in zgb rsm_ref fskmc; do
     cmp "$SMOKE_DIR/faulty/$job.done" "$SMOKE_DIR/clean/$job.done"
 done
 echo "engine smoke: resumed run is bit-identical to the clean run"
@@ -70,6 +70,9 @@ target/release/bench_replica --smoke
 echo "==> bench_shard --smoke (sharded strong scaling, small lattice)"
 target/release/bench_shard --smoke
 
+echo "==> bench_splitting --smoke (fractional-step error vs window vs throughput)"
+target/release/bench_splitting --smoke
+
 # Smoke thresholds sit below the committed full-size numbers: the small
 # jobs are noisier and this host's wall clock is shared (the shard smoke
 # lattice is 64x64, where the halo is a much larger fraction of the
@@ -79,8 +82,9 @@ scripts/loadtest.sh --smoke
 
 MIN_SPEEDUP=3.0 MIN_REPLICA_SPEEDUP=3.0 MIN_SHARD_SPEEDUP=2.0 \
     MIN_SHARD_SOCKET_SPEEDUP=1.7 MIN_SERVE_SPEEDUP=3.0 MIN_KEEPALIVE_SPEEDUP=1.5 \
+    MIN_SPLITTING_SPEEDUP=2.0 SPLITTING_EPS=0.04 \
     scripts/check_bench.sh BENCH_kernel_smoke.json BENCH_replica_smoke.json \
-    BENCH_shard_smoke.json BENCH_serve_smoke.json
+    BENCH_shard_smoke.json BENCH_serve_smoke.json BENCH_splitting_smoke.json
 
 echo "==> serve smoke: HTTP submit, observable cross-check, 429 shed, SIGTERM drain"
 SERVE=target/release/psr-serve
